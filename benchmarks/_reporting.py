@@ -1,0 +1,17 @@
+"""Uniform table printing for the reproduced figures/experiments."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def print_table(title: str, header: Sequence[object], rows: Sequence[Sequence[object]]) -> None:
+    """Print a small aligned text table with a title."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,79 @@
+"""E7 / Figs. 6 and 10 -- Program with a periodic source, a periodic sink and
+a 5 ms latency constraint.
+
+Reproduces the Fig. 6 program (nested parallel modules A{B,C} between a 1 kHz
+source and sink, ``start x 5 ms before y``) and its Fig. 10 CTA model:
+consistency, buffer capacities and verification of the latency constraint.
+"""
+
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.core import compile_program
+
+FIG6_SOURCE = """
+mod seq B(int a, out int z){ loop{ fb(a, out z); } while(1); }
+mod seq C(int a, int z, out int b){ loop{ fc(a, z, out b); } while(1); }
+
+mod par A(int a, out int b){
+  fifo int z;
+  B(a, out z) || C(a, z, out b)
+}
+
+mod par D(){
+  source int x = src() @ 1 kHz;
+  sink int y = snk() @ 1 kHz;
+  start x 5 ms before y;
+  A(x, out y)
+}
+"""
+
+WCETS = {"fb": Fraction(1, 5000), "fc": Fraction(1, 5000)}
+
+
+def test_fig10_derivation_and_analysis(benchmark):
+    def pipeline():
+        result = compile_program(FIG6_SOURCE, function_wcets=WCETS)
+        consistency = result.check_consistency(assume_infinite_unsized=True)
+        sizing = result.size_buffers()
+        checks = result.verify_latency(sizing.consistency)
+        return result, consistency, sizing, checks
+
+    result, consistency, sizing, checks = benchmark(pipeline)
+
+    rows = [
+        ["CTA ports / connections", f"{len(result.model.all_ports())} / {len(result.model.all_connections())}"],
+        ["consistent", consistency.consistent],
+        ["source rate", f"{float(consistency.port_rates[result.source_ports['x']]):g} Hz"],
+        ["sink rate", f"{float(consistency.port_rates[result.sink_ports['y']]):g} Hz"],
+        ["buffer capacities", sizing.capacities],
+        ["latency constraint", checks[0].message],
+        ["latency satisfied", checks[0].satisfied],
+    ]
+    print_table("Fig. 10: source/sink/latency analysis", ["quantity", "value"], rows)
+
+    assert consistency.consistent
+    assert sizing.consistency.consistent
+    assert all(check.satisfied for check in checks)
+
+
+def test_fig10_infeasible_when_bound_too_tight(benchmark):
+    tight = FIG6_SOURCE.replace("5 ms", "0 ms")
+
+    def analyse():
+        result = compile_program(tight, function_wcets=WCETS)
+        try:
+            sizing = result.size_buffers()
+            checks = result.verify_latency(sizing.consistency)
+            return sizing.consistency.consistent and all(c.satisfied for c in checks)
+        except Exception:
+            return False
+
+    feasible = benchmark(analyse)
+    print_table(
+        "Fig. 10 (variant): 0 ms bound through a two-stage pipeline",
+        ["quantity", "value"],
+        [["feasible", feasible]],
+    )
+    assert not feasible

@@ -1,0 +1,91 @@
+"""E8 / Figs. 11 and 12 -- The PAL video decoder case study.
+
+Compiles the Fig. 11 OIL program, derives the Fig. 12 CTA model, verifies the
+rate-conversion factors (1/25, 10/16, 1/8), the absolute source/sink rates
+(6.4 MS/s, 4 MS/s, 32 kHz -- scaled), the audio/video synchronisation
+constraint and the buffer capacities; then executes the decoder on a synthetic
+RF signal and checks that the measured behaviour respects the analysis.
+"""
+
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.apps.pal_decoder import (
+    AUDIO_DECIMATION,
+    AUDIO_FINAL_DECIMATION,
+    VIDEO_DOWN,
+    VIDEO_UP,
+)
+from repro.cta import compute_rate_structure
+from repro.dsp import dominant_frequency
+
+
+def test_fig12_model_derivation(benchmark, pal_app):
+    result = benchmark(pal_app.compile)
+    structure = compute_rate_structure(result.model)
+    rf = structure.relative_rate(result.source_ports["rf"])
+    screen = structure.relative_rate(result.sink_ports["screen"])
+    speakers = structure.relative_rate(result.sink_ports["speakers"])
+
+    rows = [
+        ["CTA ports", len(result.model.all_ports())],
+        ["CTA connections", len(result.model.all_connections())],
+        ["buffer parameters", len(result.buffers)],
+        ["gamma video path (screen/rf)", f"{screen / rf} (paper: {VIDEO_UP}/{VIDEO_DOWN})"],
+        ["gamma audio path (speakers/rf)", f"{speakers / rf} (paper: 1/{AUDIO_DECIMATION * AUDIO_FINAL_DECIMATION})"],
+    ]
+    print_table("Fig. 12: derived CTA model of the PAL decoder", ["quantity", "value"], rows)
+    assert screen / rf == Fraction(VIDEO_UP, VIDEO_DOWN)
+    assert speakers / rf == Fraction(1, AUDIO_DECIMATION * AUDIO_FINAL_DECIMATION)
+
+
+def test_fig12_analysis(benchmark, pal_app, pal_compiled):
+    def analyse():
+        consistency = pal_compiled.check_consistency(assume_infinite_unsized=True)
+        sizing = pal_compiled.size_buffers()
+        checks = pal_compiled.verify_latency(sizing.consistency)
+        return consistency, sizing, checks
+
+    consistency, sizing, checks = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    rows = [
+        ["consistent", consistency.consistent],
+        ["rf rate", f"{float(consistency.port_rates[pal_compiled.source_ports['rf']]):g} Hz (declared {float(pal_app.rf_rate):g})"],
+        ["screen rate", f"{float(consistency.port_rates[pal_compiled.sink_ports['screen']]):g} Hz"],
+        ["speakers rate", f"{float(consistency.port_rates[pal_compiled.sink_ports['speakers']]):g} Hz"],
+        ["A/V sync satisfied", all(c.satisfied for c in checks)],
+        ["total buffer capacity", sizing.total_capacity],
+    ]
+    rows.extend([f"  buffer {name}", value] for name, value in sorted(sizing.capacities.items()))
+    print_table("Figs. 11/12: PAL decoder analysis", ["quantity", "value"], rows)
+    assert consistency.consistent
+    assert all(c.satisfied for c in checks)
+
+
+def test_fig11_pal_execution(benchmark, pal_app, pal_sized):
+    result, sizing = pal_sized
+
+    def run():
+        return pal_app.simulate(Fraction(1), result=result, sizing=sizing)
+
+    simulation, trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    audio = simulation.sinks["speakers"].consumed
+    video = simulation.sinks["screen"].consumed
+    expected_audio = pal_app.signal.audio_tone * AUDIO_DECIMATION * AUDIO_FINAL_DECIMATION
+    rows = [
+        ["deadline violations", trace.deadline_miss_count()],
+        ["measured screen rate", f"{float(trace.measured_rate('screen') or 0):g} Hz"],
+        ["measured speakers rate", f"{float(trace.measured_rate('speakers') or 0):g} Hz"],
+        ["decoded audio samples", len(audio)],
+        ["decoded video samples", len(video)],
+        ["recovered audio tone", f"{dominant_frequency(audio[8:]):.4f} (expected {expected_audio:.4f})"],
+        ["rf->screen fill latency", f"{float(trace.end_to_end_latency('rf', 'screen') or 0) * 1000:.3f} ms"],
+        ["rf->speakers fill latency", f"{float(trace.end_to_end_latency('rf', 'speakers') or 0) * 1000:.3f} ms"],
+    ]
+    for name, mark in sorted(trace.buffer_high_water.items()):
+        rows.append([f"  occupancy {name}", f"{mark} / {simulation.buffers[name].capacity}"])
+    print_table("Fig. 11: PAL decoder execution on synthetic RF", ["quantity", "value"], rows)
+
+    assert trace.deadline_miss_count() == 0
+    for name, mark in trace.buffer_high_water.items():
+        assert mark <= simulation.buffers[name].capacity

@@ -1,0 +1,77 @@
+"""E1 / Fig. 2 -- Rate conversion in a cyclic task graph.
+
+Reproduces the Sec. III comparison: the sequential specification must encode
+the complete static-order schedule (5 firings for the 3:2 example, growing
+with the rates), whereas the OIL specification needs exactly one call per
+function.  Also reports the repetition vector (tg executes 3/2x as often as
+tf), deadlock-freedom with the paper's 4 initial values under self-timed
+execution, and the conservativeness of the strictly periodic CTA abstraction
+(which needs 6 initial values).
+"""
+
+from _reporting import print_table
+
+from repro.apps.rate_converter import (
+    compare_specifications,
+    compile_fig2,
+    fig2_task_graph,
+    minimal_initial_tokens_for_cta,
+    sequential_program_text,
+)
+from repro.baselines import schedule_growth
+from repro.dataflow import check_deadlock, sdf_throughput
+
+
+def test_fig2_specification_comparison(benchmark):
+    comparison = benchmark(compare_specifications)
+    print_table(
+        "Fig. 2: sequential schedule vs OIL specification",
+        ["quantity", "value"],
+        [
+            ["repetition vector", comparison.repetition_vector],
+            ["static-order schedule length (firings)", comparison.schedule_length],
+            ["sequential statements (Fig. 2b)", comparison.sequential_statement_count],
+            ["OIL function calls (Fig. 2c)", comparison.oil_function_calls],
+            ["specification size reduction", f"x{comparison.reduction_factor:.1f}"],
+        ],
+    )
+    assert comparison.repetition_vector == {"tf": 2, "tg": 3}
+    assert comparison.oil_function_calls == 2
+
+
+def test_fig2_self_timed_vs_periodic_abstraction(benchmark):
+    def analyse():
+        graph = fig2_task_graph()
+        deadlock = check_deadlock(graph)
+        throughput = sdf_throughput(graph)
+        minimal = minimal_initial_tokens_for_cta()
+        return deadlock, throughput, minimal
+
+    deadlock, throughput, minimal = benchmark(analyse)
+    print_table(
+        "Fig. 2: exact self-timed analysis vs periodic CTA abstraction",
+        ["quantity", "value"],
+        [
+            ["deadlock-free with 4 initial values (self-timed)", deadlock.deadlock_free],
+            ["exact iteration period (f,g take 1 ms)", f"{float(throughput.iteration_period) * 1000:.1f} ms"],
+            ["initial values needed by the CTA abstraction", minimal],
+            ["CTA consistent with 4 initial values", compile_fig2().check_consistency(assume_infinite_unsized=True).consistent],
+        ],
+    )
+    assert deadlock.deadlock_free
+    assert minimal > 4
+
+
+def test_fig2_schedule_growth(benchmark):
+    rows = benchmark(schedule_growth, [(3, 2), (5, 4), (7, 5), (16, 10), (25, 16), (25, 8)])
+    print_table(
+        "Fig. 2 (extended): schedule length for other rate pairs",
+        ["produce", "consume", "schedule firings", "sequential stmts", "OIL stmts"],
+        [
+            [r.produce, r.consume, r.schedule_length, r.sequential_statements, r.oil_statements]
+            for r in rows
+        ],
+    )
+    print("\nFig. 2b-style sequential program for the paper's 3:2 example:\n")
+    print(sequential_program_text())
+    assert all(r.oil_statements == 3 for r in rows)

@@ -1,0 +1,65 @@
+"""E4+E5 / Figs. 7 and 8 -- Construction of single-rate and multi-rate CTA
+components from tasks.
+
+Regenerates the construction of Fig. 7 (a task reading two buffers and
+writing one becomes a component with six ports, zero-delay input coupling and
+firing-duration connections) and reproduces the complete (epsilon, phi, gamma)
+table of Fig. 8c for the actor that consumes 4 tokens and produces 2.
+"""
+
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.core import build_task_component, multi_rate_table
+from repro.cta import CTAModel
+from repro.graph.taskgraph import Access, Task
+from repro.util.rational import rational_str
+
+
+def _fig7_task():
+    task = Task(name="tf", kind="call", function="f", firing_duration=Fraction(1, 1000))
+    task.reads = [Access("bx", 1), Access("by", 1)]
+    task.writes = [Access("bz", 1)]
+    return task
+
+
+def test_fig7_single_rate_component(benchmark):
+    def build():
+        model = CTAModel("fig7")
+        return build_task_component(_fig7_task(), model)
+
+    component = benchmark(build)
+    firing = [c for c in component.connections if c.purpose == "firing"]
+    atomic = [c for c in component.connections if c.purpose == "atomic-start"]
+    print_table(
+        "Fig. 7: single-rate CTA component of task tf",
+        ["quantity", "value"],
+        [
+            ["ports", sorted(component.ports)],
+            ["zero-delay input couplings", len(atomic)],
+            ["firing connections (rho delay)", len(firing)],
+            ["maximum port rate", f"{rational_str(component.ports['bx.take'].max_rate)} = 1/rho"],
+        ],
+    )
+    assert len(component.ports) == 6
+    assert all(c.epsilon == Fraction(1, 1000) for c in firing)
+
+
+def test_fig8_multi_rate_table(benchmark):
+    rho = Fraction(1, 500)
+    table = benchmark(multi_rate_table, 4, 2, rho)
+    rows = []
+    for (src, dst), (eps, phi, gamma) in sorted(table.items()):
+        rows.append(
+            [f"({src}, {dst})", "rho" if eps == rho else rational_str(eps), rational_str(phi), rational_str(gamma)]
+        )
+    print_table("Fig. 8c: delays and transfer rate ratios", ["connection", "epsilon", "phi", "gamma"], rows)
+
+    # The exact values of the paper's table.
+    assert table[("p0", "p1")][1:] == (Fraction(3), Fraction(1))
+    assert table[("p0", "p2")][1:] == (Fraction(2), Fraction(1, 2))
+    assert table[("p0", "p3")][1:] == (Fraction(0), Fraction(1, 2))
+    assert table[("p3", "p0")][1:] == (Fraction(0), Fraction(2))
+    assert table[("p3", "p1")][1:] == (Fraction(3, 2), Fraction(2))
+    assert table[("p3", "p2")][1:] == (Fraction(1), Fraction(1))

@@ -1,0 +1,87 @@
+"""E6 / Fig. 9 -- Derivation of the CTA model for a module with two
+while-loops sharing a stream.
+
+Derives the Fig. 9b topology (loop components wp0/wp1, stream access
+components w0x/w1x, the 1/r forward delays and the -1/r and -2/r periodicity
+back edges, the buffer edges with -delta/r), then checks consistency and
+computes sufficient buffer capacities.
+"""
+
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.core import derive_sequential_module
+from repro.cta import CTAModel, check_consistency, size_buffers
+from repro.graph import extract_task_graph
+from repro.lang import parse_module
+from repro.util.rational import rational_str
+
+FIG9_SOURCE = """
+mod seq A(int x, out int z){
+  int y;
+  loop{ y = f(x); z = p(y); } while(x > 0);
+  loop{ g(x, y, out z); } while(1);
+}
+"""
+
+
+def _derive():
+    module = parse_module(FIG9_SOURCE)
+    graph = extract_task_graph(module)
+    graph.set_firing_durations({"f": Fraction(1, 4000), "p": Fraction(1, 4000), "g": Fraction(1, 4000)})
+    model = CTAModel("fig9")
+    # Pin the stream rate like the enclosing application would (1 kHz source).
+    derived = derive_sequential_module(graph, model)
+    model.all_ports()[derived.interfaces["x"].entry].fixed_rate = Fraction(1000)
+    return model, derived
+
+
+def test_fig9_derivation_topology(benchmark):
+    model, derived = benchmark(_derive)
+    component = derived.component
+    loop0, loop1 = component.child("loop0"), component.child("loop1")
+
+    def periodicity_phis(owner, stream):
+        return sorted(
+            rational_str(c.phi)
+            for c in owner.connections
+            if c.purpose == "periodicity" and c.src.port.startswith(stream)
+        )
+
+    rows = [
+        ["loop components", sorted(component.children)],
+        ["stream access components (loop0)", [n for n, c in loop0.children.items() if c.kind == "stream-access"]],
+        ["stream access components (loop1)", [n for n, c in loop1.children.items() if c.kind == "stream-access"]],
+        ["module back edge for x (phi)", [rational_str(c.phi) for c in component.connections if c.label == "x:period"]],
+        ["loop back edges for x (phi)", [rational_str(c.phi) for l in (loop0, loop1) for c in l.connections if c.label == "x:period"]],
+        ["buffer parameters", sorted(derived.buffers)],
+    ]
+    print_table("Fig. 9: derived CTA model of the two-loop module", ["quantity", "value"], rows)
+
+    assert set(component.children) == {"loop0", "loop1"}
+    module_back = [c for c in component.connections if c.label == "x:period"]
+    assert module_back[0].phi == -2
+
+
+def test_fig9_consistency_and_buffer_sizing(benchmark):
+    model, derived = _derive()
+
+    def analyse():
+        consistency = check_consistency(model, assume_infinite_unsized=True)
+        sizing = size_buffers(model)
+        return consistency, sizing
+
+    consistency, sizing = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_table(
+        "Fig. 9: analysis results",
+        ["quantity", "value"],
+        [
+            ["consistent (unbounded buffers)", consistency.consistent],
+            ["stream rate at the module boundary", f"{float(consistency.port_rates[derived.interfaces['x'].entry]):g} Hz"],
+            ["buffer capacities", sizing.capacities],
+            ["total capacity", sizing.total_capacity],
+        ],
+    )
+    assert consistency.consistent
+    assert sizing.consistency.consistent

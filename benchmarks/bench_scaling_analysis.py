@@ -1,0 +1,70 @@
+"""E9 -- Scaling of the polynomial CTA analysis vs the exact SDF baseline.
+
+The paper's complexity claim: consistency checking and buffer sizing on the
+CTA model are polynomial in the size of the program, whereas exact SDF
+analysis (HSDF expansion / state-space exploration) is exponential in the
+description because the repetition vector enters the problem size.
+
+Workload: matched decimation cascades of growing depth (each stage halves the
+rate).  The CTA model grows linearly with the depth while the repetition-
+vector sum doubles per stage.  The benchmark reports model sizes, analysis
+times and where the crossover falls.
+"""
+
+import pytest
+
+from _reporting import print_table
+
+from repro.baselines import compare_scaling, exact_analysis, format_comparison, multirate_chain
+
+
+def test_scaling_comparison_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: compare_scaling([1, 2, 3, 4, 5, 6, 7], rate=2, base_hz=1 << 14, size_buffers=False),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "Analysis scaling: CTA (polynomial) vs exact SDF (exponential)",
+        ["stages", "CTA ports", "CTA conn", "CTA time [s]", "q-sum", "HSDF actors", "SDF time [s]", "SDF/CTA time"],
+        [
+            [
+                r.stages,
+                r.cta_ports,
+                r.cta_connections,
+                f"{r.cta_wall_seconds:.4f}",
+                r.sdf_repetition_sum,
+                r.sdf_hsdf_actors,
+                f"{r.sdf_wall_seconds:.4f}",
+                f"{r.wall_ratio:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    # Shape: CTA model sizes grow linearly, the repetition vector exponentially.
+    cta_growth = [b.cta_ports - a.cta_ports for a, b in zip(rows, rows[1:])]
+    assert max(cta_growth) == min(cta_growth)
+    assert rows[-1].sdf_repetition_sum > 2 ** (rows[-1].stages - 1)
+    # The exact route's cost explodes towards the deep end; the last step of
+    # the exact analysis must be growing faster than the CTA analysis.
+    assert rows[-1].sdf_wall_seconds / max(rows[-2].sdf_wall_seconds, 1e-9) > (
+        rows[-1].cta_wall_seconds / max(rows[-2].cta_wall_seconds, 1e-9)
+    )
+
+
+@pytest.mark.parametrize("stages", [3, 6, 9])
+def test_exact_sdf_cost_growth(benchmark, stages):
+    report = benchmark.pedantic(
+        lambda: exact_analysis(multirate_chain(stages), run_statespace=False), rounds=1, iterations=1
+    )
+    print_table(
+        f"Exact SDF analysis cost (chain of {stages} decimators)",
+        ["quantity", "value"],
+        [
+            ["repetition vector sum", report.repetition_sum],
+            ["HSDF actors", report.hsdf_actors],
+            ["HSDF edges", report.hsdf_edges],
+            ["wall time [s]", f"{report.wall_seconds:.4f}"],
+        ],
+    )
+    assert report.repetition_sum == 2 ** (stages + 1) - 1

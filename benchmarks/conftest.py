@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure / experiment of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the recorded outcomes).
+Each benchmark both *measures* the analysis step with pytest-benchmark and
+*prints* the rows/series the corresponding figure reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the full set of reproduced results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pal_decoder import PalDecoderApp
+
+
+
+@pytest.fixture(scope="session")
+def pal_app() -> PalDecoderApp:
+    return PalDecoderApp(scale=1000)
+
+
+@pytest.fixture(scope="session")
+def pal_compiled(pal_app):
+    return pal_app.compile()
+
+
+@pytest.fixture(scope="session")
+def pal_sized(pal_app):
+    result = pal_app.compile()
+    sizing = result.size_buffers()
+    return result, sizing

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed in editable mode on machines without network access
+(where PEP 517 build isolation cannot download its build requirements)::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro -- reproduction of "Hierarchical Programming Language for Modal
+Multi-Rate Real-Time Stream Processing Applications" (Geuns, Hausmans,
+Bekooij; ICPP Workshops 2014).
+
+The package implements the OIL coordination language, the extraction of task
+graphs from its sequential modules, the derivation of a Compositional Temporal
+Analysis (CTA) model from complete programs, the polynomial-time consistency /
+throughput / buffer-sizing analyses on that model, a discrete-event runtime
+that executes OIL applications, the DSP kernels and the PAL video decoder case
+study used in the paper's evaluation, and the exact (exponential) dataflow
+baselines the paper argues against.
+
+Sub-packages
+------------
+``repro.lang``      OIL frontend (lexer, parser, AST, semantics, printer)
+``repro.graph``     task-graph extraction and circular buffers
+``repro.dataflow``  SDF substrate and exact baselines
+``repro.cta``       CTA model and polynomial analyses
+``repro.core``      the OIL -> CTA compiler (the paper's contribution)
+``repro.runtime``   discrete-event execution of OIL applications
+``repro.dsp``       signal-processing kernels for the PAL case study
+``repro.apps``      ready-made OIL applications (PAL decoder, rate converter,
+                    modal audio pipeline, producer/consumer)
+``repro.baselines`` sequential-schedule and exact-SDF baselines
+``repro.util``      rational arithmetic, units, constraint-graph algorithms
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lang",
+    "graph",
+    "dataflow",
+    "cta",
+    "core",
+    "runtime",
+    "dsp",
+    "apps",
+    "baselines",
+    "util",
+]

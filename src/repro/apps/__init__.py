@@ -1,0 +1,85 @@
+"""Ready-made OIL applications.
+
+* :mod:`repro.apps.pal_decoder` -- the PAL video decoder case study
+  (Sec. VI, Figs. 11/12),
+* :mod:`repro.apps.rate_converter` -- the rate-conversion example of Fig. 2,
+* :mod:`repro.apps.modal_audio` -- modal applications (if/else mute mode and
+  a two-while-loop mode switcher),
+* :mod:`repro.apps.producer_consumer` -- the minimal quickstart pipeline.
+"""
+
+from repro.apps.pal_decoder import (
+    AUDIO_DECIMATION,
+    AUDIO_FINAL_DECIMATION,
+    AUDIO_RATE_HZ,
+    RF_RATE_HZ,
+    VIDEO_DOWN,
+    VIDEO_RATE_HZ,
+    VIDEO_UP,
+    PalDecoderApp,
+    pal_source_text,
+)
+from repro.apps.rate_converter import (
+    FIG2_OIL_SOURCE,
+    Fig2Comparison,
+    compare_specifications,
+    compile_fig2,
+    fig2_registry,
+    fig2_task_graph,
+    sequential_program_text,
+    sequential_schedule,
+)
+from repro.apps.modal_audio import (
+    MUTE_OIL_SOURCE,
+    TWO_MODE_OIL_SOURCE,
+    compile_mute,
+    compile_two_mode,
+    mute_registry,
+    mute_wcets,
+    simulate_mute,
+    simulate_two_mode,
+    two_mode_registry,
+    two_mode_wcets,
+)
+from repro.apps.producer_consumer import (
+    QUICKSTART_OIL_SOURCE,
+    compile_quickstart,
+    quickstart_registry,
+    quickstart_wcets,
+    simulate_quickstart,
+)
+
+__all__ = [
+    "AUDIO_DECIMATION",
+    "AUDIO_FINAL_DECIMATION",
+    "AUDIO_RATE_HZ",
+    "RF_RATE_HZ",
+    "VIDEO_DOWN",
+    "VIDEO_RATE_HZ",
+    "VIDEO_UP",
+    "PalDecoderApp",
+    "pal_source_text",
+    "FIG2_OIL_SOURCE",
+    "Fig2Comparison",
+    "compare_specifications",
+    "compile_fig2",
+    "fig2_registry",
+    "fig2_task_graph",
+    "sequential_program_text",
+    "sequential_schedule",
+    "MUTE_OIL_SOURCE",
+    "TWO_MODE_OIL_SOURCE",
+    "compile_mute",
+    "compile_two_mode",
+    "mute_registry",
+    "mute_wcets",
+    "simulate_mute",
+    "simulate_two_mode",
+    "two_mode_registry",
+    "two_mode_wcets",
+    "QUICKSTART_OIL_SOURCE",
+    "compile_quickstart",
+    "quickstart_registry",
+    "quickstart_wcets",
+    "simulate_quickstart",
+]

@@ -1,0 +1,187 @@
+"""Modal audio applications.
+
+Two small applications exercising the *modal* behaviour the paper motivates
+(control statements selecting modes of the application while the temporal
+analysis stays valid):
+
+* :data:`MUTE_OIL_SOURCE` -- an audio pipeline whose sequential module decides
+  per block whether to emit the processed value or silence (an ``if``/``else``
+  mode inside one streaming loop).  This is the Fig. 4 pattern: the guarded
+  assignments become unconditionally executing tasks whose bodies stay
+  guarded.
+* :data:`TWO_MODE_OIL_SOURCE` -- a module with **two while-loops** executed in
+  alternation (a calibration mode and a normal mode), the Fig. 3 / Fig. 9
+  pattern: each loop becomes its own CTA component and both access the source
+  and the sink so the periodic constraints hold regardless of which mode is
+  active and of when mode transitions happen.
+
+Both applications come with function registries and helpers so the examples,
+tests and the conservativeness benchmark (E10) can compile, analyse and
+simulate them under arbitrary mode sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import CompilationResult, compile_program
+from repro.cta.buffer_sizing import BufferSizingResult
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.simulator import Simulation
+from repro.runtime.trace import TraceRecorder
+from repro.util.rational import Rat
+
+# --------------------------------------------------------------------------
+# Application 1: mute / emit modes inside one loop (Fig. 4 pattern)
+# --------------------------------------------------------------------------
+
+MUTE_OIL_SOURCE = """
+mod seq Mute(sample sin, out sample sout){
+  sample level;
+  loop{
+    level = block_level(sin:4);
+    if (level < 0) { silence(out sout); }
+    else { emit(level, out sout); }
+  } while(1);
+}
+
+mod par {
+  source sample mic = capture() @ 8 kHz;
+  sink sample speaker = play() @ 2 kHz;
+  Mute(mic, out speaker)
+}
+"""
+
+#: Rates of the mute application.
+MIC_RATE_HZ = 8000
+SPEAKER_RATE_HZ = 2000
+
+
+def mute_wcets(utilisation: float = 0.4) -> Dict[str, Fraction]:
+    """Response times: the loop fires at 2 kHz (4 mic samples per iteration)."""
+    loop_period = Fraction(1, SPEAKER_RATE_HZ)
+    budget = loop_period * Fraction(utilisation).limit_denominator(100)
+    return {
+        "block_level": budget / 3,
+        "silence": budget / 3,
+        "emit": budget / 3,
+    }
+
+
+def mute_registry() -> FunctionRegistry:
+    """Executable functions of the mute pipeline."""
+    registry = FunctionRegistry()
+    registry.register(
+        "block_level",
+        lambda samples: sum(samples) / len(samples),
+        description="average level of a 4-sample block (negative = bad reception)",
+    )
+    registry.register("silence", lambda: 0.0, description="emit silence")
+    registry.register("emit", lambda level: level, description="pass the level through")
+    return registry
+
+
+def compile_mute() -> CompilationResult:
+    return compile_program(MUTE_OIL_SOURCE, function_wcets=mute_wcets())
+
+
+def simulate_mute(
+    duration: Rat,
+    signal: Sequence[float],
+    *,
+    result: Optional[CompilationResult] = None,
+    sizing: Optional[BufferSizingResult] = None,
+) -> Tuple[Simulation, TraceRecorder]:
+    """Run the mute pipeline on *signal* for *duration* seconds."""
+    if result is None:
+        result = compile_mute()
+    if sizing is None:
+        sizing = result.size_buffers()
+    simulation = Simulation(
+        result,
+        mute_registry(),
+        source_signals={"mic": list(signal)},
+        capacities=sizing.capacities,
+    )
+    trace = simulation.run(duration)
+    return simulation, trace
+
+
+# --------------------------------------------------------------------------
+# Application 2: two while-loop modes (Fig. 3 / Fig. 9 pattern)
+# --------------------------------------------------------------------------
+
+TWO_MODE_OIL_SOURCE = """
+mod seq TwoMode(sample sin, out sample sout){
+  loop{
+    calibrate(sin:2, out sout:1);
+  } while(in_calibration());
+  loop{
+    process(sin:2, out sout:1);
+  } while(1);
+}
+
+mod par {
+  source sample adc = sample_adc() @ 4 kHz;
+  sink sample dac = drive_dac() @ 2 kHz;
+  TwoMode(adc, out dac)
+}
+"""
+
+ADC_RATE_HZ = 4000
+DAC_RATE_HZ = 2000
+
+
+def two_mode_wcets(utilisation: float = 0.4) -> Dict[str, Fraction]:
+    loop_period = Fraction(1, DAC_RATE_HZ)
+    budget = loop_period * Fraction(utilisation).limit_denominator(100)
+    return {"calibrate": budget, "process": budget, "in_calibration": Fraction(0)}
+
+
+def two_mode_registry() -> FunctionRegistry:
+    registry = FunctionRegistry()
+    registry.register(
+        "calibrate",
+        lambda samples: sum(samples) / len(samples) + 100.0,
+        description="calibration mode: offset output marks the mode",
+    )
+    registry.register(
+        "process",
+        lambda samples: sum(samples) / len(samples),
+        description="normal processing mode",
+    )
+    registry.register("in_calibration", lambda: False, description="mode predicate")
+    return registry
+
+
+def compile_two_mode() -> CompilationResult:
+    return compile_program(TWO_MODE_OIL_SOURCE, function_wcets=two_mode_wcets())
+
+
+def simulate_two_mode(
+    duration: Rat,
+    *,
+    mode_schedule: Sequence[Tuple[str, int]] = (("loop0", 3), ("loop1", 5)),
+    signal: Optional[Sequence[float]] = None,
+    result: Optional[CompilationResult] = None,
+    sizing: Optional[BufferSizingResult] = None,
+) -> Tuple[Simulation, TraceRecorder]:
+    """Run the two-mode application under an explicit mode schedule
+    (alternating iteration quotas for the calibration and processing loops)."""
+    if result is None:
+        result = compile_two_mode()
+    if sizing is None:
+        sizing = result.size_buffers()
+    if signal is None:
+        signal = [float(i % 16) for i in range(100000)]
+    simulation = Simulation(
+        result,
+        two_mode_registry(),
+        source_signals={"adc": list(signal)},
+        capacities=sizing.capacities,
+        mode_schedules={"TwoMode": list(mode_schedule)},
+    )
+    trace = simulation.run(duration)
+    return simulation, trace

@@ -1,0 +1,81 @@
+"""A minimal downsampling pipeline used by the quickstart example and tests.
+
+A 2 kHz sensor source feeds a sequential module that averages pairs of
+samples and writes the result to a 1 kHz logging sink -- the smallest
+meaningful multi-rate OIL program: one module, one loop, a 2:1 rate
+conversion, a source, a sink and a latency constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.compiler import CompilationResult, compile_program
+from repro.cta.buffer_sizing import BufferSizingResult
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.simulator import Simulation
+from repro.runtime.trace import TraceRecorder
+from repro.util.rational import Rat
+
+QUICKSTART_OIL_SOURCE = """
+mod seq Downsample(int x, out int y){
+  loop{
+    average2(x:2, out y);
+  } while(1);
+}
+
+mod par {
+  source int samples = sensor() @ 2 kHz;
+  sink int averages = log_value() @ 1 kHz;
+  start averages 4 ms after samples;
+  start averages 10 ms before samples;
+  Downsample(samples, out averages)
+}
+"""
+
+SENSOR_RATE_HZ = 2000
+LOG_RATE_HZ = 1000
+
+
+def quickstart_wcets(utilisation: float = 0.3) -> Dict[str, Fraction]:
+    period = Fraction(1, LOG_RATE_HZ)
+    return {"average2": period * Fraction(utilisation).limit_denominator(100)}
+
+
+def quickstart_registry() -> FunctionRegistry:
+    registry = FunctionRegistry()
+    registry.register(
+        "average2",
+        lambda pair: sum(pair) / len(pair),
+        description="average two consecutive sensor samples",
+    )
+    return registry
+
+
+def compile_quickstart() -> CompilationResult:
+    return compile_program(QUICKSTART_OIL_SOURCE, function_wcets=quickstart_wcets())
+
+
+def simulate_quickstart(
+    duration: Rat,
+    *,
+    signal: Optional[Sequence[float]] = None,
+    result: Optional[CompilationResult] = None,
+    sizing: Optional[BufferSizingResult] = None,
+) -> Tuple[Simulation, TraceRecorder]:
+    if result is None:
+        result = compile_quickstart()
+    if sizing is None:
+        sizing = result.size_buffers()
+    if signal is None:
+        signal = [float(i) for i in range(1000000)]
+    simulation = Simulation(
+        result,
+        quickstart_registry(),
+        source_signals={"samples": list(signal)},
+        capacities=sizing.capacities,
+    )
+    trace = simulation.run(duration)
+    return simulation, trace

@@ -1,0 +1,226 @@
+"""The rate-conversion example of Sec. III (Fig. 2).
+
+A cyclic task graph in which task ``tf`` reads three values and writes three
+values while task ``tg`` reads two and writes two; four initial values are
+available on the buffer feeding ``tf``.  Because the tasks transfer different
+numbers of values, ``tg`` must execute 3/2 times as often as ``tf`` -- the
+repetition vector is (2, 3).
+
+The module provides:
+
+* the cyclic task graph as an SDF graph (Fig. 2a),
+* the *sequential* formulation: the static-order schedule a programmer would
+  have to find and spell out by hand (Fig. 2b) and a renderer producing that
+  program text,
+* the *parallel* OIL formulation (Fig. 2c) plus the function registry needed
+  to execute it,
+* comparison helpers used by the Fig. 2 benchmark (schedule length vs. number
+  of statements in the OIL specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compiler import CompilationResult, compile_program
+from repro.dataflow.analysis import check_deadlock, repetition_vector
+from repro.dataflow.sdf import SDFGraph
+from repro.lang import ast
+from repro.runtime.functions import FunctionRegistry
+from repro.util.rational import Rat
+
+#: Tokens transferred per firing in the paper's example.
+F_TOKENS = 3
+G_TOKENS = 2
+INITIAL_TOKENS = 4
+
+FIG2_OIL_TEMPLATE = """
+mod seq A(out int a, int b){{
+  loop{{
+    f(out a:3, b:3);
+  }} while(1);
+}}
+
+mod seq B(out int c, int d){{
+  init(out c:{initial});
+  loop{{
+    g(out c:2, d:2);
+  }} while(1);
+}}
+
+mod par C(){{
+  fifo int x, y;
+  A(out x, y) || B(out y, x)
+}}
+"""
+
+
+def fig2_oil_source(initial_tokens: int = INITIAL_TOKENS) -> str:
+    """The Fig. 2c OIL program with a configurable number of initial values.
+
+    The paper's example uses 4 initial values, which is sufficient for
+    self-timed execution (the exact SDF analysis finds a finite iteration
+    period).  The strictly periodic abstraction of the CTA model is
+    conservative and needs more initial slack; the Fig. 2 benchmark sweeps
+    this parameter and reports the smallest value each analysis accepts.
+    """
+    if initial_tokens < 1:
+        raise ValueError("at least one initial value is required")
+    return FIG2_OIL_TEMPLATE.format(initial=initial_tokens)
+
+
+#: The paper's instance (4 initial values).
+FIG2_OIL_SOURCE = fig2_oil_source(INITIAL_TOKENS)
+
+
+def fig2_task_graph(
+    *,
+    f_duration: Rat = Fraction(1, 1000),
+    g_duration: Rat = Fraction(1, 1000),
+    f_tokens: int = F_TOKENS,
+    g_tokens: int = G_TOKENS,
+    initial_tokens: int = INITIAL_TOKENS,
+) -> SDFGraph:
+    """The cyclic task graph of Fig. 2a as an SDF graph."""
+    graph = SDFGraph("fig2")
+    graph.add_actor("tf", firing_duration=f_duration)
+    graph.add_actor("tg", firing_duration=g_duration)
+    graph.add_edge("bx", "tf", "tg", production=f_tokens, consumption=g_tokens)
+    graph.add_edge(
+        "by", "tg", "tf", production=g_tokens, consumption=f_tokens, initial_tokens=initial_tokens
+    )
+    return graph
+
+
+def sequential_schedule(graph: Optional[SDFGraph] = None) -> List[str]:
+    """The static-order schedule of one iteration of the Fig. 2a task graph
+    (the firing sequence a sequential program must encode explicitly)."""
+    graph = graph or fig2_task_graph()
+    result = check_deadlock(graph)
+    if not result.deadlock_free:
+        raise ValueError("the Fig. 2 task graph unexpectedly deadlocks")
+    return result.schedule
+
+
+def sequential_program_text(graph: Optional[SDFGraph] = None) -> str:
+    """Render the sequential program of Fig. 2b: an explicit schedule with
+    array-slice bookkeeping for every firing."""
+    graph = graph or fig2_task_graph()
+    schedule = sequential_schedule(graph)
+    q = repetition_vector(graph)
+    bx_capacity = q["tf"] * F_TOKENS
+    by_capacity = max(q["tg"] * G_TOKENS, INITIAL_TOKENS) + G_TOKENS
+
+    lines = [f"int x[{bx_capacity}], y[{by_capacity}];", f"init(out y[0:{INITIAL_TOKENS - 1}]);", "loop{"]
+    x_write = x_read = 0
+    y_write = INITIAL_TOKENS
+    y_read = 0
+    for firing in schedule:
+        if firing == "tf":
+            lines.append(
+                f"  f(out x[{x_write % bx_capacity}:{(x_write + F_TOKENS - 1) % bx_capacity}], "
+                f"y[{y_read % by_capacity}:{(y_read + F_TOKENS - 1) % by_capacity}]);"
+            )
+            x_write += F_TOKENS
+            y_read += F_TOKENS
+        else:
+            lines.append(
+                f"  g(out y[{y_write % by_capacity}:{(y_write + G_TOKENS - 1) % by_capacity}], "
+                f"x[{x_read % bx_capacity}:{(x_read + G_TOKENS - 1) % bx_capacity}]);"
+            )
+            y_write += G_TOKENS
+            x_read += G_TOKENS
+    lines.append("} while(1);")
+    return "\n".join(lines)
+
+
+def fig2_registry(initial_tokens: int = INITIAL_TOKENS) -> FunctionRegistry:
+    """Executable implementations for the Fig. 2c OIL program: ``f`` copies
+    and scales its inputs, ``g`` accumulates pairs, ``init`` seeds the stream."""
+    registry = FunctionRegistry()
+    registry.register(
+        "init", lambda: [0.0] * initial_tokens, description="seed the initial values"
+    )
+    registry.register(
+        "f",
+        lambda values: [2.0 * v + 1.0 for v in values],
+        description="per-triple transformation",
+    )
+    registry.register(
+        "g",
+        lambda values: [sum(values) / len(values)] * G_TOKENS,
+        description="per-pair smoothing",
+    )
+    return registry
+
+
+def compile_fig2(
+    *,
+    f_wcet: Rat = Fraction(1, 1000),
+    g_wcet: Rat = Fraction(1, 1000),
+    initial_tokens: int = INITIAL_TOKENS,
+) -> CompilationResult:
+    """Compile the Fig. 2c OIL program into its CTA model."""
+    return compile_program(
+        fig2_oil_source(initial_tokens),
+        function_wcets={"f": f_wcet, "g": g_wcet, "init": 0},
+    )
+
+
+def minimal_initial_tokens_for_cta(*, maximum: int = 32) -> int:
+    """The smallest number of initial values for which the strictly periodic
+    CTA abstraction of the Fig. 2c program is consistent.
+
+    The exact self-timed analysis already succeeds with the paper's 4 initial
+    values; the periodic abstraction is conservative and needs a few more.
+    The difference is reported by the Fig. 2 benchmark.
+    """
+    for initial in range(1, maximum + 1):
+        result = compile_fig2(initial_tokens=initial)
+        if result.check_consistency(assume_infinite_unsized=True).consistent:
+            return initial
+    raise ValueError(f"no feasible initial token count up to {maximum}")
+
+
+@dataclass
+class Fig2Comparison:
+    """Size comparison between the sequential and the OIL specification."""
+
+    schedule_length: int
+    sequential_statement_count: int
+    oil_function_calls: int
+    repetition_vector: Dict[str, int]
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.sequential_statement_count / max(self.oil_function_calls, 1)
+
+
+def compare_specifications() -> Fig2Comparison:
+    """Quantify the Fig. 2 observation: the sequential program must encode the
+    full schedule (one statement per firing), the OIL program needs exactly
+    one call to ``f`` and one to ``g``."""
+    graph = fig2_task_graph()
+    schedule = sequential_schedule(graph)
+    q = repetition_vector(graph)
+    sequential_statements = len(schedule) + 1  # the init call
+    program = compile_fig2().program
+
+    def count_calls(module_name: str) -> int:
+        module = program.module(module_name)
+        assert isinstance(module, ast.SequentialModule)
+        return sum(
+            1
+            for statement in ast.walk_statements(module.body)
+            if isinstance(statement, ast.FunctionCall) and statement.name in ("f", "g")
+        )
+
+    oil_calls = count_calls("A") + count_calls("B")
+    return Fig2Comparison(
+        schedule_length=len(schedule),
+        sequential_statement_count=sequential_statements,
+        oil_function_calls=oil_calls,
+        repetition_vector=q.as_dict(),
+    )

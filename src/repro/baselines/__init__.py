@@ -1,0 +1,45 @@
+"""Baselines the paper argues against.
+
+* :mod:`repro.baselines.sequential_schedule` -- the explicit static-order
+  schedule a sequential language forces the programmer to write (Fig. 2b),
+* :mod:`repro.baselines.sdf_exact` -- exact SDF analysis via HSDF expansion
+  and state-space exploration (exponential in the description size),
+* :mod:`repro.baselines.comparison` -- matched-workload scaling comparison of
+  the CTA analysis against the exact SDF route (experiment E9).
+"""
+
+from repro.baselines.sequential_schedule import (
+    ScheduleGrowthRow,
+    SequentialProgram,
+    generate_sequential_program,
+    rate_conversion_graph,
+    schedule_growth,
+)
+from repro.baselines.sdf_exact import (
+    ExactAnalysisReport,
+    exact_analysis,
+    multirate_chain,
+    multirate_cycle,
+)
+from repro.baselines.comparison import (
+    ComparisonRow,
+    compare_scaling,
+    decimation_pipeline_source,
+    format_comparison,
+)
+
+__all__ = [
+    "ScheduleGrowthRow",
+    "SequentialProgram",
+    "generate_sequential_program",
+    "rate_conversion_graph",
+    "schedule_growth",
+    "ExactAnalysisReport",
+    "exact_analysis",
+    "multirate_chain",
+    "multirate_cycle",
+    "ComparisonRow",
+    "compare_scaling",
+    "decimation_pipeline_source",
+    "format_comparison",
+]

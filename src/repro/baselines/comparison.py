@@ -1,0 +1,149 @@
+"""Side-by-side comparison of the CTA analysis and the exact SDF baseline.
+
+Builds matching workloads in both formalisms -- an OIL decimation pipeline and
+the equivalent SDF graph -- and measures analysis results and analysis cost
+for increasing problem sizes.  The scaling benchmark (E9) prints these rows;
+the expected shape is the paper's claim: the exact SDF route blows up with the
+repetition vector (exponential in the description), the OIL->CTA route stays
+polynomial.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.sdf_exact import ExactAnalysisReport, exact_analysis, multirate_chain
+from repro.core.compiler import CompilationResult, compile_program
+from repro.util.rational import Rat
+
+
+def decimation_pipeline_source(stages: int, *, rate: int = 2, base_hz: int = 0) -> str:
+    """An OIL program with *stages* cascaded decimate-by-*rate* modules.
+
+    ``base_hz`` (when non-zero) declares a source at that rate and a sink at
+    ``base_hz / rate**stages`` so that the analysis has pinned rates; with
+    ``base_hz == 0`` the program is left source-less and the analysis computes
+    maximal achievable rates instead.
+    """
+    if stages < 1:
+        raise ValueError("at least one stage is required")
+    lines: List[str] = []
+    for stage in range(stages):
+        lines.append(
+            f"mod seq Dec{stage}(sample i, out sample o){{\n"
+            f"  loop{{ dec{stage}(i:{rate}, out o); }} while(1);\n"
+            f"}}\n"
+        )
+    body: List[str] = []
+    fifo_names = [f"s{stage}" for stage in range(stages - 1)]
+    if fifo_names:
+        body.append("  fifo sample " + ", ".join(fifo_names) + ";")
+    if base_hz:
+        out_hz = base_hz // (rate ** stages)
+        body.append(f"  source sample input = capture() @ {base_hz} Hz;")
+        body.append(f"  sink sample output = emit() @ {out_hz} Hz;")
+    else:
+        body.append("  fifo sample input, output;")
+        body.append("  Feed(out input) || Drain(output) ||")
+    calls = []
+    for stage in range(stages):
+        inlet = "input" if stage == 0 else f"s{stage - 1}"
+        outlet = "output" if stage == stages - 1 else f"s{stage}"
+        calls.append(f"  Dec{stage}({inlet}, out {outlet})")
+    body.append(" ||\n".join(calls))
+    if base_hz:
+        lines.append("mod par {\n" + "\n".join(body) + "\n}\n")
+    else:
+        lines.append(
+            "mod seq Feed(out sample o){ loop{ feed(out o); } while(1); }\n"
+            "mod seq Drain(sample i){ loop{ drain(i); } while(1); }\n"
+        )
+        lines.append("mod par {\n" + "\n".join(body) + "\n}\n")
+    return "\n".join(lines)
+
+
+@dataclass
+class ComparisonRow:
+    """One row of the CTA vs exact-SDF scaling comparison."""
+
+    stages: int
+    rate: int
+    #: CTA route
+    cta_ports: int
+    cta_connections: int
+    cta_wall_seconds: float
+    cta_consistent: bool
+    cta_total_capacity: Optional[int]
+    #: exact SDF route
+    sdf_repetition_sum: int
+    sdf_hsdf_actors: int
+    sdf_wall_seconds: float
+
+    @property
+    def wall_ratio(self) -> float:
+        if self.cta_wall_seconds == 0:
+            return float("inf")
+        return self.sdf_wall_seconds / self.cta_wall_seconds
+
+
+def compare_scaling(
+    stage_counts: List[int],
+    *,
+    rate: int = 2,
+    base_hz: int = 1 << 16,
+    run_statespace: bool = False,
+    size_buffers: bool = True,
+) -> List[ComparisonRow]:
+    """Run both analyses on matched decimation cascades of growing depth."""
+    rows: List[ComparisonRow] = []
+    for stages in stage_counts:
+        wcets = {f"dec{stage}": Fraction(1, 4 * base_hz) * (rate ** stage) for stage in range(stages)}
+        source = decimation_pipeline_source(stages, rate=rate, base_hz=base_hz)
+
+        start = time.perf_counter()
+        result = compile_program(source, function_wcets=wcets)
+        consistency = result.check_consistency(assume_infinite_unsized=True)
+        total_capacity: Optional[int] = None
+        if size_buffers and consistency.consistent:
+            sizing = result.size_buffers()
+            total_capacity = sizing.total_capacity
+        cta_wall = time.perf_counter() - start
+
+        graph = multirate_chain(stages, rate=rate)
+        exact = exact_analysis(graph, run_statespace=run_statespace)
+
+        rows.append(
+            ComparisonRow(
+                stages=stages,
+                rate=rate,
+                cta_ports=len(result.model.all_ports()),
+                cta_connections=len(result.model.all_connections()),
+                cta_wall_seconds=cta_wall,
+                cta_consistent=consistency.consistent,
+                cta_total_capacity=total_capacity,
+                sdf_repetition_sum=exact.repetition_sum,
+                sdf_hsdf_actors=exact.hsdf_actors,
+                sdf_wall_seconds=exact.wall_seconds,
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: List[ComparisonRow]) -> str:
+    """Render the comparison rows as an aligned text table."""
+    header = (
+        f"{'stages':>6} {'rate':>4} {'CTA ports':>9} {'CTA conn':>8} {'CTA time[s]':>11} "
+        f"{'CTA caps':>8} {'q-sum':>6} {'HSDF actors':>11} {'SDF time[s]':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        caps = "-" if row.cta_total_capacity is None else str(row.cta_total_capacity)
+        lines.append(
+            f"{row.stages:>6} {row.rate:>4} {row.cta_ports:>9} {row.cta_connections:>8} "
+            f"{row.cta_wall_seconds:>11.4f} {caps:>8} {row.sdf_repetition_sum:>6} "
+            f"{row.sdf_hsdf_actors:>11} {row.sdf_wall_seconds:>11.4f}"
+        )
+    return "\n".join(lines)

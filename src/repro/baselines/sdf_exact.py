@@ -1,0 +1,136 @@
+"""Baseline: exact SDF analysis (exponential in the problem size).
+
+The related-work section of the paper points out that exact temporal analysis
+of SDF models (the StreamIt / state-space route) is decidable but has an
+exponential time complexity in the size of the *description*, because the
+analysis has to expand multi-rate graphs into their homogeneous equivalent or
+explore the token state space.  The CTA analysis of OIL programs avoids this
+by abstracting to periodic rates and stays polynomial.
+
+This module packages the exact analyses of :mod:`repro.dataflow` into a
+baseline with cost accounting (expansion sizes, state-space sizes and wall
+clock) so the scaling benchmark can put both approaches side by side on the
+same workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.dataflow.analysis import repetition_vector
+from repro.dataflow.hsdf import expansion_statistics, to_hsdf
+from repro.dataflow.mcr import sdf_throughput
+from repro.dataflow.sdf import SDFGraph
+from repro.dataflow.statespace import self_timed_statespace
+from repro.util.rational import Rat
+
+
+@dataclass
+class ExactAnalysisReport:
+    """Result and cost of the exact SDF analysis of one graph."""
+
+    graph_name: str
+    actors: int
+    edges: int
+    repetition_sum: int
+    hsdf_actors: int
+    hsdf_edges: int
+    iteration_period: Optional[Rat]
+    statespace_period: Optional[Rat]
+    statespace_events: int
+    wall_seconds: float
+
+
+def exact_analysis(graph: SDFGraph, *, run_statespace: bool = True) -> ExactAnalysisReport:
+    """Run the HSDF/MCR analysis (and optionally the self-timed state-space
+    exploration) on *graph* and report results plus cost metrics."""
+    start = time.perf_counter()
+    q = repetition_vector(graph)
+    stats = expansion_statistics(graph)
+    throughput = sdf_throughput(graph)
+    statespace_period: Optional[Rat] = None
+    events = 0
+    if run_statespace:
+        statespace = self_timed_statespace(graph)
+        statespace_period = statespace.iteration_period
+        events = statespace.events_processed
+    wall = time.perf_counter() - start
+    return ExactAnalysisReport(
+        graph_name=graph.name,
+        actors=len(graph.actors),
+        edges=len(graph.edges),
+        repetition_sum=q.total_firings(),
+        hsdf_actors=stats.hsdf_actors,
+        hsdf_edges=stats.hsdf_edges,
+        iteration_period=throughput.iteration_period,
+        statespace_period=statespace_period,
+        statespace_events=events,
+        wall_seconds=wall,
+    )
+
+
+def multirate_chain(stages: int, *, rate: int = 2, firing_duration: Rat = Fraction(1, 1000)) -> SDFGraph:
+    """A chain of *stages* actors in which every stage consumes ``rate``
+    tokens and produces one (a cascade of decimators) with bounded buffers.
+
+    The repetition vector grows as ``rate**stage``, so the HSDF expansion --
+    and with it the exact analysis -- grows exponentially in the number of
+    stages while the textual description grows only linearly.  This is the
+    workload of the scaling benchmark (E9).
+    """
+    if stages < 1:
+        raise ValueError("at least one stage is required")
+    graph = SDFGraph(f"chain{stages}x{rate}")
+    graph.add_actor("src", firing_duration=firing_duration)
+    previous = "src"
+    previous_production = 1
+    for stage in range(stages):
+        name = f"dec{stage}"
+        graph.add_actor(name, firing_duration=firing_duration)
+        capacity = 2 * rate
+        graph.add_edge(
+            f"c{stage}",
+            previous,
+            name,
+            production=previous_production,
+            consumption=rate,
+            initial_tokens=0,
+        )
+        graph.add_edge(
+            f"c{stage}.space",
+            name,
+            previous,
+            production=rate,
+            consumption=previous_production,
+            initial_tokens=capacity,
+        )
+        previous = name
+        previous_production = 1
+    return graph
+
+
+def multirate_cycle(actors: int, *, rate: int = 3, firing_duration: Rat = Fraction(1, 1000)) -> SDFGraph:
+    """A ring of *actors* in which consecutive actors exchange ``rate`` and 1
+    tokens, with enough initial tokens to be live -- a cyclic variant of the
+    scaling workload."""
+    if actors < 2:
+        raise ValueError("at least two actors are required")
+    graph = SDFGraph(f"ring{actors}x{rate}")
+    for index in range(actors):
+        graph.add_actor(f"a{index}", firing_duration=firing_duration)
+    for index in range(actors):
+        nxt = (index + 1) % actors
+        production = rate if index % 2 == 0 else 1
+        consumption = 1 if index % 2 == 0 else rate
+        graph.add_edge(
+            f"e{index}",
+            f"a{index}",
+            f"a{nxt}",
+            production=production,
+            consumption=consumption,
+            initial_tokens=2 * rate if nxt == 0 else 0,
+        )
+    return graph

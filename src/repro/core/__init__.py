@@ -1,0 +1,65 @@
+"""The paper's primary contribution: deriving a CTA model from an OIL program.
+
+* :mod:`repro.core.task_to_actor` -- task -> dataflow actor abstraction,
+* :mod:`repro.core.actor_to_cta` -- actor -> CTA component (Figs. 7 and 8),
+* :mod:`repro.core.loops` / :mod:`repro.core.streams` -- sequential modules,
+  while-loop components and stream access chains (Fig. 9),
+* :mod:`repro.core.modules` -- parallel modules, FIFOs, sources, sinks,
+  black boxes and latency constraints (Fig. 10),
+* :mod:`repro.core.compiler` -- the end-to-end pipeline,
+* :mod:`repro.core.report` -- textual reports.
+"""
+
+from repro.core.task_to_actor import ActorEdge, TaskActor, task_to_actor
+from repro.core.actor_to_cta import (
+    ConnectionSpec,
+    build_task_component,
+    component_connection_table,
+    multi_rate_table,
+)
+from repro.core.streams import AccessSite, StreamInterface
+from repro.core.loops import DerivedSequentialModule, derive_sequential_module
+from repro.core.modules import (
+    DerivationContext,
+    DerivedInstance,
+    build_black_box_component,
+    build_parallel_module,
+    build_sink_component,
+    build_source_component,
+    instantiate_module,
+)
+from repro.core.compiler import CompilationResult, OilCompiler, compile_program
+from repro.core.report import (
+    buffer_report,
+    compilation_report,
+    consistency_report,
+    latency_report,
+)
+
+__all__ = [
+    "ActorEdge",
+    "TaskActor",
+    "task_to_actor",
+    "ConnectionSpec",
+    "build_task_component",
+    "component_connection_table",
+    "multi_rate_table",
+    "AccessSite",
+    "StreamInterface",
+    "DerivedSequentialModule",
+    "derive_sequential_module",
+    "DerivationContext",
+    "DerivedInstance",
+    "build_black_box_component",
+    "build_parallel_module",
+    "build_sink_component",
+    "build_source_component",
+    "instantiate_module",
+    "CompilationResult",
+    "OilCompiler",
+    "compile_program",
+    "buffer_report",
+    "compilation_report",
+    "consistency_report",
+    "latency_report",
+]

@@ -1,0 +1,175 @@
+"""Dataflow actor -> CTA component construction (Sec. V-B.1, Figs. 7 and 8).
+
+A task's dataflow actor is turned into a CTA component as follows:
+
+* a port is added for every incoming and outgoing edge of the actor,
+* a zero-delay connection couples the input ports pairwise so that all inputs
+  start at the same time (token consumption of an actor is atomic; the purple
+  connections of Fig. 7c),
+* a connection is added from every input port to every output port carrying
+  the firing duration ``rho`` as constant delay (the orange connections of
+  Fig. 7c); for multi-rate actors the connection additionally carries the
+  rate-dependent delay ``phi = psi - psi/pi`` and the transfer-rate ratio
+  ``gamma = pi / psi`` where ``psi`` is the number of tokens consumed on the
+  input edge and ``pi`` the number produced on the output edge (the table of
+  Fig. 8c),
+* between two input ports the transfer-rate ratio is the ratio of their
+  consumption counts (``gamma = psi_out / psi_in``) with zero delay,
+* the maximum rate of every port is ``tokens_per_firing / rho`` (one firing
+  per response time), unbounded for zero response times.
+
+The free function :func:`multi_rate_table` regenerates exactly the
+``(epsilon, phi, gamma)`` table of Fig. 8c and is used by the corresponding
+benchmark and regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.task_to_actor import ActorEdge, TaskActor, task_to_actor
+from repro.cta.model import Component
+from repro.graph.taskgraph import Task
+from repro.util.rational import Rat
+
+
+def port_name(edge: ActorEdge) -> str:
+    """Canonical port name for an actor edge: ``<buffer>.take`` for incoming
+    edges (data of reads, space of writes), ``<buffer>.give`` for outgoing
+    edges (space of reads, data of writes)."""
+    suffix = "take" if edge.direction == "in" else "give"
+    return f"{edge.buffer}.{suffix}"
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """One row of the construction table: a connection of the task component."""
+
+    src: str
+    dst: str
+    epsilon: Rat
+    phi: Rat
+    gamma: Rat
+    purpose: str
+
+
+def component_connection_table(task_actor: TaskActor) -> List[ConnectionSpec]:
+    """The complete connection table of the CTA component of *task_actor*.
+
+    This is the generalisation of Fig. 8c to any number of accessed buffers.
+    """
+    rho = task_actor.actor.firing_duration
+    rows: List[ConnectionSpec] = []
+
+    inputs = list(task_actor.input_edges)
+    outputs = list(task_actor.output_edges)
+
+    # Atomic start: couple consecutive input ports in both directions with
+    # zero delay (forces equal start offsets along the chain, Fig. 7c purple /
+    # the (p0,p3),(p3,p0) rows of Fig. 8c).
+    for first, second in zip(inputs, inputs[1:]):
+        gamma = Fraction(second.tokens, first.tokens)
+        rows.append(
+            ConnectionSpec(
+                port_name(first), port_name(second), Fraction(0), Fraction(0), gamma, "atomic-start"
+            )
+        )
+        rows.append(
+            ConnectionSpec(
+                port_name(second), port_name(first), Fraction(0), Fraction(0), Fraction(1) / gamma, "atomic-start"
+            )
+        )
+
+    # Firing: every input port to every output port (Fig. 7c orange).
+    for inp in inputs:
+        psi = Fraction(inp.tokens)
+        for out in outputs:
+            pi = Fraction(out.tokens)
+            phi = psi - psi / pi
+            gamma = pi / psi
+            rows.append(
+                ConnectionSpec(port_name(inp), port_name(out), rho, phi, gamma, "firing")
+            )
+    return rows
+
+
+def build_task_component(
+    task: Task,
+    parent: Component,
+    *,
+    name: Optional[str] = None,
+) -> Component:
+    """Create the CTA component of *task* nested inside *parent* and return it."""
+    task_actor = task_to_actor(task)
+    component = parent.new_component(name or task.name, kind="task")
+    component.metadata["task"] = task.name
+    component.metadata["firing_duration"] = task.firing_duration
+    component.metadata["guarded"] = task.guard is not None
+
+    rho = task.firing_duration
+    for edge in task_actor.edges:
+        max_rate = None
+        if rho > 0:
+            max_rate = Fraction(edge.tokens) / rho
+        direction = "in" if edge.direction == "in" else "out"
+        pname = port_name(edge)
+        if pname not in component.ports:
+            component.add_port(pname, max_rate=max_rate, direction=direction)
+
+    for row in component_connection_table(task_actor):
+        component.connect(
+            component.port_ref(row.src),
+            component.port_ref(row.dst),
+            epsilon=row.epsilon,
+            phi=row.phi,
+            gamma=row.gamma,
+            purpose=row.purpose,
+            label=f"{task.name}:{row.src}->{row.dst}",
+        )
+    return component
+
+
+def multi_rate_table(
+    consumption: int,
+    production: int,
+    rho: Rat,
+    *,
+    input_buffer: str = "bx",
+    output_buffer: str = "by",
+) -> Dict[Tuple[str, str], Tuple[Rat, Rat, Rat]]:
+    """Regenerate the Fig. 8c table for an actor consuming *consumption*
+    tokens from one buffer and producing *production* tokens to another.
+
+    Returns a mapping from symbolic port pairs (using the paper's p0..p3
+    naming: p0 = data input, p1 = space release of the input buffer, p2 = data
+    output, p3 = space input of the output buffer) to ``(epsilon, phi,
+    gamma)``.
+    """
+    task = Task(
+        name="vg",
+        kind="call",
+        function="g",
+        reads=[],
+        writes=[],
+        firing_duration=rho,
+    )
+    # Construct the accesses directly (avoiding the AST layer).
+    from repro.graph.taskgraph import Access
+
+    task.reads = [Access(input_buffer, consumption)]
+    task.writes = [Access(output_buffer, production)]
+    actor = task_to_actor(task)
+
+    paper_names = {
+        f"{input_buffer}.take": "p0",
+        f"{input_buffer}.give": "p1",
+        f"{output_buffer}.give": "p2",
+        f"{output_buffer}.take": "p3",
+    }
+    table: Dict[Tuple[str, str], Tuple[Rat, Rat, Rat]] = {}
+    for row in component_connection_table(actor):
+        key = (paper_names[row.src], paper_names[row.dst])
+        table[key] = (row.epsilon, row.phi, row.gamma)
+    return table

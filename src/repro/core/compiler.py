@@ -1,0 +1,205 @@
+"""The OIL compiler front: from OIL source text to an analysable CTA model.
+
+This is the end-to-end pipeline of the paper:
+
+1. parse the OIL program (:mod:`repro.lang.parser`),
+2. validate the language rules (:mod:`repro.lang.semantics`),
+3. extract a task graph from every sequential module
+   (:mod:`repro.graph.extraction`) and assign worst-case response times to the
+   coordinated functions,
+4. derive the CTA model: task components (Figs. 7/8), while-loop and stream
+   constructions (Fig. 9), parallel modules, FIFOs, sources, sinks and latency
+   constraints (Fig. 10),
+5. analyse: consistency / maximal achievable rates, buffer sizing, latency
+   verification (Sec. V-A).
+
+The result object bundles every intermediate artefact so that examples, tests
+and benchmarks can inspect any stage of the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.modules import DerivationContext, DerivedInstance, build_parallel_module, instantiate_module
+from repro.cta.buffer_sizing import BufferSizingResult, size_buffers
+from repro.cta.consistency import ConsistencyResult, check_consistency
+from repro.cta.latency import LatencyCheck, LatencyConstraint, add_latency_constraint, verify_latency
+from repro.cta.model import BufferParameter, CTAModel, PortRef
+from repro.graph.extraction import extract_task_graph
+from repro.graph.taskgraph import TaskGraph
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.semantics import AnalyzedProgram, BlackBoxModule, analyze_program
+from repro.util.rational import Rat, RationalLike, as_rational
+
+
+@dataclass
+class CompilationResult:
+    """Everything the compiler produced for one OIL program."""
+
+    program: ast.Program
+    analysis: AnalyzedProgram
+    task_graphs: Dict[str, TaskGraph]
+    model: CTAModel
+    root: DerivedInstance
+    buffers: Dict[str, BufferParameter]
+    latency_constraints: List[LatencyConstraint]
+    source_ports: Dict[str, PortRef]
+    sink_ports: Dict[str, PortRef]
+    warnings: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------- analyses
+    def check_consistency(self, *, assume_infinite_unsized: bool = True) -> ConsistencyResult:
+        """Consistency / maximal achievable rates of the derived CTA model."""
+        return check_consistency(self.model, assume_infinite_unsized=assume_infinite_unsized)
+
+    def size_buffers(self, **kwargs) -> BufferSizingResult:
+        """Determine sufficient capacities for every buffer of the model."""
+        return size_buffers(self.model, **kwargs)
+
+    def verify_latency(self, result: Optional[ConsistencyResult] = None) -> List[LatencyCheck]:
+        """Check the program's latency constraints against computed offsets."""
+        if result is None:
+            result = self.check_consistency(assume_infinite_unsized=False)
+        return verify_latency(result, self.latency_constraints)
+
+    def buffer_capacities(self) -> Dict[str, Optional[int]]:
+        """The currently assigned capacity of every buffer parameter."""
+        return {name: parameter.value for name, parameter in sorted(self.buffers.items())}
+
+    def report(self) -> str:
+        """A human-readable compilation / analysis report."""
+        from repro.core.report import compilation_report
+
+        return compilation_report(self)
+
+
+class OilCompiler:
+    """Compiles OIL programs into CTA models.
+
+    Parameters
+    ----------
+    function_wcets:
+        Worst-case response times (seconds) per coordinated C/C++ function
+        name.  The special key ``"__assignment__"`` provides the response time
+        of assignment statements; ``default_wcet`` is used for unknown
+        functions.
+    black_boxes:
+        Declarations of externally implemented modules (interface ports,
+        firing duration, maximum rate).
+    """
+
+    def __init__(
+        self,
+        *,
+        function_wcets: Optional[Mapping[str, RationalLike]] = None,
+        black_boxes: Sequence[BlackBoxModule] = (),
+        default_wcet: RationalLike = 0,
+        default_black_box_duration: RationalLike = 0,
+    ) -> None:
+        self.function_wcets: Dict[str, Rat] = {
+            name: as_rational(value) for name, value in (function_wcets or {}).items()
+        }
+        self.black_boxes: Dict[str, BlackBoxModule] = {box.name: box for box in black_boxes}
+        self.default_wcet = as_rational(default_wcet)
+        self.default_black_box_duration = as_rational(default_black_box_duration)
+
+    # ------------------------------------------------------------------ steps
+    def parse(self, source: Union[str, ast.Program]) -> ast.Program:
+        if isinstance(source, ast.Program):
+            return source
+        return parse_program(source)
+
+    def analyze(self, program: ast.Program) -> AnalyzedProgram:
+        return analyze_program(program, list(self.black_boxes.values()), strict=True)
+
+    def extract(self, program: ast.Program) -> Dict[str, TaskGraph]:
+        graphs: Dict[str, TaskGraph] = {}
+        for module in program.sequential_modules():
+            graph = extract_task_graph(module)
+            graph.set_firing_durations(self.function_wcets, default=self.default_wcet)
+            graphs[module.name] = graph
+        return graphs
+
+    # ------------------------------------------------------------------ main
+    def compile(
+        self,
+        source: Union[str, ast.Program],
+        *,
+        top: Optional[str] = None,
+        model_name: str = "model",
+    ) -> CompilationResult:
+        """Run the full pipeline and return the :class:`CompilationResult`.
+
+        ``top`` selects the module to instantiate as the application's root;
+        by default the program's anonymous/unreferenced top-level parallel
+        module is used, or the unique sequential module for single-module
+        programs.
+        """
+        program = self.parse(source)
+        analysis = self.analyze(program)
+        task_graphs = self.extract(program)
+
+        model = CTAModel(model_name)
+        context = DerivationContext(
+            program,
+            task_graphs=task_graphs,
+            black_boxes=self.black_boxes,
+            default_black_box_duration=self.default_black_box_duration,
+        )
+
+        root_module = self._select_top(program, top)
+        if isinstance(root_module, ast.ParallelModule):
+            root = build_parallel_module(context, model, root_module, instance_name=root_module.name)
+        else:
+            root = instantiate_module(context, model, root_module.name)
+
+        # Encode the latency constraints collected during derivation.
+        for constraint in context.latency_constraints:
+            add_latency_constraint(model, constraint)
+
+        return CompilationResult(
+            program=program,
+            analysis=analysis,
+            task_graphs=task_graphs,
+            model=model,
+            root=root,
+            buffers=dict(context.buffers),
+            latency_constraints=list(context.latency_constraints),
+            source_ports=dict(context.source_ports),
+            sink_ports=dict(context.sink_ports),
+            warnings=list(context.warnings),
+        )
+
+    def _select_top(self, program: ast.Program, top: Optional[str]) -> ast.Module:
+        if top is not None:
+            return program.module(top)
+        if program.main is not None:
+            return program.main
+        modules = program.modules
+        if len(modules) == 1:
+            return modules[0]
+        raise ValueError(
+            "cannot determine the top-level module: pass top=<module name> "
+            f"(candidates: {[m.name for m in modules]})"
+        )
+
+
+def compile_program(
+    source: Union[str, ast.Program],
+    *,
+    function_wcets: Optional[Mapping[str, RationalLike]] = None,
+    black_boxes: Sequence[BlackBoxModule] = (),
+    default_wcet: RationalLike = 0,
+    top: Optional[str] = None,
+) -> CompilationResult:
+    """Convenience one-call front for :class:`OilCompiler`."""
+    compiler = OilCompiler(
+        function_wcets=function_wcets,
+        black_boxes=black_boxes,
+        default_wcet=default_wcet,
+    )
+    return compiler.compile(source, top=top)

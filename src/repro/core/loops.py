@@ -1,0 +1,203 @@
+"""CTA derivation for sequential OIL modules (Sec. V-B, Fig. 9).
+
+A sequential module is turned into a CTA component as follows:
+
+* the module itself becomes a component with an input/output port pair per
+  stream parameter,
+* every top-level while-loop becomes a sub-component (tasks of nested loops
+  are conservatively assigned to their outermost loop -- the paper's examples
+  only use non-nested loops; a warning is recorded in the component metadata
+  when flattening happens),
+* every task (function call / assignment statement) becomes a sub-component
+  of its loop, built with the Fig. 7/8 construction
+  (:mod:`repro.core.actor_to_cta`),
+* every module-local variable becomes a pair of connections (data and space)
+  between its producer and consumer task components, carrying a
+  :class:`~repro.cta.model.BufferParameter` for the capacity and the
+  initially available values as a negative data delay,
+* every stream parameter gets the access-chain construction of
+  :mod:`repro.core.streams` with per-access distribution buffers.
+
+Initialization statements (outside every loop, e.g. the ``init`` call writing
+the four initial values of Fig. 2c) do not become components: they execute
+once before steady state and only contribute initial tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.actor_to_cta import build_task_component
+from repro.core.streams import AccessSite, StreamInterface, build_loop_chain, build_module_chain
+from repro.cta.model import BufferParameter, Component, PortRef
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.util.rational import Rat
+
+
+@dataclass
+class DerivedSequentialModule:
+    """The result of deriving one sequential module."""
+
+    component: Component
+    interfaces: Dict[str, StreamInterface]
+    #: all buffer parameters created for this module (variables and per-access
+    #: distribution buffers), keyed by their hierarchical name
+    buffers: Dict[str, BufferParameter] = field(default_factory=dict)
+    task_components: Dict[str, Component] = field(default_factory=dict)
+    loop_components: Dict[str, Component] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+
+def _top_level_loop_of(task: Task) -> Optional[str]:
+    """The outermost enclosing loop identifier of a task (None for init tasks)."""
+    if task.loop is None:
+        return None
+    return task.loop.split(".")[0]
+
+
+def derive_sequential_module(
+    graph: TaskGraph,
+    parent: Component,
+    *,
+    instance_name: Optional[str] = None,
+) -> DerivedSequentialModule:
+    """Derive the CTA component of the sequential module described by *graph*
+    and nest it inside *parent*.
+
+    Task firing durations must already be assigned on the task graph
+    (:meth:`repro.graph.taskgraph.TaskGraph.set_firing_durations`).
+    """
+    name = instance_name or graph.module_name
+    component = parent.new_component(name, kind="module")
+    component.metadata["module"] = graph.module_name
+    result = DerivedSequentialModule(component=component, interfaces={})
+
+    # ------------------------------------------------------------------ loops
+    top_loops = graph.top_level_loops()
+    loop_components: Dict[str, Component] = {}
+    for loop in top_loops:
+        loop_component = component.new_component(loop.identifier, kind="while-loop")
+        loop_component.metadata["condition_infinite"] = loop.is_infinite
+        loop_components[loop.identifier] = loop_component
+    result.loop_components = loop_components
+
+    if any(l.parent is not None for l in graph.loops.values()):
+        result.warnings.append(
+            f"module {graph.module_name!r} contains nested while-loops; their tasks are "
+            "conservatively assigned to the outermost loop for the temporal model"
+        )
+        component.metadata["nested_loops_flattened"] = True
+
+    # ------------------------------------------------------------------ tasks
+    for task in sorted(graph.tasks.values(), key=lambda t: t.order):
+        top_loop = _top_level_loop_of(task)
+        if top_loop is None:
+            # Initialization statement: only its initial tokens matter.
+            continue
+        owner = loop_components[top_loop]
+        result.task_components[task.name] = build_task_component(task, owner)
+
+    # -------------------------------------------------------- variable buffers
+    for buffer in graph.buffers.values():
+        if buffer.kind != "variable":
+            continue
+        producer_tasks = [
+            (graph.tasks[name], count)
+            for name, count in buffer.producers
+            if name in result.task_components
+        ]
+        consumer_tasks = [
+            (graph.tasks[name], count)
+            for name, count in buffer.consumers
+            if name in result.task_components
+        ]
+        if not producer_tasks or not consumer_tasks:
+            continue
+        minimum = max(
+            [count for _, count in producer_tasks]
+            + [count for _, count in consumer_tasks]
+            + [buffer.initial_tokens, 1]
+        )
+        parameter = BufferParameter(f"{name}/{buffer.name}", minimum=minimum)
+        result.buffers[parameter.name] = parameter
+        for producer, _ in producer_tasks:
+            producer_component = result.task_components[producer.name]
+            for consumer, _ in consumer_tasks:
+                consumer_component = result.task_components[consumer.name]
+                component.connect(
+                    producer_component.port_ref(f"{buffer.name}.give"),
+                    consumer_component.port_ref(f"{buffer.name}.take"),
+                    phi=-buffer.initial_tokens,
+                    purpose="buffer-data",
+                    label=f"{buffer.name}:data",
+                )
+                component.connect(
+                    consumer_component.port_ref(f"{buffer.name}.give"),
+                    producer_component.port_ref(f"{buffer.name}.take"),
+                    phi=buffer.initial_tokens,
+                    buffer=parameter,
+                    purpose="buffer",
+                    label=f"{buffer.name}:space",
+                )
+
+    # ----------------------------------------------------------------- streams
+    for stream_name, endpoint in graph.streams.items():
+        chained: List[Tuple[Component, int]] = []
+        for loop in top_loops:
+            loop_component = loop_components[loop.identifier]
+            buffer_spec = graph.buffers[stream_name]
+            accesses = buffer_spec.producers if endpoint.is_output else buffer_spec.consumers
+            loop_accesses: List[Tuple[Task, int]] = []
+            for task_name, count in accesses:
+                task = graph.tasks[task_name]
+                if _top_level_loop_of(task) != loop.identifier:
+                    continue
+                if task_name not in result.task_components:
+                    continue
+                loop_accesses.append((task, count))
+            loop_accesses.sort(key=lambda item: item[0].order)
+
+            sites: List[AccessSite] = []
+            if loop_accesses:
+                # All statements accessing the stream in this loop form one
+                # access site: only the last written value becomes visible to
+                # other modules and repeated reads observe the same values
+                # (Sec. IV-A), so one access worth of values is transferred
+                # per loop iteration.
+                if endpoint.is_output:
+                    transferred = loop_accesses[-1][1]
+                else:
+                    transferred = max(count for _, count in loop_accesses)
+                sites.append(
+                    AccessSite(
+                        task_components=[
+                            result.task_components[task.name] for task, _ in loop_accesses
+                        ],
+                        count=transferred,
+                        is_output=endpoint.is_output,
+                    )
+                )
+
+            def factory(suffix: str, count: int, _loop=loop):
+                parameter = BufferParameter(
+                    f"{name}/{_loop.identifier}/{suffix}", minimum=max(count, 1)
+                )
+                result.buffers[parameter.name] = parameter
+                return parameter
+
+            forward = build_loop_chain(loop_component, stream_name, sites, factory)
+            chained.append((loop_component, forward))
+
+        entry, exit_ = build_module_chain(component, stream_name, chained)
+        result.interfaces[stream_name] = StreamInterface(
+            name=stream_name,
+            is_output=endpoint.is_output,
+            entry=entry,
+            exit=exit_,
+            initial_tokens=endpoint.initial_values if endpoint.is_output else 0,
+            transfer_count=max(endpoint.per_loop_counts.values(), default=1),
+        )
+
+    return result

@@ -1,0 +1,84 @@
+"""Human-readable reports of compilation and analysis results.
+
+The reports are what a user of the compiler would look at after running the
+pipeline: which modules and tasks were derived, what rates the streams
+achieve, which buffer capacities were computed and whether the latency
+constraints hold.  The benchmark harness prints these reports so the
+reproduced "figures" of the paper can be inspected as text.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.cta.consistency import ConsistencyResult
+from repro.util.rational import rational_str
+from repro.util.units import Frequency, TimeValue
+
+
+def _format_rate(value: Optional[Fraction]) -> str:
+    if value is None:
+        return "unbounded"
+    return str(Frequency(value))
+
+
+def compilation_report(result) -> str:
+    """Render a full report for a :class:`repro.core.compiler.CompilationResult`."""
+    lines: List[str] = []
+    lines.append(f"OIL program: {len(result.program.modules)} modules "
+                 f"({len(result.program.sequential_modules())} sequential, "
+                 f"{len(result.program.parallel_modules())} parallel)")
+    for name, graph in sorted(result.task_graphs.items()):
+        lines.append(
+            f"  module {name}: {len(graph.tasks)} tasks, {len(graph.buffers)} buffers, "
+            f"{len(graph.loops)} loops"
+        )
+    lines.append(f"CTA model: {len(result.model.all_ports())} ports, "
+                 f"{len(result.model.all_connections())} connections, "
+                 f"{len(result.buffers)} sized buffers")
+    for warning in result.warnings:
+        lines.append(f"  warning: {warning}")
+
+    consistency = result.check_consistency(assume_infinite_unsized=True)
+    lines.append(consistency_report(consistency, result))
+    return "\n".join(lines)
+
+
+def consistency_report(consistency: ConsistencyResult, result=None) -> str:
+    """Render the consistency analysis, highlighting source/sink rates."""
+    lines = [f"consistency (unbounded buffers): {consistency.consistent}"]
+    if result is not None:
+        for name, port in sorted(result.source_ports.items()):
+            rate = consistency.port_rates.get(port)
+            lines.append(f"  source {name}: {_format_rate(rate)}")
+        for name, port in sorted(result.sink_ports.items()):
+            rate = consistency.port_rates.get(port)
+            lines.append(f"  sink {name}: {_format_rate(rate)}")
+    for violation in consistency.violations:
+        lines.append(f"  {violation}")
+    return "\n".join(lines)
+
+
+def buffer_report(capacities: Dict[str, Optional[int]]) -> str:
+    """Render buffer capacities as an aligned table."""
+    if not capacities:
+        return "no buffers"
+    width = max(len(name) for name in capacities)
+    lines = ["buffer capacities (tokens):"]
+    for name, value in sorted(capacities.items()):
+        rendered = "unsized" if value is None else str(value)
+        lines.append(f"  {name.ljust(width)}  {rendered}")
+    lines.append(f"  total: {sum(v for v in capacities.values() if v is not None)}")
+    return "\n".join(lines)
+
+
+def latency_report(checks) -> str:
+    """Render latency verification results."""
+    if not checks:
+        return "no latency constraints"
+    lines = ["latency constraints:"]
+    for check in checks:
+        status = "OK " if check.satisfied else "FAIL"
+        lines.append(f"  [{status}] {check.message}")
+    return "\n".join(lines)

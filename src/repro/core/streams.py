@@ -1,0 +1,234 @@
+"""Stream-access chains of the CTA derivation (Sec. V-B.3, Fig. 9).
+
+Each stream a sequential module receives or produces must be accessed
+strictly periodically with the stream's rate.  Because the statements
+accessing a stream may sit in different while-loops (which execute an unknown
+number of iterations), the derivation adds:
+
+* an *input* and an *output* port for the stream on every component
+  representing a while-loop or a module -- the input port receives the rate
+  constraint from the enclosing level and the output port passes it on,
+* one *stream access component* per access inside a loop (the ``w0x``/``w1x``
+  components of Fig. 9b), chained in the order defined by the sequential
+  program with a rate-dependent delay of one period (``1/r``) from each
+  access to the next component,
+* a back edge from each output port to the corresponding input port whose
+  delay is the negated sum of the forward delays inside, which turns the
+  minimum-delay chain into a strict periodicity constraint,
+* loops that do not access the stream are traversed with a one-period
+  transition delay (the worst case assumed by the abstraction of Sec. III-B:
+  a mode transition occurs after every execution of all statements of a
+  loop).
+
+The helpers in this module operate on a single stream of a single sequential
+module; :mod:`repro.core.loops` drives them for all streams and loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.cta.model import BufferParameter, Component, PortRef
+
+
+@dataclass
+class StreamInterface:
+    """The pair of module-level ports representing one stream parameter."""
+
+    name: str
+    is_output: bool
+    entry: PortRef  # receives data / the rate constraint from the parent level
+    exit: PortRef   # returns space / the rate constraint to the parent level
+    #: values the module makes available before its steady-state loops start
+    #: (written by initialisation statements); they become initial tokens of
+    #: the FIFO this stream is bound to
+    initial_tokens: int = 0
+    #: largest number of values transferred in one access at this boundary
+    #: (a lower bound on any FIFO capacity this stream is bound to)
+    transfer_count: int = 1
+
+
+@dataclass
+class AccessSite:
+    """The access of a stream inside one loop.
+
+    ``task_components`` are all task components of the loop that touch the
+    stream.  Several guarded statements writing the same output stream (the
+    Fig. 4 pattern) -- or several statements reading the same input stream --
+    still transfer only ``count`` values per loop iteration: only the last
+    written value becomes visible, and repeated reads observe the same values
+    (Sec. IV-A).  The single access component therefore connects to *all*
+    these task components but contributes one access worth of values to the
+    periodic chain.
+    """
+
+    task_components: List[Component]
+    count: int
+    is_output: bool
+
+
+def ensure_stream_ports(component: Component, stream: str) -> Tuple[PortRef, PortRef]:
+    """Add (idempotently) the ``<stream>.in`` / ``<stream>.out`` port pair."""
+    in_name = f"{stream}.in"
+    out_name = f"{stream}.out"
+    if in_name not in component.ports:
+        component.add_port(in_name, direction="in")
+    if out_name not in component.ports:
+        component.add_port(out_name, direction="out")
+    return component.port_ref(in_name), component.port_ref(out_name)
+
+
+def build_loop_chain(
+    loop_component: Component,
+    stream: str,
+    sites: List[AccessSite],
+    buffer_factory,
+) -> int:
+    """Wire the access chain of *stream* inside one loop component.
+
+    Returns the number of one-period forward delays introduced (the amount the
+    enclosing level must account for in its own back edge).  ``buffer_factory``
+    is called with a suggested name and returns a fresh
+    :class:`~repro.cta.model.BufferParameter` for the per-access distribution
+    buffer.
+    """
+    loop_in, loop_out = ensure_stream_ports(loop_component, stream)
+
+    if not sites:
+        # No access in this loop: traverse it with a one-period transition
+        # delay and enforce periodicity with the matching back edge.
+        loop_component.connect(
+            loop_in, loop_out, phi=1, purpose="periodicity", label=f"{stream}:transition"
+        )
+        loop_component.connect(
+            loop_out, loop_in, phi=-1, purpose="periodicity", label=f"{stream}:period"
+        )
+        return 1
+
+    previous_out: PortRef = loop_in
+    forward_delays = 0
+    for index, site in enumerate(sites):
+        access = loop_component.new_component(f"{stream}.access{index}", kind="stream-access")
+        access.metadata["stream"] = stream
+        access.metadata["count"] = site.count
+        access_in = access.add_port("in", direction="in")
+        access_out = access.add_port("out", direction="out")
+        access_in_ref = access.port_ref("in")
+        access_out_ref = access.port_ref("out")
+
+        # Chain: previous component -> this access (one period after the first
+        # access, zero delay from the loop input port).
+        phi_in = 0 if index == 0 else 1
+        if phi_in:
+            forward_delays += 1
+        loop_component.connect(
+            previous_out,
+            access_in_ref,
+            phi=phi_in,
+            purpose="periodicity",
+            label=f"{stream}:chain{index}",
+        )
+        # Through the access component itself.
+        access.connect(access_in_ref, access_out_ref, purpose="periodicity", label=f"{stream}:through{index}")
+
+        # Distribution / combination buffer between the access component and
+        # the accessing task(s) (b_x^i of Fig. 9).
+        buffer = buffer_factory(f"{stream}.access{index}", site.count)
+        for task_index, task in enumerate(site.task_components):
+            take_port = task.port_ref(f"{stream}.take")
+            give_port = task.port_ref(f"{stream}.give")
+            if site.is_output:
+                # Space flows from the access component to the task (bounded
+                # by the buffer capacity); data flows from the task to the
+                # access component, which forwards only the last written
+                # values.
+                loop_component.connect(
+                    access_in_ref,
+                    take_port,
+                    buffer=buffer,
+                    purpose="buffer",
+                    label=f"{stream}:space{index}.{task_index}",
+                )
+                loop_component.connect(
+                    give_port,
+                    access_out_ref,
+                    purpose="buffer-data",
+                    label=f"{stream}:data{index}.{task_index}",
+                )
+            else:
+                # Data flows from the access component to the task; space is
+                # released back to the access component (bounded by the
+                # capacity).
+                loop_component.connect(
+                    access_in_ref,
+                    take_port,
+                    purpose="buffer-data",
+                    label=f"{stream}:data{index}.{task_index}",
+                )
+                loop_component.connect(
+                    give_port,
+                    access_in_ref,
+                    buffer=buffer,
+                    purpose="buffer",
+                    label=f"{stream}:space{index}.{task_index}",
+                )
+        previous_out = access_out_ref
+
+    # Last access to the loop output port: one period.
+    loop_component.connect(
+        previous_out, loop_out, phi=1, purpose="periodicity", label=f"{stream}:chain-out"
+    )
+    forward_delays += 1
+
+    # Strict periodicity of the whole loop: back edge with the negated sum.
+    loop_component.connect(
+        loop_out,
+        loop_in,
+        phi=-forward_delays,
+        purpose="periodicity",
+        label=f"{stream}:period",
+    )
+    return forward_delays
+
+
+def build_module_chain(
+    module_component: Component,
+    stream: str,
+    loop_components: List[Tuple[Component, int]],
+) -> Tuple[PortRef, PortRef]:
+    """Chain the loop components of a module for *stream* (Fig. 9b, ``wA``).
+
+    ``loop_components`` is the ordered list of (loop component, forward delays
+    inside the loop).  Returns the module-level (entry, exit) ports.
+    """
+    module_in, module_out = ensure_stream_ports(module_component, stream)
+
+    if not loop_components:
+        module_component.connect(
+            module_in, module_out, purpose="periodicity", label=f"{stream}:through"
+        )
+        return module_in, module_out
+
+    previous_out = module_in
+    total_forward = 0
+    for loop_component, forward in loop_components:
+        loop_in = loop_component.port_ref(f"{stream}.in")
+        loop_out = loop_component.port_ref(f"{stream}.out")
+        module_component.connect(
+            previous_out, loop_in, purpose="periodicity", label=f"{stream}:enter-{loop_component.name}"
+        )
+        previous_out = loop_out
+        total_forward += forward
+    module_component.connect(
+        previous_out, module_out, purpose="periodicity", label=f"{stream}:exit"
+    )
+    module_component.connect(
+        module_out,
+        module_in,
+        phi=-total_forward,
+        purpose="periodicity",
+        label=f"{stream}:period",
+    )
+    return module_in, module_out

@@ -1,0 +1,73 @@
+"""Task -> dataflow actor abstraction (Sec. V-B.1, first step).
+
+Before a task is modelled as a CTA component, an intermediate abstraction is
+made in the form of an SDF actor (Fig. 7a/7b): the actor's firing duration is
+the response time of the task, and for every buffer the task accesses two
+oppositely directed edges connect the actor to the buffer (one transferring
+data, one returning space).
+
+This module performs that step explicitly.  It is small, but keeping it
+separate mirrors the paper's construction pipeline and gives the tests a
+place to check the intermediate artefact; the CTA component construction in
+:mod:`repro.core.actor_to_cta` consumes its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dataflow.sdf import Actor
+from repro.graph.taskgraph import Task
+
+
+@dataclass(frozen=True)
+class ActorEdge:
+    """One dataflow edge incident to the actor of a task.
+
+    ``direction`` is ``"in"`` for edges the actor consumes from (data of read
+    buffers, space of written buffers) and ``"out"`` for edges it produces to
+    (space released for read buffers, data of written buffers).  ``tokens`` is
+    the number of tokens transferred per firing and ``role`` distinguishes the
+    data from the space side of the buffer.
+    """
+
+    buffer: str
+    direction: str  # "in" | "out"
+    role: str  # "data" | "space"
+    tokens: int
+
+
+@dataclass(frozen=True)
+class TaskActor:
+    """The dataflow-actor abstraction of a task."""
+
+    actor: Actor
+    edges: Tuple[ActorEdge, ...]
+
+    @property
+    def input_edges(self) -> Tuple[ActorEdge, ...]:
+        return tuple(e for e in self.edges if e.direction == "in")
+
+    @property
+    def output_edges(self) -> Tuple[ActorEdge, ...]:
+        return tuple(e for e in self.edges if e.direction == "out")
+
+
+def task_to_actor(task: Task) -> TaskActor:
+    """Build the dataflow-actor abstraction of *task* (Fig. 7b / 8a).
+
+    Every read access contributes an incoming *data* edge and an outgoing
+    *space* edge; every write access contributes an incoming *space* edge and
+    an outgoing *data* edge.  Token counts equal the access counts of the
+    task (the colon notation of the OIL source).
+    """
+    edges: List[ActorEdge] = []
+    for access in task.reads:
+        edges.append(ActorEdge(access.buffer, "in", "data", access.count))
+        edges.append(ActorEdge(access.buffer, "out", "space", access.count))
+    for access in task.writes:
+        edges.append(ActorEdge(access.buffer, "in", "space", access.count))
+        edges.append(ActorEdge(access.buffer, "out", "data", access.count))
+    actor = Actor(task.name, task.firing_duration, {"kind": task.kind, "function": task.function})
+    return TaskActor(actor=actor, edges=tuple(edges))

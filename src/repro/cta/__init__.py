@@ -1,0 +1,72 @@
+"""Compositional Temporal Analysis (CTA) model and analysis algorithms.
+
+This package implements the temporal analysis substrate the paper builds on
+(Hausmans et al., EMSOFT 2012; Sec. V of the reproduced paper):
+
+* :mod:`repro.cta.model` -- components, ports, connections, buffer parameters,
+* :mod:`repro.cta.rates` -- transfer-rate propagation and rate consistency,
+* :mod:`repro.cta.consistency` -- the polynomial consistency algorithm, which
+  also returns the maximal achievable transfer rates and feasible start
+  offsets,
+* :mod:`repro.cta.buffer_sizing` -- sufficient buffer capacities for required
+  throughput / latency,
+* :mod:`repro.cta.latency` -- latency constraints between sources and sinks,
+* :mod:`repro.cta.composition` -- composition, hiding and flattening,
+* :mod:`repro.cta.dot` -- Graphviz export for figure-style inspection.
+"""
+
+from repro.cta.model import (
+    BufferParameter,
+    Component,
+    Connection,
+    CTAModel,
+    Port,
+    PortRef,
+)
+from repro.cta.rates import RateComponent, RateStructure, compute_rate_structure
+from repro.cta.consistency import (
+    ConsistencyResult,
+    Violation,
+    check_consistency,
+    maximal_rates,
+    verify_throughput,
+)
+from repro.cta.buffer_sizing import BufferSizingError, BufferSizingResult, size_buffers
+from repro.cta.latency import (
+    LatencyCheck,
+    LatencyConstraint,
+    add_latency_constraint,
+    end_to_end_latency,
+    verify_latency,
+)
+from repro.cta.composition import compose, flatten, hide
+from repro.cta.dot import to_dot
+
+__all__ = [
+    "BufferParameter",
+    "Component",
+    "Connection",
+    "CTAModel",
+    "Port",
+    "PortRef",
+    "RateComponent",
+    "RateStructure",
+    "compute_rate_structure",
+    "ConsistencyResult",
+    "Violation",
+    "check_consistency",
+    "maximal_rates",
+    "verify_throughput",
+    "BufferSizingError",
+    "BufferSizingResult",
+    "size_buffers",
+    "LatencyCheck",
+    "LatencyConstraint",
+    "add_latency_constraint",
+    "end_to_end_latency",
+    "verify_latency",
+    "compose",
+    "flatten",
+    "hide",
+    "to_dot",
+]

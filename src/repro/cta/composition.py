@@ -1,0 +1,194 @@
+"""Composition and hiding of CTA components.
+
+Two properties make the CTA model attractive for incremental design
+(Sec. I and V-A): composition of components (and connections) is again a
+component, and composition is *associative* -- analysing a library module in
+isolation and then composing it with the rest of an application gives the
+same constraints as analysing everything at once.  *Hiding* removes internal
+ports from a component's interface while preserving the temporal constraints
+between the remaining ports, which is how black-box library components with
+rate/latency interfaces are produced (Fig. 12 hides the loop- and
+stream-access components of the PAL decoder).
+
+``compose`` builds a new parent component from existing ones;
+``hide`` produces an interface-level abstraction of a component: a new flat
+component with only the selected ports, connected by constraint edges whose
+(epsilon, phi) pairs are the strongest path constraints between those ports.
+Hiding is *conservative*: the hidden component admits exactly the start-time
+and rate combinations of the original restricted to the exposed ports as long
+as path delays are rate-monotone, which holds for OIL-derived models (all
+epsilon on internal paths non-negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cta.model import Component, Connection, CTAModel, PortRef
+from repro.cta.rates import compute_rate_structure
+from repro.util.rational import Rat
+
+
+def compose(name: str, components: Sequence[Component], *, kind: str = "composition") -> Component:
+    """Create a new component named *name* containing *components* as children.
+
+    The children must not already have a parent.  Connections between the
+    children can afterwards be added on the returned parent with
+    :meth:`~repro.cta.model.Component.connect`.
+    """
+    parent = Component(name, kind=kind)
+    for child in components:
+        parent.add_component(child)
+    return parent
+
+
+@dataclass(frozen=True)
+class _PathConstraint:
+    """Aggregated (epsilon, phi-coefficient) constraint between two ports."""
+
+    epsilon: Rat
+    coefficient: Rat  # rate-dependent part expressed w.r.t. the source port's rate
+
+
+def hide(
+    component: Component,
+    exposed: Iterable[PortRef],
+    *,
+    name: Optional[str] = None,
+) -> Component:
+    """Produce a flat component exposing only *exposed* ports of *component*.
+
+    For every ordered pair of exposed ports the strongest (largest-delay) path
+    constraint through the component is computed with a longest-path run per
+    source port, treating the rate-dependent delay coefficient symbolically
+    (it is accumulated relative to the source port's rate using the known
+    relative rates of the traversed ports).  The resulting component has one
+    connection per pair that is actually constrained.
+
+    The maximum rates and fixed rates of the exposed ports are copied so that
+    the hidden component still advertises its interface rates -- this is how
+    black-box components with "interfaces that define maximum rates and
+    delays" (Sec. I) are produced.
+    """
+    exposed = list(exposed)
+    all_ports = component.all_ports()
+    for port_ref in exposed:
+        if port_ref not in all_ports:
+            raise ValueError(f"cannot hide: {port_ref} is not a port of {component.name!r}")
+
+    structure = compute_rate_structure(component)
+    hidden = Component(name or f"{component.name}_iface", kind="black-box")
+
+    # Create interface ports, preserving rate attributes.
+    local_name: Dict[PortRef, str] = {}
+    for port_ref in exposed:
+        port = all_ports[port_ref]
+        base = port_ref.port
+        candidate = base
+        suffix = 1
+        while candidate in hidden.ports:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        hidden.add_port(
+            candidate,
+            max_rate=port.max_rate,
+            fixed_rate=port.fixed_rate,
+            direction=port.direction,
+        )
+        local_name[port_ref] = candidate
+
+    # Longest (epsilon, coefficient) paths from each exposed port.  Delays are
+    # compared at the component's nominal operating point: the fixed scale if
+    # any, otherwise coefficient-dominant ordering at scale 1.
+    connections = component.all_connections()
+    adjacency: Dict[PortRef, List[Connection]] = {}
+    for connection in connections:
+        adjacency.setdefault(connection.src, []).append(connection)
+
+    def reference_scale(port_ref: PortRef) -> Rat:
+        comp = structure.component_of(port_ref)
+        if comp.fixed_scale is not None:
+            return comp.fixed_scale
+        if comp.scale_cap is not None:
+            return comp.scale_cap
+        return Fraction(1)
+
+    for src_ref in exposed:
+        scale = reference_scale(src_ref)
+        theta = Fraction(1) / scale
+        # Bellman-Ford longest paths from src_ref, tracking (eps, coeff) pairs
+        # ordered by their value at theta.
+        best: Dict[PortRef, Tuple[Rat, Rat]] = {src_ref: (Fraction(0), Fraction(0))}
+        ports = list(all_ports)
+        for _ in range(len(ports)):
+            changed = False
+            for connection in connections:
+                if connection.src not in best:
+                    continue
+                eps0, coeff0 = best[connection.src]
+                rho_src = structure.relative_rate(connection.src)
+                coeff = connection.effective_phi() / rho_src if connection.buffer is None or connection.buffer.value is not None else None
+                if coeff is None:
+                    continue
+                eps1 = eps0 + connection.epsilon
+                coeff1 = coeff0 + coeff
+                value1 = eps1 + coeff1 * theta
+                current = best.get(connection.dst)
+                if current is None or value1 > current[0] + current[1] * theta:
+                    best[connection.dst] = (eps1, coeff1)
+                    changed = True
+            if not changed:
+                break
+        for dst_ref in exposed:
+            if dst_ref == src_ref or dst_ref not in best:
+                continue
+            eps, coeff = best[dst_ref]
+            if eps == 0 and coeff == 0:
+                continue
+            rho_src = structure.relative_rate(src_ref)
+            rho_dst = structure.relative_rate(dst_ref)
+            hidden.connect(
+                hidden.port_ref(local_name[src_ref]),
+                hidden.port_ref(local_name[dst_ref]),
+                epsilon=eps,
+                phi=coeff * rho_src,  # re-express w.r.t. the source port's own rate
+                gamma=rho_dst / rho_src,
+                purpose="hidden",
+                label=f"hide[{src_ref}->{dst_ref}]",
+            )
+    return hidden
+
+
+def flatten(model: Component, name: Optional[str] = None) -> CTAModel:
+    """Create a flat (single-level) copy of *model*.
+
+    Every port of every descendant becomes a port of the new root named by its
+    joined path; connections are rewritten accordingly.  Useful for exporting
+    and for tests that compare hierarchical and flat analyses.
+    """
+    flat = CTAModel(name or f"{model.name}_flat")
+    mapping: Dict[PortRef, PortRef] = {}
+    for port_ref, port in model.all_ports().items():
+        flat_name = "__".join(port_ref.component[1:] + (port_ref.port,)) or port_ref.port
+        flat.add_port(
+            flat_name,
+            max_rate=port.max_rate,
+            fixed_rate=port.fixed_rate,
+            direction=port.direction,
+        )
+        mapping[port_ref] = flat.port_ref(flat_name)
+    for connection in model.all_connections():
+        flat.connect(
+            mapping[connection.src],
+            mapping[connection.dst],
+            epsilon=connection.epsilon,
+            phi=connection.phi,
+            gamma=connection.gamma,
+            buffer=connection.buffer,
+            buffer_scale=connection.buffer_scale,
+            purpose=connection.purpose,
+            label=connection.label,
+        )
+    return flat

@@ -1,0 +1,470 @@
+"""Consistency analysis for CTA models.
+
+A composition of CTA components is *consistent* when (Sec. V-A):
+
+1. the transfer-rate ratios are multiplicatively consistent and every actual
+   transfer rate is at most the corresponding maximum transfer rate, and
+2. data arrives in time on every port, i.e. no sequence of connections that
+   forms a cycle delays data by a positive amount of time.
+
+Property (1) is computed by :mod:`repro.cta.rates`.  Property (2) is a
+difference-constraint feasibility problem on port start offsets: connection
+``c = (p, q)`` with delay ``Delta(c) = epsilon(c) + phi(c)/r(p)`` requires
+``offset(q) >= offset(p) + Delta(c)``, which is feasible iff the delay graph
+has no positive-weight cycle -- a single Bellman-Ford computation once all
+rates are known.
+
+Because all ports of a weakly connected *rate component* share one free rate
+scale, the consistency question for components that are not pinned by a
+source or sink becomes: *what is the maximal scale for which the delay graph
+has no positive cycle?*  This is computed with a Newton-style iteration over
+Bellman-Ford feasibility checks (each witness cycle yields the exact period at
+which it becomes satisfiable), which is polynomial; the paper claims and we
+reproduce the polynomial complexity of the CTA analysis.  The iteration is
+exact for models in which slowing a component down never hurts feasibility
+(all constant cycle delays non-negative), which holds for every model derived
+from an OIL program; a bisection fallback covers pathological hand-built
+models.
+
+The consistency algorithm returns, next to the binary answer, the maximal
+achievable transfer rates of every port (the second output the paper
+describes) and feasible start offsets used by the latency analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cta.model import Component, Connection, PortRef
+from repro.cta.rates import RateComponent, RateStructure, compute_rate_structure
+from repro.util.graphs import ConstraintGraph, Edge
+from repro.util.rational import Rat, rational_str
+
+
+@dataclass
+class Violation:
+    """A single consistency violation with a human-readable explanation."""
+
+    kind: str  # "rate", "cycle", "cap", "unbounded"
+    message: str
+    connections: Tuple[Connection, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of the consistency analysis of a CTA model."""
+
+    consistent: bool
+    rate_structure: RateStructure
+    #: chosen scale per rate component (None when the component is infeasible)
+    scales: List[Optional[Rat]] = field(default_factory=list)
+    #: actual (or maximal achievable) transfer rate per port
+    port_rates: Dict[PortRef, Rat] = field(default_factory=dict)
+    #: feasible start offsets (seconds) per port, empty when inconsistent
+    offsets: Dict[PortRef, Rat] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    def rate_of(self, port: PortRef) -> Rat:
+        """The (maximal achievable) rate of *port*; raises if unknown."""
+        if port not in self.port_rates:
+            raise KeyError(f"no rate known for port {port}")
+        return self.port_rates[port]
+
+    def explain(self) -> str:
+        """A human-readable multi-line explanation of the result."""
+        lines = [f"consistent: {self.consistent}"]
+        for component in self.rate_structure.components:
+            scale = self.scales[component.index] if component.index < len(self.scales) else None
+            lines.append(
+                f"  component #{component.index}: scale="
+                + ("infeasible" if scale is None else rational_str(scale))
+                + (" (fixed)" if component.fixed_scale is not None else " (maximal achievable)")
+            )
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Delay graphs
+# --------------------------------------------------------------------------
+
+@dataclass
+class _DelayEdgeData:
+    """Pre-computed per-connection data used while evaluating delays."""
+
+    connection: Connection
+    #: phi with the buffer capacity folded in (or None when the buffer is
+    #: unsized and treated as unbounded -> the edge is dropped)
+    phi_effective: Optional[Rat]
+    #: relative rate of the source port within its rate component
+    rho_src: Rat
+
+
+def _prepare_edges(
+    model: Component,
+    structure: RateStructure,
+    *,
+    assume_infinite_unsized: bool,
+) -> Dict[int, List[_DelayEdgeData]]:
+    """Group connections per rate component and fold buffers into phi."""
+    per_component: Dict[int, List[_DelayEdgeData]] = {
+        comp.index: [] for comp in structure.components
+    }
+    for connection in model.all_connections():
+        comp = structure.component_of(connection.src)
+        rho_src = comp.relative_rates[connection.src]
+        if connection.buffer is not None and connection.buffer.value is None:
+            if assume_infinite_unsized:
+                phi_eff: Optional[Rat] = None
+            else:
+                raise ValueError(
+                    f"connection {connection.describe()} references the unsized buffer "
+                    f"{connection.buffer.name!r}; size the buffers first or pass "
+                    f"assume_infinite_unsized=True"
+                )
+        else:
+            phi_eff = connection.effective_phi()
+        per_component[comp.index].append(
+            _DelayEdgeData(connection=connection, phi_effective=phi_eff, rho_src=rho_src)
+        )
+    return per_component
+
+
+def _build_graph(edges: Sequence[_DelayEdgeData]) -> Tuple[ConstraintGraph, Dict[int, _DelayEdgeData]]:
+    """Build the constraint graph for one rate component.
+
+    Edge ``weight`` holds the constant delay epsilon, ``parametric`` holds the
+    coefficient of the period scale theta (= phi / rho_src), so the effective
+    delay at period scale theta is ``weight + parametric * theta``.
+    Connections with an unbounded (unsized, assumed infinite) buffer are
+    skipped: an infinite capacity never constrains start times.
+    """
+    graph = ConstraintGraph()
+    index: Dict[int, _DelayEdgeData] = {}
+    for i, data in enumerate(edges):
+        if data.phi_effective is None:
+            continue
+        connection = data.connection
+        edge = graph.add_edge(
+            connection.src,
+            connection.dst,
+            connection.epsilon,
+            parametric=data.phi_effective / data.rho_src,
+            label=f"e{i}",
+        )
+        index[id(edge)] = data
+    return graph, index
+
+
+def _delay_evaluator(theta: Rat):
+    """Evaluator computing ``epsilon + (phi/rho) * theta`` for an edge."""
+
+    def evaluate(edge: Edge) -> Rat:
+        return edge.weight + edge.parametric * theta
+
+    return evaluate
+
+
+# --------------------------------------------------------------------------
+# Maximal feasible scale of a free rate component
+# --------------------------------------------------------------------------
+
+@dataclass
+class _ScaleSearchResult:
+    feasible: bool
+    #: maximal feasible scale; None means "unbounded by delay constraints"
+    max_scale: Optional[Rat] = None
+    witness: List[Edge] = field(default_factory=list)
+
+
+def _maximal_scale(graph: ConstraintGraph) -> _ScaleSearchResult:
+    """Maximal rate scale for which the delay graph has no positive cycle.
+
+    Works on the period scale ``theta = 1 / scale``: the delay of an edge is
+    ``epsilon + coeff * theta`` which is linear in theta, so every cycle
+    constraint is a half-line in theta and the feasible set is an interval.
+    We search for its lower end (the fastest admissible execution).
+
+    The iteration assumes feasibility is monotone in theta (slowing down never
+    hurts), which holds when every cycle has a non-negative constant-delay
+    part -- true for all OIL-derived models.  A bisection fallback handles
+    other models; if even the fallback cannot find a feasible theta the
+    component is reported infeasible.
+    """
+    if not graph.edges:
+        return _ScaleSearchResult(feasible=True, max_scale=None)
+
+    # Upper probe: a theta so large that every cycle whose rate-dependent part
+    # is positive is certainly violated; if the graph is still infeasible at
+    # this theta no rate can make it feasible (there is a cycle with positive
+    # constant delay and non-negative rate-dependent delay).
+    abs_eps = sum((abs(e.weight) for e in graph.edges), Fraction(0))
+    nonzero_coeffs = [abs(e.parametric) for e in graph.edges if e.parametric != 0]
+    if not nonzero_coeffs:
+        # Purely constant delays: feasibility is rate independent.
+        result = graph.longest_paths()
+        if result.has_positive_cycle:
+            return _ScaleSearchResult(feasible=False, witness=result.cycle)
+        return _ScaleSearchResult(feasible=True, max_scale=None)
+
+    theta_probe = abs_eps / min(nonzero_coeffs) + 1
+    probe_result = graph.longest_paths(evaluate=_delay_evaluator(theta_probe))
+    if probe_result.has_positive_cycle:
+        return _ScaleSearchResult(feasible=False, witness=probe_result.cycle)
+
+    # Newton iteration from theta = 0 upwards.
+    theta = Fraction(0)
+    max_iterations = 4 * len(graph.edges) * max(len(graph.nodes), 1) + 64
+    for _ in range(max_iterations):
+        result = graph.longest_paths(evaluate=_delay_evaluator(theta))
+        if not result.has_positive_cycle:
+            if theta == 0:
+                # No delay constraint limits the rate.
+                return _ScaleSearchResult(feasible=True, max_scale=None)
+            return _ScaleSearchResult(feasible=True, max_scale=Fraction(1) / theta)
+        cycle = result.cycle
+        eps_sum = sum((e.weight for e in cycle), Fraction(0))
+        coeff_sum = sum((e.parametric for e in cycle), Fraction(0))
+        if coeff_sum < 0:
+            required = eps_sum / (-coeff_sum)
+            if required <= theta:
+                # No strict progress: fall back to bisection.
+                break
+            theta = required
+        else:
+            # This cycle cannot be satisfied by slowing down -- monotonicity
+            # does not hold; fall back to bisection.
+            break
+    else:
+        # Iteration budget exhausted; fall back to bisection.
+        pass
+
+    return _bisect_scale(graph, theta_probe)
+
+
+def _bisect_scale(graph: ConstraintGraph, theta_hi: Rat) -> _ScaleSearchResult:
+    """Bisection fallback: find the smallest feasible theta in (0, theta_hi].
+
+    ``theta_hi`` is known feasible.  The result is refined to the exact
+    witness-cycle ratio once bisection isolates the binding cycle.
+    """
+    lo = Fraction(0)
+    hi = theta_hi
+    witness: List[Edge] = []
+    for _ in range(256):
+        mid = (lo + hi) / 2
+        result = graph.longest_paths(evaluate=_delay_evaluator(mid))
+        if result.has_positive_cycle:
+            witness = result.cycle
+            # The binding cycle gives an exact candidate for the boundary.
+            eps_sum = sum((e.weight for e in witness), Fraction(0))
+            coeff_sum = sum((e.parametric for e in witness), Fraction(0))
+            if coeff_sum < 0:
+                candidate = eps_sum / (-coeff_sum)
+                if candidate > mid and candidate <= hi:
+                    check = graph.longest_paths(evaluate=_delay_evaluator(candidate))
+                    if not check.has_positive_cycle:
+                        return _ScaleSearchResult(feasible=True, max_scale=Fraction(1) / candidate if candidate > 0 else None)
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo == 0:
+            break
+    if hi > 0:
+        return _ScaleSearchResult(feasible=True, max_scale=Fraction(1) / hi)
+    return _ScaleSearchResult(feasible=False, witness=witness)
+
+
+# --------------------------------------------------------------------------
+# Public API
+# --------------------------------------------------------------------------
+
+def check_consistency(
+    model: Component,
+    *,
+    assume_infinite_unsized: bool = False,
+) -> ConsistencyResult:
+    """Check whether the CTA *model* is consistent.
+
+    The result carries, for every rate component, either the fixed scale
+    imposed by its sources/sinks or the maximal achievable scale, the implied
+    per-port rates, feasible start offsets and a list of violations when the
+    model is inconsistent.
+
+    Parameters
+    ----------
+    assume_infinite_unsized:
+        When True, connections referencing an unsized
+        :class:`~repro.cta.model.BufferParameter` are treated as imposing no
+        capacity constraint (infinite buffer).  This is the mode used before
+        buffer sizing to establish whether the required rates are achievable
+        at all.  When False (default) unsized buffers raise an error.
+    """
+    structure = compute_rate_structure(model)
+    violations: List[Violation] = [
+        Violation(kind="rate", message=str(conflict)) for conflict in structure.conflicts
+    ]
+
+    per_component = _prepare_edges(
+        model, structure, assume_infinite_unsized=assume_infinite_unsized
+    )
+
+    scales: List[Optional[Rat]] = [None] * len(structure.components)
+    component_graphs: Dict[int, ConstraintGraph] = {}
+
+    for component in structure.components:
+        graph, _ = _build_graph(per_component[component.index])
+        component_graphs[component.index] = graph
+
+        if component.fixed_scale is not None:
+            scale = component.fixed_scale
+            if component.scale_cap is not None and scale > component.scale_cap:
+                violations.append(
+                    Violation(
+                        kind="cap",
+                        message=(
+                            f"rate component #{component.index} requires scale {rational_str(scale)} "
+                            f"but its maximum-rate cap is {rational_str(component.scale_cap)}"
+                        ),
+                    )
+                )
+                continue
+            theta = Fraction(1) / scale
+            result = graph.longest_paths(evaluate=_delay_evaluator(theta))
+            if result.has_positive_cycle:
+                cyc = result.cycle
+                conns = tuple()
+                violations.append(
+                    Violation(
+                        kind="cycle",
+                        message=(
+                            f"rate component #{component.index} (pinned at scale {rational_str(scale)} by "
+                            f"{component.fixed_by}) has a positive-delay cycle of length {len(cyc)}; "
+                            "data arrives too late (throughput constraint violated or buffers too small)"
+                        ),
+                        connections=conns,
+                    )
+                )
+                continue
+            scales[component.index] = scale
+        else:
+            search = _maximal_scale(graph)
+            if not search.feasible:
+                violations.append(
+                    Violation(
+                        kind="cycle",
+                        message=(
+                            f"rate component #{component.index} is infeasible at every rate: "
+                            f"a cycle has positive delay independent of the execution rate"
+                        ),
+                    )
+                )
+                continue
+            if search.max_scale is None:
+                scale = component.scale_cap  # may be None (genuinely unbounded)
+            else:
+                scale = search.max_scale
+                if component.scale_cap is not None and component.scale_cap < scale:
+                    scale = component.scale_cap
+            scales[component.index] = scale
+
+    consistent = not violations
+
+    port_rates: Dict[PortRef, Rat] = {}
+    for component in structure.components:
+        scale = scales[component.index]
+        if scale is None:
+            continue
+        for port_ref, rho in component.relative_rates.items():
+            port_rates[port_ref] = rho * scale
+
+    offsets: Dict[PortRef, Rat] = {}
+    if consistent:
+        offsets = _compute_offsets(structure, component_graphs, scales)
+
+    return ConsistencyResult(
+        consistent=consistent,
+        rate_structure=structure,
+        scales=scales,
+        port_rates=port_rates,
+        offsets=offsets,
+        violations=violations,
+    )
+
+
+def _compute_offsets(
+    structure: RateStructure,
+    component_graphs: Dict[int, ConstraintGraph],
+    scales: Sequence[Optional[Rat]],
+) -> Dict[PortRef, Rat]:
+    """Feasible start offsets for all ports of all feasible components."""
+    offsets: Dict[PortRef, Rat] = {}
+    for component in structure.components:
+        scale = scales[component.index]
+        graph = component_graphs[component.index]
+        if scale is None:
+            # Unbounded rate and no delay edges: all offsets zero.
+            for port_ref in component.relative_rates:
+                offsets[port_ref] = Fraction(0)
+            continue
+        theta = Fraction(1) / scale
+        result = graph.longest_paths(evaluate=_delay_evaluator(theta))
+        if result.has_positive_cycle:  # pragma: no cover - guarded by caller
+            continue
+        for port_ref in component.relative_rates:
+            offsets[port_ref] = result.offsets.get(port_ref, Fraction(0))
+    return offsets
+
+
+def maximal_rates(
+    model: Component,
+    *,
+    assume_infinite_unsized: bool = False,
+) -> Dict[PortRef, Optional[Rat]]:
+    """The maximal achievable transfer rate of every port of *model*.
+
+    For ports in rate components pinned by a source or sink the returned value
+    is their actual rate; for free components it is the fastest rate the delay
+    and maximum-rate constraints admit, or ``None`` when nothing bounds the
+    rate.  This is the second output of the consistency algorithm described in
+    Sec. V-A ("the consistency algorithm also returns the maximal achievable
+    transfer rates for every port").
+    """
+    result = check_consistency(model, assume_infinite_unsized=assume_infinite_unsized)
+    rates: Dict[PortRef, Optional[Rat]] = {}
+    structure = result.rate_structure
+    for component in structure.components:
+        scale = result.scales[component.index]
+        for port_ref, rho in component.relative_rates.items():
+            rates[port_ref] = None if scale is None else rho * scale
+    return rates
+
+
+def verify_throughput(
+    model: Component,
+    requirements: Dict[PortRef, Rat],
+    *,
+    assume_infinite_unsized: bool = False,
+) -> Tuple[bool, List[str]]:
+    """Verify that every port in *requirements* can sustain at least the
+    required rate.  Returns ``(ok, problems)``.
+    """
+    result = check_consistency(model, assume_infinite_unsized=assume_infinite_unsized)
+    problems: List[str] = [str(v) for v in result.violations]
+    if not result.consistent:
+        return False, problems
+    for port_ref, required in requirements.items():
+        actual = result.port_rates.get(port_ref)
+        if actual is None:
+            continue  # unbounded
+        if actual < required:
+            problems.append(
+                f"port {port_ref} achieves rate {rational_str(actual)} < required {rational_str(required)}"
+            )
+    return not problems, problems

@@ -1,0 +1,73 @@
+"""Graphviz (DOT) export of CTA models.
+
+The paper's Figs. 7-12 draw CTA models as nested rectangles (components) with
+ports on their borders and labelled arrows (connections).  This module renders
+a :class:`~repro.cta.model.Component` hierarchy to DOT text with clustered
+sub-graphs per component so that the derived models can be inspected visually
+and compared against the paper's figures.  Rendering to an image requires an
+external ``dot`` binary and is out of scope; the textual DOT output is enough
+for the reproduction artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cta.model import Component, PortRef
+from repro.util.rational import rational_str
+
+
+def _port_node_id(ref: PortRef) -> str:
+    return "port_" + "_".join(ref.component + (ref.port,)).replace("-", "_").replace(".", "_")
+
+
+def to_dot(model: Component, *, include_labels: bool = True) -> str:
+    """Render *model* as a Graphviz digraph with one cluster per component."""
+    lines: List[str] = ["digraph cta {", "  rankdir=LR;", "  node [shape=circle, fontsize=9];"]
+
+    cluster_counter = [0]
+
+    def emit_component(component: Component, indent: str) -> None:
+        cluster_counter[0] += 1
+        lines.append(f'{indent}subgraph cluster_{cluster_counter[0]} {{')
+        lines.append(f'{indent}  label="{component.kind}:{component.name}";')
+        base = component.path()
+        for port in component.ports.values():
+            ref = PortRef(base, port.name)
+            attrs = [f'label="{port.name}"']
+            if port.fixed_rate is not None:
+                attrs.append('color=blue')
+            lines.append(f'{indent}  {_port_node_id(ref)} [{", ".join(attrs)}];')
+        for child in component.children.values():
+            emit_component(child, indent + "  ")
+        lines.append(f"{indent}}}")
+
+    emit_component(model, "  ")
+
+    for connection in model.all_connections():
+        label_parts: List[str] = []
+        if include_labels:
+            if connection.epsilon:
+                label_parts.append(f"eps={rational_str(connection.epsilon)}")
+            if connection.buffer is not None:
+                cap = connection.buffer.value
+                label_parts.append(f"-{connection.buffer.name}" + (f"={cap}" if cap is not None else ""))
+            elif connection.phi:
+                label_parts.append(f"phi={rational_str(connection.phi)}")
+            if connection.gamma != 1:
+                label_parts.append(f"g={rational_str(connection.gamma)}")
+        label = ", ".join(label_parts)
+        style = {
+            "firing": "color=orange",
+            "atomic-start": "color=purple",
+            "buffer": "color=black",
+            "periodicity": "color=gray",
+            "latency": "color=red, style=dashed",
+        }.get(connection.purpose, "color=black")
+        lines.append(
+            f'  {_port_node_id(connection.src)} -> {_port_node_id(connection.dst)} '
+            f'[label="{label}", {style}];'
+        )
+
+    lines.append("}")
+    return "\n".join(lines)

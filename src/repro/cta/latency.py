@@ -1,0 +1,188 @@
+"""Latency constraints between sources and sinks.
+
+OIL programs can constrain the start times of sources and sinks with
+``start x n ms after y`` and ``start x n ms before y`` (Sec. IV-B).  In the
+CTA model such a constraint becomes a single connection between the two
+corresponding components whose constant delay encodes the bound
+(Sec. V-C, Fig. 10):
+
+* ``start x n after y``  means x must start at least ``n`` after y:
+  ``offset(x) >= offset(y) + n`` -- a connection from y to x with constant
+  delay ``+n``.
+* ``start x n before y`` means y must start within ``n`` after x, i.e.
+  ``offset(y) <= offset(x) + n`` which as a longest-path constraint reads
+  ``offset(x) >= offset(y) - n`` -- a connection from y to x with constant
+  delay ``-n`` (this is the ``-5 ms`` connection of Fig. 10b).
+
+Combining a ``0 ms after`` and a ``0 ms before`` constraint (as the PAL
+decoder does between screen and speakers) forces the two start times to be
+equal -- the audio/video synchronisation requirement.
+
+This module provides helpers to attach such constraints to a model and to
+*verify* start-time differences from the offsets computed by the consistency
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.cta.consistency import ConsistencyResult
+from repro.cta.model import Component, Connection, PortRef
+from repro.util.rational import Rat, as_rational
+from repro.util.units import TimeValue
+
+
+@dataclass(frozen=True)
+class LatencyConstraint:
+    """A declarative latency constraint between two ports.
+
+    ``kind`` is ``"after"`` (``subject`` starts at least ``bound`` after
+    ``reference``) or ``"before"`` (``subject`` starts at most ``bound``
+    before... i.e. ``reference`` starts within ``bound`` after ``subject``).
+    ``bound`` is in seconds.
+    """
+
+    subject: PortRef
+    reference: PortRef
+    bound: Rat
+    kind: str  # "after" | "before"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("after", "before"):
+            raise ValueError(f"latency constraint kind must be 'after' or 'before', got {self.kind!r}")
+
+
+def add_latency_constraint(
+    model: Component,
+    constraint: LatencyConstraint,
+    *,
+    label: Optional[str] = None,
+) -> Connection:
+    """Encode *constraint* as a CTA connection on *model* and return it.
+
+    The connection's transfer-rate ratio is chosen so that it does not alter
+    the existing rate structure: it equals the ratio of the two ports'
+    relative rates as implied by the rest of the model when both ports are
+    already rate-connected; when the two ports are in different rate
+    components the constraint also (correctly) ties their rates together with
+    ratio 1.
+    """
+    from repro.cta.rates import compute_rate_structure
+
+    structure = compute_rate_structure(model)
+    gamma = Fraction(1)
+    src: PortRef
+    dst: PortRef
+    if constraint.kind == "after":
+        # offset(subject) >= offset(reference) + bound : reference -> subject, +bound
+        src, dst = constraint.reference, constraint.subject
+        epsilon = as_rational(constraint.bound)
+    else:
+        # offset(reference) >= offset(subject) - bound : subject is the one that
+        # starts earlier; encode offset(subject) >= offset(reference) - bound
+        # wait: "start subject n before reference" means reference starts at most
+        # n after subject: offset(reference) <= offset(subject) + n, i.e.
+        # offset(subject) >= offset(reference) - n : reference -> subject, -n.
+        src, dst = constraint.reference, constraint.subject
+        epsilon = -as_rational(constraint.bound)
+
+    if (
+        constraint.subject in structure.port_component
+        and constraint.reference in structure.port_component
+        and structure.port_component[constraint.subject] == structure.port_component[constraint.reference]
+    ):
+        rho_src = structure.relative_rate(src)
+        rho_dst = structure.relative_rate(dst)
+        gamma = rho_dst / rho_src
+
+    return model.connect(
+        src,
+        dst,
+        epsilon=epsilon,
+        gamma=gamma,
+        purpose="latency",
+        label=label or f"latency[{constraint.kind} {constraint.bound}s]",
+    )
+
+
+@dataclass
+class LatencyCheck:
+    """Result of verifying one latency constraint against computed offsets."""
+
+    constraint: LatencyConstraint
+    satisfied: bool
+    actual_difference: Optional[Rat]  # offset(subject) - offset(reference), seconds
+    message: str
+
+
+def verify_latency(
+    result: ConsistencyResult,
+    constraints: List[LatencyConstraint],
+) -> List[LatencyCheck]:
+    """Check the start-offset differences produced by the consistency analysis
+    against a list of latency constraints.
+
+    The offsets of a consistent model are by construction a feasible solution
+    of all constraint connections, so constraints that were added to the model
+    with :func:`add_latency_constraint` are always satisfied here; this
+    function is mainly useful to evaluate constraints that were *not* encoded
+    in the model (what-if analysis) and to report actual slack.
+    """
+    checks: List[LatencyCheck] = []
+    for constraint in constraints:
+        subject = result.offsets.get(constraint.subject)
+        reference = result.offsets.get(constraint.reference)
+        if subject is None or reference is None:
+            checks.append(
+                LatencyCheck(
+                    constraint=constraint,
+                    satisfied=False,
+                    actual_difference=None,
+                    message="offsets unavailable (model inconsistent or port unknown)",
+                )
+            )
+            continue
+        diff = subject - reference
+        if constraint.kind == "after":
+            ok = diff >= constraint.bound
+            message = (
+                f"{constraint.subject} starts {TimeValue(diff)} after {constraint.reference} "
+                f"(required: at least {TimeValue(as_rational(constraint.bound))})"
+            )
+        else:
+            # subject starts, reference must start within bound after subject:
+            # offset(reference) - offset(subject) <= bound
+            ok = (reference - subject) <= constraint.bound
+            message = (
+                f"{constraint.reference} starts {TimeValue(reference - subject)} after {constraint.subject} "
+                f"(required: at most {TimeValue(as_rational(constraint.bound))})"
+            )
+        checks.append(
+            LatencyCheck(
+                constraint=constraint,
+                satisfied=ok,
+                actual_difference=diff,
+                message=message,
+            )
+        )
+    return checks
+
+
+def end_to_end_latency(
+    result: ConsistencyResult,
+    source_port: PortRef,
+    sink_port: PortRef,
+) -> Optional[Rat]:
+    """Difference between the sink's and the source's start offsets (seconds).
+
+    For a consistent model this is a conservative bound on the time between a
+    sample entering at the source and the corresponding processed sample being
+    consumed by the sink (the offsets are the latest feasible periodic start
+    times compatible with all delays).
+    """
+    if source_port not in result.offsets or sink_port not in result.offsets:
+        return None
+    return result.offsets[sink_port] - result.offsets[source_port]

@@ -1,0 +1,448 @@
+"""Data model of the Compositional Temporal Analysis (CTA) model.
+
+A CTA model (Hausmans et al., EMSOFT 2012; Sec. V-A of the reproduced paper)
+is a graph of *components* and directed *connections*:
+
+* a component ``w = (P, r_hat, C, gamma, epsilon, phi)`` has a set of ports
+  ``P``; every port can transfer data (events) at a maximum rate
+  ``r_hat : P -> R+`` (possibly unbounded),
+* a connection ``c = (p, q)`` directed from port ``p`` to port ``q`` carries a
+  constant delay ``epsilon(c)``, a rate-dependent delay ``phi(c)`` and a
+  transfer-rate ratio ``gamma(c)``.  The actual rates satisfy
+  ``r(q) = gamma(c) * r(p)`` and the time data is delayed over the connection
+  is ``Delta(c) = epsilon(c) + phi(c) / r(p)``,
+* a composition of components and connections is again a component.
+
+This module defines the (hierarchical) data structures; the analysis
+algorithms live in :mod:`repro.cta.consistency`, :mod:`repro.cta.rates`,
+:mod:`repro.cta.buffer_sizing` and :mod:`repro.cta.latency`.
+
+Connections may reference a named :class:`BufferParameter` instead of a fixed
+``phi``; the buffer-sizing algorithm determines values for these parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.util.rational import Rat, RationalLike, as_rational, rational_str
+from repro.util.validation import check_identifier, require
+
+
+# --------------------------------------------------------------------------
+# Ports
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PortRef:
+    """A fully qualified reference to a port: hierarchical component path plus
+    port name, e.g. ``("Splitter", "SRC_A", "loop0")`` / ``"in"``.
+
+    Port references are hashable and are the nodes of the flattened analysis
+    graph.
+    """
+
+    component: Tuple[str, ...]
+    port: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "/".join(self.component + (self.port,))
+
+    @property
+    def component_path(self) -> str:
+        return "/".join(self.component)
+
+
+@dataclass
+class Port:
+    """A port of a CTA component.
+
+    Parameters
+    ----------
+    name:
+        Port name, unique within its component.
+    max_rate:
+        Maximum transfer rate ``r_hat(p)`` in events per second, or ``None``
+        for an unbounded rate (used for the modelling-artifact ports of module
+        components, Sec. V-C).
+    fixed_rate:
+        If set, the actual transfer rate of the port is pinned to this value
+        (used for the data ports of periodic sources and sinks).
+    direction:
+        ``"in"``, ``"out"`` or ``"none"`` -- purely documentary; the analysis
+        does not depend on it.
+    """
+
+    name: str
+    max_rate: Optional[Rat] = None
+    fixed_rate: Optional[Rat] = None
+    direction: str = "none"
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "port name")
+        if self.max_rate is not None:
+            self.max_rate = as_rational(self.max_rate)
+            require(self.max_rate > 0, f"max_rate of port {self.name!r} must be positive")
+        if self.fixed_rate is not None:
+            self.fixed_rate = as_rational(self.fixed_rate)
+            require(self.fixed_rate > 0, f"fixed_rate of port {self.name!r} must be positive")
+        if self.max_rate is not None and self.fixed_rate is not None:
+            require(
+                self.fixed_rate <= self.max_rate,
+                f"fixed_rate of port {self.name!r} exceeds its maximum rate",
+            )
+
+
+# --------------------------------------------------------------------------
+# Buffer parameters
+# --------------------------------------------------------------------------
+
+_buffer_counter = itertools.count()
+
+
+@dataclass
+class BufferParameter:
+    """A symbolic buffer capacity ``delta`` (in tokens / container locations).
+
+    A connection whose rate-dependent delay models a buffer capacity carries
+    ``phi = -delta`` (Sec. V-B.1: "if there are delta initial tokens the actor
+    can start delta/r earlier, therefore on the corresponding CTA connection
+    there is a delay of -delta/r").  The buffer-sizing algorithm assigns a
+    sufficient integral value to every :class:`BufferParameter` of a model.
+
+    ``minimum`` is the smallest admissible capacity (at least the number of
+    tokens a single firing of the producer or consumer needs, otherwise the
+    implementation deadlocks regardless of timing); ``value`` is the currently
+    assigned capacity (``None`` while unsized).
+    """
+
+    name: str
+    minimum: int = 1
+    value: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_buffer_counter))
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "buffer name")
+        require(self.minimum >= 0, "buffer minimum capacity must be non-negative")
+        if self.value is not None:
+            require(self.value >= self.minimum, "buffer capacity below its minimum")
+
+    def resolved(self) -> int:
+        """Return the assigned capacity, raising if the buffer is unsized."""
+        if self.value is None:
+            raise ValueError(f"buffer parameter {self.name!r} has not been sized yet")
+        return self.value
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+
+# --------------------------------------------------------------------------
+# Connections
+# --------------------------------------------------------------------------
+
+@dataclass
+class Connection:
+    """A directed CTA connection from port ``src`` to port ``dst``.
+
+    The delay of the connection is ``Delta(c) = epsilon + phi_effective / r(src)``
+    where ``phi_effective`` is ``phi`` plus ``-delta`` for every attached
+    buffer parameter (scaled by ``buffer_scale``).
+
+    Parameters
+    ----------
+    src, dst:
+        Fully qualified port references.
+    epsilon:
+        Constant delay in seconds (may be negative: latency constraints and
+        periodicity back edges use negative constant delays).
+    phi:
+        Rate-dependent delay coefficient in *events*; the contribution to the
+        delay is ``phi / r(src)`` seconds.  May be negative.
+    gamma:
+        Transfer-rate ratio: ``r(dst) = gamma * r(src)``.  Must be positive.
+    buffer:
+        Optional :class:`BufferParameter`; contributes ``-delta * buffer_scale``
+        to ``phi`` once sized.
+    buffer_scale:
+        Multiplier applied to the buffer capacity (normally 1).
+    purpose:
+        Free-form tag used in reports and figures, e.g. ``"firing"``,
+        ``"atomic-start"``, ``"buffer"``, ``"periodicity"``, ``"latency"``.
+    """
+
+    src: PortRef
+    dst: PortRef
+    epsilon: Rat = Fraction(0)
+    phi: Rat = Fraction(0)
+    gamma: Rat = Fraction(1)
+    buffer: Optional[BufferParameter] = None
+    buffer_scale: Rat = Fraction(1)
+    purpose: str = "generic"
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.epsilon = as_rational(self.epsilon)
+        self.phi = as_rational(self.phi)
+        self.gamma = as_rational(self.gamma)
+        self.buffer_scale = as_rational(self.buffer_scale)
+        require(self.gamma > 0, "transfer rate ratio gamma must be positive")
+
+    # -- derived quantities --------------------------------------------------
+    def effective_phi(self) -> Rat:
+        """The rate-dependent delay coefficient with any buffer capacity folded in."""
+        phi = self.phi
+        if self.buffer is not None:
+            phi = phi - self.buffer_scale * Fraction(self.buffer.resolved())
+        return phi
+
+    def delay(self, src_rate: Rat) -> Rat:
+        """The delay ``Delta(c)`` in seconds for a given source-port rate."""
+        src_rate = as_rational(src_rate)
+        require(src_rate > 0, "source port rate must be positive")
+        return self.epsilon + self.effective_phi() / src_rate
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.src} -> {self.dst}"]
+        if self.epsilon:
+            parts.append(f"eps={rational_str(self.epsilon)}s")
+        if self.phi:
+            parts.append(f"phi={rational_str(self.phi)}")
+        if self.buffer is not None:
+            parts.append(f"buffer={self.buffer.name}")
+        if self.gamma != 1:
+            parts.append(f"gamma={rational_str(self.gamma)}")
+        parts.append(f"[{self.purpose}]")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Components
+# --------------------------------------------------------------------------
+
+class Component:
+    """A (possibly hierarchical) CTA component.
+
+    A component owns its ports, a set of sub-components and the connections
+    declared at its level.  Connections may reference ports of this component
+    or ports of any (transitively nested) sub-component.
+
+    The composition of components and connections is again a component: the
+    :class:`CTAModel` root is itself just a component with no parent.
+    """
+
+    def __init__(self, name: str, *, kind: str = "component") -> None:
+        check_identifier(name, "component name")
+        self.name = name
+        #: free-form kind tag: "task", "while-loop", "module", "source",
+        #: "sink", "stream-access", "black-box", ...
+        self.kind = kind
+        self._ports: Dict[str, Port] = {}
+        self._children: Dict[str, "Component"] = {}
+        self._connections: List[Connection] = []
+        self.parent: Optional["Component"] = None
+        #: arbitrary metadata for reporting (firing duration, rates, ...)
+        self.metadata: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_port(
+        self,
+        name: str,
+        *,
+        max_rate: Optional[RationalLike] = None,
+        fixed_rate: Optional[RationalLike] = None,
+        direction: str = "none",
+    ) -> Port:
+        """Declare a port on this component and return it."""
+        require(name not in self._ports, f"duplicate port {name!r} on component {self.name!r}")
+        port = Port(
+            name,
+            max_rate=None if max_rate is None else as_rational(max_rate),
+            fixed_rate=None if fixed_rate is None else as_rational(fixed_rate),
+            direction=direction,
+        )
+        self._ports[name] = port
+        return port
+
+    def add_component(self, child: "Component") -> "Component":
+        """Nest *child* inside this component and return it."""
+        require(
+            child.name not in self._children,
+            f"duplicate sub-component {child.name!r} in {self.name!r}",
+        )
+        require(child.parent is None, f"component {child.name!r} already has a parent")
+        child.parent = self
+        self._children[child.name] = child
+        return child
+
+    def new_component(self, name: str, *, kind: str = "component") -> "Component":
+        """Create and nest a fresh sub-component."""
+        return self.add_component(Component(name, kind=kind))
+
+    def connect(
+        self,
+        src: Union[PortRef, Tuple],
+        dst: Union[PortRef, Tuple],
+        *,
+        epsilon: RationalLike = 0,
+        phi: RationalLike = 0,
+        gamma: RationalLike = 1,
+        buffer: Optional[BufferParameter] = None,
+        buffer_scale: RationalLike = 1,
+        purpose: str = "generic",
+        label: Optional[str] = None,
+    ) -> Connection:
+        """Add a connection declared at this component's level.
+
+        ``src`` and ``dst`` are :class:`PortRef` objects or tuples accepted by
+        :meth:`port_ref`.
+        """
+        connection = Connection(
+            self._as_ref(src),
+            self._as_ref(dst),
+            epsilon=as_rational(epsilon),
+            phi=as_rational(phi),
+            gamma=as_rational(gamma),
+            buffer=buffer,
+            buffer_scale=as_rational(buffer_scale),
+            purpose=purpose,
+            label=label,
+        )
+        self._connections.append(connection)
+        return connection
+
+    def _as_ref(self, ref: Union[PortRef, Tuple]) -> PortRef:
+        if isinstance(ref, PortRef):
+            return ref
+        if isinstance(ref, tuple) and len(ref) == 2 and isinstance(ref[0], Component):
+            return ref[0].port_ref(ref[1])
+        if isinstance(ref, tuple) and all(isinstance(x, str) for x in ref):
+            return PortRef(tuple(ref[:-1]), ref[-1])
+        raise TypeError(f"cannot interpret {ref!r} as a port reference")
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def ports(self) -> Mapping[str, Port]:
+        return dict(self._ports)
+
+    @property
+    def children(self) -> Mapping[str, "Component"]:
+        return dict(self._children)
+
+    @property
+    def connections(self) -> Sequence[Connection]:
+        return list(self._connections)
+
+    def path(self) -> Tuple[str, ...]:
+        """The hierarchical path of this component from the root (inclusive)."""
+        if self.parent is None:
+            return (self.name,)
+        return self.parent.path() + (self.name,)
+
+    def port_ref(self, port_name: str) -> PortRef:
+        """A fully qualified reference to one of this component's ports."""
+        require(
+            port_name in self._ports,
+            f"component {self.name!r} has no port {port_name!r} "
+            f"(ports: {sorted(self._ports)})",
+        )
+        return PortRef(self.path(), port_name)
+
+    def child(self, name: str) -> "Component":
+        """Return the direct sub-component called *name*."""
+        require(name in self._children, f"component {self.name!r} has no child {name!r}")
+        return self._children[name]
+
+    def find(self, path: Sequence[str]) -> "Component":
+        """Resolve a descendant component by relative path."""
+        node: Component = self
+        for part in path:
+            node = node.child(part)
+        return node
+
+    # -------------------------------------------------------------- traversal
+    def walk(self) -> Iterator["Component"]:
+        """Yield this component and every descendant (pre-order)."""
+        yield self
+        for child in self._children.values():
+            yield from child.walk()
+
+    def all_connections(self) -> List[Connection]:
+        """All connections declared at this level or in any descendant."""
+        result: List[Connection] = []
+        for component in self.walk():
+            result.extend(component._connections)
+        return result
+
+    def all_ports(self) -> Dict[PortRef, Port]:
+        """All ports of this component and every descendant, fully qualified."""
+        result: Dict[PortRef, Port] = {}
+        for component in self.walk():
+            base = component.path()
+            for port in component._ports.values():
+                result[PortRef(base, port.name)] = port
+        return result
+
+    def all_buffers(self) -> List[BufferParameter]:
+        """All distinct buffer parameters referenced by connections in scope."""
+        seen: Dict[int, BufferParameter] = {}
+        for connection in self.all_connections():
+            if connection.buffer is not None:
+                seen[connection.buffer.uid] = connection.buffer
+        return sorted(seen.values(), key=lambda b: b.uid)
+
+    # ------------------------------------------------------------- reporting
+    def summary(self) -> str:
+        """A human readable multi-line summary of the component tree."""
+        lines: List[str] = []
+
+        def visit(component: "Component", indent: int) -> None:
+            pad = "  " * indent
+            lines.append(f"{pad}{component.kind} {component.name} "
+                         f"(ports: {len(component._ports)}, connections: {len(component._connections)})")
+            for child in component._children.values():
+                visit(child, indent + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Component {self.name!r} kind={self.kind!r} ports={len(self._ports)} children={len(self._children)}>"
+
+
+class CTAModel(Component):
+    """The root of a CTA model.
+
+    A :class:`CTAModel` is simply a component with convenience constructors
+    and the entry points the analysis algorithms operate on.  All ports and
+    connections of the complete hierarchy are reachable through
+    :meth:`Component.all_ports` and :meth:`Component.all_connections`.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        super().__init__(name, kind="model")
+
+    # The analysis algorithms (consistency, rates, buffer sizing, latency)
+    # are implemented as free functions in their respective modules to keep
+    # the data model import-light; these thin methods exist for discoverability.
+
+    def check_consistency(self, **kwargs):
+        """Run the consistency analysis (see :func:`repro.cta.consistency.check_consistency`)."""
+        from repro.cta.consistency import check_consistency
+
+        return check_consistency(self, **kwargs)
+
+    def maximal_rates(self, **kwargs):
+        """Compute maximal achievable port rates (see :func:`repro.cta.consistency.maximal_rates`)."""
+        from repro.cta.consistency import maximal_rates
+
+        return maximal_rates(self, **kwargs)
+
+    def size_buffers(self, **kwargs):
+        """Determine sufficient buffer capacities (see :func:`repro.cta.buffer_sizing.size_buffers`)."""
+        from repro.cta.buffer_sizing import size_buffers
+
+        return size_buffers(self, **kwargs)

@@ -1,0 +1,236 @@
+"""Transfer-rate propagation for CTA models.
+
+Every CTA connection relates the actual transfer rates of its two ports by
+``r(dst) = gamma * r(src)``.  Consequently all ports that are (weakly)
+connected by connections have rates that are fixed rational multiples of one
+free *scale* per weakly connected component.  This module computes that
+structure:
+
+* the weakly connected *rate components* of a model,
+* the relative rate ``rho(p)`` of every port with respect to its component's
+  reference port,
+* whether the multiplicative constraints are *consistent* around cycles
+  (the product of gammas around every cycle must be 1 -- the CTA analogue of
+  SDF sample-rate consistency),
+* the scale constraints implied by ports with a fixed rate (sources/sinks) and
+  by maximum rates ``r_hat``.
+
+The result is the input of the consistency algorithm
+(:mod:`repro.cta.consistency`): for a fixed-scale component a single
+feasibility check remains; for a free-scale component the maximal feasible
+scale is computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cta.model import Component, Connection, Port, PortRef
+from repro.util.rational import Rat, rational_str
+
+
+@dataclass
+class RateConflict:
+    """Describes a multiplicative rate inconsistency found during propagation."""
+
+    kind: str  # "cycle" or "fixed"
+    message: str
+    ports: Tuple[PortRef, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind} rate conflict: {self.message}"
+
+
+@dataclass
+class RateComponent:
+    """One weakly connected component of the port/connection graph.
+
+    Attributes
+    ----------
+    index:
+        Stable index of the component within the model.
+    reference:
+        The reference port; all relative rates are expressed w.r.t. it.
+    relative_rates:
+        ``rho(p)`` such that ``r(p) = rho(p) * scale``.
+    fixed_scale:
+        The scale value imposed by fixed-rate ports (``None`` if the component
+        is free).
+    scale_cap:
+        Upper bound on the scale implied by the finite maximum port rates
+        (``None`` when every port in the component has an unbounded maximum
+        rate).
+    """
+
+    index: int
+    reference: PortRef
+    relative_rates: Dict[PortRef, Rat] = field(default_factory=dict)
+    fixed_scale: Optional[Rat] = None
+    scale_cap: Optional[Rat] = None
+    #: port that pinned the fixed scale (for diagnostics)
+    fixed_by: Optional[PortRef] = None
+    #: port whose maximum rate produces the cap (for diagnostics)
+    capped_by: Optional[PortRef] = None
+
+    @property
+    def ports(self) -> List[PortRef]:
+        return list(self.relative_rates)
+
+    def rate_of(self, port: PortRef, scale: Rat) -> Rat:
+        """Actual rate of *port* for a given component scale."""
+        return self.relative_rates[port] * scale
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        scale = "free" if self.fixed_scale is None else rational_str(self.fixed_scale)
+        cap = "inf" if self.scale_cap is None else rational_str(self.scale_cap)
+        return (
+            f"rate component #{self.index}: {len(self.relative_rates)} ports, "
+            f"scale={scale}, cap={cap}, reference={self.reference}"
+        )
+
+
+@dataclass
+class RateStructure:
+    """The complete rate structure of a model."""
+
+    components: List[RateComponent]
+    port_component: Dict[PortRef, int]
+    conflicts: List[RateConflict] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when no multiplicative or fixed-rate conflict was found."""
+        return not self.conflicts
+
+    def component_of(self, port: PortRef) -> RateComponent:
+        return self.components[self.port_component[port]]
+
+    def relative_rate(self, port: PortRef) -> Rat:
+        return self.component_of(port).relative_rates[port]
+
+    def port_rate(self, port: PortRef, scales: Sequence[Rat]) -> Rat:
+        """Rate of *port* given one scale value per rate component."""
+        comp = self.component_of(port)
+        return comp.relative_rates[port] * scales[comp.index]
+
+
+def compute_rate_structure(model: Component) -> RateStructure:
+    """Propagate transfer-rate ratios through *model* and return its
+    :class:`RateStructure`.
+
+    The propagation is a breadth-first traversal of the undirected port graph
+    in which traversing a connection forward multiplies the relative rate by
+    ``gamma`` and traversing it backward divides by ``gamma``.  Revisiting a
+    port with a different relative rate is a cycle inconsistency (the product
+    of gammas around the cycle differs from one); visiting a second fixed-rate
+    port whose implied scale differs from the first is a fixed-rate conflict.
+    """
+    ports: Dict[PortRef, Port] = model.all_ports()
+    connections: List[Connection] = model.all_connections()
+
+    # Validate connection endpoints eagerly so that construction mistakes show
+    # up here with a clear message rather than as a KeyError later.
+    for connection in connections:
+        for endpoint in (connection.src, connection.dst):
+            if endpoint not in ports:
+                raise ValueError(
+                    f"connection {connection.describe()} references unknown port {endpoint}"
+                )
+
+    adjacency: Dict[PortRef, List[Tuple[PortRef, Rat, Connection]]] = {p: [] for p in ports}
+    for connection in connections:
+        # forward: r(dst) = gamma * r(src)
+        adjacency[connection.src].append((connection.dst, connection.gamma, connection))
+        # backward: r(src) = r(dst) / gamma
+        adjacency[connection.dst].append((connection.src, Fraction(1) / connection.gamma, connection))
+
+    components: List[RateComponent] = []
+    port_component: Dict[PortRef, int] = {}
+    conflicts: List[RateConflict] = []
+
+    for start in ports:
+        if start in port_component:
+            continue
+        index = len(components)
+        component = RateComponent(index=index, reference=start)
+        components.append(component)
+
+        queue: List[PortRef] = [start]
+        component.relative_rates[start] = Fraction(1)
+        port_component[start] = index
+
+        while queue:
+            current = queue.pop()
+            current_rho = component.relative_rates[current]
+            for neighbour, factor, connection in adjacency[current]:
+                expected = current_rho * factor
+                if neighbour in component.relative_rates:
+                    if component.relative_rates[neighbour] != expected:
+                        conflicts.append(
+                            RateConflict(
+                                kind="cycle",
+                                message=(
+                                    f"transfer-rate ratios are inconsistent around a cycle through "
+                                    f"{neighbour}: relative rate {rational_str(component.relative_rates[neighbour])} "
+                                    f"vs {rational_str(expected)} via connection {connection.describe()}"
+                                ),
+                                ports=(current, neighbour),
+                            )
+                        )
+                    continue
+                component.relative_rates[neighbour] = expected
+                port_component[neighbour] = index
+                queue.append(neighbour)
+
+        # Fixed rates pin the component scale; all fixed-rate ports must agree.
+        for port_ref, rho in component.relative_rates.items():
+            port = ports[port_ref]
+            if port.fixed_rate is not None:
+                implied_scale = port.fixed_rate / rho
+                if component.fixed_scale is None:
+                    component.fixed_scale = implied_scale
+                    component.fixed_by = port_ref
+                elif component.fixed_scale != implied_scale:
+                    conflicts.append(
+                        RateConflict(
+                            kind="fixed",
+                            message=(
+                                f"fixed rates of {component.fixed_by} and {port_ref} disagree: "
+                                f"scales {rational_str(component.fixed_scale)} vs "
+                                f"{rational_str(implied_scale)}"
+                            ),
+                            ports=(component.fixed_by, port_ref),
+                        )
+                    )
+
+        # Maximum rates cap the component scale.
+        for port_ref, rho in component.relative_rates.items():
+            port = ports[port_ref]
+            if port.max_rate is not None:
+                cap = port.max_rate / rho
+                if component.scale_cap is None or cap < component.scale_cap:
+                    component.scale_cap = cap
+                    component.capped_by = port_ref
+
+        # A fixed scale above the cap is itself a conflict (the source/sink is
+        # faster than some component on its path can ever be).
+        if (
+            component.fixed_scale is not None
+            and component.scale_cap is not None
+            and component.fixed_scale > component.scale_cap
+        ):
+            conflicts.append(
+                RateConflict(
+                    kind="fixed",
+                    message=(
+                        f"required scale {rational_str(component.fixed_scale)} (from {component.fixed_by}) "
+                        f"exceeds the maximum-rate cap {rational_str(component.scale_cap)} "
+                        f"(from {component.capped_by})"
+                    ),
+                    ports=tuple(x for x in (component.fixed_by, component.capped_by) if x is not None),
+                )
+            )
+
+    return RateStructure(components=components, port_component=port_component, conflicts=conflicts)

@@ -1,0 +1,58 @@
+"""Synchronous Dataflow (SDF) substrate.
+
+Provides the dataflow abstraction the OIL compiler passes through on the way
+from tasks to CTA components, plus the exact (exponential) SDF analyses used
+as baselines:
+
+* :mod:`repro.dataflow.sdf` -- graphs, actors, edges, buffers,
+* :mod:`repro.dataflow.analysis` -- repetition vectors, consistency,
+  deadlock-freedom and static-order schedules,
+* :mod:`repro.dataflow.hsdf` -- homogeneous expansion,
+* :mod:`repro.dataflow.mcr` -- throughput via maximum cycle ratio,
+* :mod:`repro.dataflow.statespace` -- exact self-timed state-space analysis,
+* :mod:`repro.dataflow.buffer_sizing` -- baseline buffer sizing.
+"""
+
+from repro.dataflow.sdf import Actor, SDFEdge, SDFGraph
+from repro.dataflow.analysis import (
+    DeadlockResult,
+    RepetitionVector,
+    SDFConsistencyError,
+    check_deadlock,
+    is_consistent,
+    iteration_token_balance,
+    repetition_vector,
+)
+from repro.dataflow.hsdf import HSDFStatistics, expansion_statistics, firing_name, to_hsdf
+from repro.dataflow.mcr import ThroughputResult, hsdf_maximum_cycle_ratio, sdf_throughput
+from repro.dataflow.statespace import StateSpaceResult, self_timed_statespace
+from repro.dataflow.buffer_sizing import (
+    SDFBufferSizingResult,
+    minimal_buffer_capacities,
+    size_sdf_buffers,
+)
+
+__all__ = [
+    "Actor",
+    "SDFEdge",
+    "SDFGraph",
+    "DeadlockResult",
+    "RepetitionVector",
+    "SDFConsistencyError",
+    "check_deadlock",
+    "is_consistent",
+    "iteration_token_balance",
+    "repetition_vector",
+    "HSDFStatistics",
+    "expansion_statistics",
+    "firing_name",
+    "to_hsdf",
+    "ThroughputResult",
+    "hsdf_maximum_cycle_ratio",
+    "sdf_throughput",
+    "StateSpaceResult",
+    "self_timed_statespace",
+    "SDFBufferSizingResult",
+    "minimal_buffer_capacities",
+    "size_sdf_buffers",
+]

@@ -1,0 +1,121 @@
+"""Conversion of SDF graphs to Homogeneous SDF (HSDF).
+
+The classical exact throughput analysis of an SDF graph expands the graph into
+its homogeneous equivalent: every actor ``a`` is replaced by ``q[a]`` copies
+(one per firing in an iteration, where ``q`` is the repetition vector) and
+every edge is replaced by single-token-rate edges connecting the producing
+firing to the consuming firing of each token.  The expansion can blow up the
+graph by a factor equal to the sum of the repetition vector -- which is one of
+the reasons the paper argues exact SDF analysis has exponential complexity for
+multi-rate graphs, while the CTA abstraction stays polynomial in the size of
+the *program*.
+
+The expansion implemented here uses the standard token-index construction:
+token ``k`` (0-based, counting from the start of the iteration and including
+initial tokens) produced on edge ``e`` is consumed by firing
+``floor(k / consumption)`` of the consumer; tokens carried over to the next
+iteration become edges with one initial token between the corresponding
+firings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dataflow.analysis import repetition_vector
+from repro.dataflow.sdf import SDFGraph
+
+
+def firing_name(actor: str, index: int) -> str:
+    """Name of the *index*-th firing of *actor* in the HSDF expansion."""
+    return f"{actor}#{index}"
+
+
+def to_hsdf(graph: SDFGraph) -> SDFGraph:
+    """Expand *graph* into its homogeneous (single-rate) equivalent.
+
+    Every actor ``a`` becomes ``q[a]`` firing actors with the same firing
+    duration.  Every token flowing over an edge within one iteration becomes a
+    precedence edge between the producing and consuming firing; tokens that
+    wrap around to the next iteration carry one initial token.  Additionally,
+    consecutive firings of the same actor are serialised with a cycle of
+    edges carrying a single initial token on the wrap-around edge, modelling
+    that a task does not fire auto-concurrently (the paper's tasks are
+    sequential code fragments on a processor).
+    """
+    q = repetition_vector(graph)
+    hsdf = SDFGraph(f"{graph.name}_hsdf")
+
+    for actor in graph.actors.values():
+        for i in range(q[actor.name]):
+            hsdf.add_actor(firing_name(actor.name, i), firing_duration=actor.firing_duration)
+
+    # Serialise firings of the same actor (no auto-concurrency).
+    for actor in graph.actors.values():
+        copies = q[actor.name]
+        if copies == 1:
+            hsdf.add_edge(
+                f"{actor.name}.self",
+                firing_name(actor.name, 0),
+                firing_name(actor.name, 0),
+                initial_tokens=1,
+            )
+            continue
+        for i in range(copies):
+            nxt = (i + 1) % copies
+            hsdf.add_edge(
+                f"{actor.name}.seq{i}",
+                firing_name(actor.name, i),
+                firing_name(actor.name, nxt),
+                initial_tokens=1 if nxt == 0 else 0,
+            )
+
+    # Expand every SDF edge token-wise.
+    edge_counter = 0
+    for edge in graph.edges.values():
+        produced_per_iteration = q[edge.producer] * edge.production
+        # Token k (0-based, global numbering including initial tokens) is
+        # consumed by firing floor(k / consumption) of the consumer (within
+        # some iteration).  Token k produced in this iteration has index
+        # edge.initial_tokens + k'.
+        for k_prod in range(produced_per_iteration):
+            producer_firing = k_prod // edge.production
+            token_index = edge.initial_tokens + k_prod
+            consumer_firing_global = token_index // edge.consumption
+            iteration_offset, consumer_firing = divmod(consumer_firing_global, q[edge.consumer])
+            edge_counter += 1
+            hsdf.add_edge(
+                f"{edge.name}.t{edge_counter}",
+                firing_name(edge.producer, producer_firing),
+                firing_name(edge.consumer, consumer_firing),
+                initial_tokens=iteration_offset,
+                buffer_name=edge.buffer_name,
+            )
+
+    return hsdf
+
+
+@dataclass
+class HSDFStatistics:
+    """Size statistics of an HSDF expansion, used by the scaling benchmark."""
+
+    sdf_actors: int
+    sdf_edges: int
+    hsdf_actors: int
+    hsdf_edges: int
+
+    @property
+    def actor_blowup(self) -> float:
+        return self.hsdf_actors / max(self.sdf_actors, 1)
+
+
+def expansion_statistics(graph: SDFGraph) -> HSDFStatistics:
+    """Return the size blow-up caused by the HSDF expansion of *graph*."""
+    hsdf = to_hsdf(graph)
+    return HSDFStatistics(
+        sdf_actors=len(graph.actors),
+        sdf_edges=len(graph.edges),
+        hsdf_actors=len(hsdf.actors),
+        hsdf_edges=len(hsdf.edges),
+    )

@@ -1,0 +1,117 @@
+"""Throughput analysis of (H)SDF graphs via maximum cycle ratio.
+
+For a homogeneous SDF graph executing self-timed, every actor fires in steady
+state with an average period equal to the *maximum cycle ratio* (MCR, also
+called maximum cycle mean): the maximum over all cycles of the summed firing
+durations divided by the summed initial tokens on the cycle.  A cycle without
+initial tokens and with positive execution time deadlocks the graph.
+
+For a general (multi-rate) SDF graph the exact value requires the HSDF
+expansion (:mod:`repro.dataflow.hsdf`), whose size grows with the repetition
+vector -- the exponential cost in the problem size that the paper contrasts
+with the polynomial CTA analysis.  The cycle-ratio computation itself is
+polynomial in the size of the *expanded* graph and reuses the Newton-iteration
+implementation of :mod:`repro.util.graphs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.dataflow.analysis import repetition_vector
+from repro.dataflow.hsdf import to_hsdf
+from repro.dataflow.sdf import SDFGraph
+from repro.util.graphs import ConstraintGraph
+from repro.util.rational import Rat
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput of an (H)SDF graph under self-timed execution.
+
+    ``cycle_ratio``
+        The maximum cycle ratio (seconds per firing around the critical
+        cycle); ``None`` when no cycle constrains the rate.
+    ``iteration_period``
+        Average time between starts of complete graph iterations in steady
+        state (equals the cycle ratio for strongly connected expansions).
+    ``actor_throughput``
+        Firings per second each *original* SDF actor sustains in steady state
+        (``q[a] / iteration_period``).
+    ``deadlocked``
+        True when a token-free cycle with positive execution time exists.
+    """
+
+    cycle_ratio: Optional[Rat]
+    iteration_period: Optional[Rat]
+    actor_throughput: Dict[str, Rat]
+    deadlocked: bool = False
+
+    def throughput_of(self, actor: str) -> Optional[Rat]:
+        return self.actor_throughput.get(actor)
+
+
+def hsdf_maximum_cycle_ratio(hsdf: SDFGraph) -> Optional[Rat]:
+    """Maximum cycle ratio of a homogeneous graph (``None`` when acyclic).
+
+    Raises
+    ------
+    ValueError
+        If the graph deadlocks (a cycle without initial tokens has positive
+        execution time).
+    """
+    graph = ConstraintGraph()
+    for edge in hsdf.edges.values():
+        producer = hsdf.actor(edge.producer)
+        # Weight: execution time "paid" when traversing this edge (the firing
+        # duration of the producing actor); parametric: initial tokens.
+        graph.add_edge(
+            edge.producer,
+            edge.consumer,
+            producer.firing_duration,
+            parametric=edge.initial_tokens,
+            label=edge.name,
+        )
+    result = graph.maximum_cycle_ratio()
+    if result.unbounded:
+        raise ValueError(
+            "graph deadlocks: a cycle without initial tokens has positive execution time "
+            f"(witness: {[e.label for e in result.cycle]})"
+        )
+    return result.ratio
+
+
+def sdf_throughput(graph: SDFGraph) -> ThroughputResult:
+    """Exact self-timed throughput of an SDF graph via its HSDF expansion.
+
+    Every actor ``a`` fires ``q[a]`` times per iteration; in steady state the
+    iteration period equals the maximum cycle ratio of the expansion, so the
+    sustained rate of ``a`` is ``q[a] / MCR`` firings per second.  For graphs
+    whose expansion is not strongly connected this is a conservative (lower)
+    bound on the achievable rate of actors outside the critical cycle.
+    """
+    if not graph.actors:
+        return ThroughputResult(None, None, {})
+    q = repetition_vector(graph)
+    hsdf = to_hsdf(graph)
+    try:
+        mcr = hsdf_maximum_cycle_ratio(hsdf)
+    except ValueError:
+        return ThroughputResult(None, None, {}, deadlocked=True)
+
+    if mcr is None or mcr <= 0:
+        # No cycle with execution time limits the rate (all firing durations
+        # on cycles are zero): the throughput is unbounded in the timed
+        # abstraction.
+        return ThroughputResult(mcr, None, {a: Fraction(0) for a in graph.actors})
+
+    iteration_period = mcr
+    actor_throughput = {a: Fraction(q[a]) / iteration_period for a in graph.actors}
+    return ThroughputResult(
+        cycle_ratio=mcr,
+        iteration_period=iteration_period,
+        actor_throughput=actor_throughput,
+        deadlocked=False,
+    )

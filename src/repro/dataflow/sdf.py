@@ -1,0 +1,229 @@
+"""Synchronous Dataflow (SDF) graphs.
+
+The OIL compiler uses a dataflow abstraction as the intermediate step between
+tasks and CTA components (Sec. V-B.1, following Lee & Parks and Hausmans et
+al.): every task becomes an actor with a firing duration; every buffer becomes
+a pair of oppositely directed edges (a data edge and a space edge) carrying
+initial tokens equal to, respectively, the initially available values and the
+free capacity.
+
+This module defines the SDF data structures.  Analyses (repetition vector,
+consistency, deadlock-freedom, throughput) live in
+:mod:`repro.dataflow.analysis`, :mod:`repro.dataflow.mcr` and
+:mod:`repro.dataflow.statespace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.rational import Rat, RationalLike, as_rational
+from repro.util.validation import check_identifier, check_non_negative, check_positive, require
+
+
+@dataclass
+class Actor:
+    """An SDF actor.
+
+    ``firing_duration`` (the response time of the corresponding task, in
+    seconds) bounds the time between consumption of input tokens and
+    production of output tokens, and thereby the actor's maximum firing rate.
+    """
+
+    name: str
+    firing_duration: Rat = Fraction(0)
+    #: arbitrary metadata (guard condition, originating statement, ...)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "actor name")
+        self.firing_duration = as_rational(self.firing_duration)
+        check_non_negative(self.firing_duration, "firing_duration")
+
+    def __hash__(self) -> int:
+        return hash(("actor", self.name))
+
+
+@dataclass
+class SDFEdge:
+    """A directed SDF edge (channel) from ``producer`` to ``consumer``.
+
+    ``production`` tokens are produced per firing of the producer,
+    ``consumption`` tokens consumed per firing of the consumer and
+    ``initial_tokens`` tokens are present initially.
+    """
+
+    name: str
+    producer: str
+    consumer: str
+    production: int = 1
+    consumption: int = 1
+    initial_tokens: int = 0
+    #: when this edge is one direction of a finite buffer, the buffer's name
+    buffer_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name, "edge name")
+        check_positive(self.production, "production rate")
+        check_positive(self.consumption, "consumption rate")
+        check_non_negative(self.initial_tokens, "initial tokens")
+
+    def __hash__(self) -> int:
+        return hash(("edge", self.name))
+
+
+class SDFGraph:
+    """A Synchronous Dataflow graph."""
+
+    def __init__(self, name: str = "sdf") -> None:
+        check_identifier(name, "graph name")
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        self._edges: Dict[str, SDFEdge] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_actor(
+        self,
+        name: str,
+        *,
+        firing_duration: RationalLike = 0,
+        **metadata: object,
+    ) -> Actor:
+        """Add an actor and return it."""
+        require(name not in self._actors, f"duplicate actor {name!r}")
+        actor = Actor(name, as_rational(firing_duration), dict(metadata))
+        self._actors[name] = actor
+        return actor
+
+    def add_edge(
+        self,
+        name: str,
+        producer: str,
+        consumer: str,
+        *,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        buffer_name: Optional[str] = None,
+    ) -> SDFEdge:
+        """Add an edge and return it."""
+        require(name not in self._edges, f"duplicate edge {name!r}")
+        require(producer in self._actors, f"unknown producer actor {producer!r}")
+        require(consumer in self._actors, f"unknown consumer actor {consumer!r}")
+        edge = SDFEdge(
+            name,
+            producer,
+            consumer,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens,
+            buffer_name=buffer_name,
+        )
+        self._edges[name] = edge
+        return edge
+
+    def add_buffer(
+        self,
+        name: str,
+        producer: str,
+        consumer: str,
+        *,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        capacity: Optional[int] = None,
+    ) -> Tuple[SDFEdge, Optional[SDFEdge]]:
+        """Model a finite-capacity buffer as a data edge plus a reverse space edge.
+
+        The data edge carries ``initial_tokens``; the space edge (present only
+        when *capacity* is given) carries ``capacity - initial_tokens`` tokens,
+        modelling the free locations the producer may still claim.
+        """
+        data = self.add_edge(
+            f"{name}.data",
+            producer,
+            consumer,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens,
+            buffer_name=name,
+        )
+        space: Optional[SDFEdge] = None
+        if capacity is not None:
+            require(
+                capacity >= initial_tokens,
+                f"buffer {name!r}: capacity {capacity} below initial token count {initial_tokens}",
+            )
+            space = self.add_edge(
+                f"{name}.space",
+                consumer,
+                producer,
+                production=consumption,
+                consumption=production,
+                initial_tokens=capacity - initial_tokens,
+                buffer_name=name,
+            )
+        return data, space
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def actors(self) -> Mapping[str, Actor]:
+        return dict(self._actors)
+
+    @property
+    def edges(self) -> Mapping[str, SDFEdge]:
+        return dict(self._edges)
+
+    def actor(self, name: str) -> Actor:
+        require(name in self._actors, f"unknown actor {name!r}")
+        return self._actors[name]
+
+    def edge(self, name: str) -> SDFEdge:
+        require(name in self._edges, f"unknown edge {name!r}")
+        return self._edges[name]
+
+    def in_edges(self, actor: str) -> List[SDFEdge]:
+        return [e for e in self._edges.values() if e.consumer == actor]
+
+    def out_edges(self, actor: str) -> List[SDFEdge]:
+        return [e for e in self._edges.values() if e.producer == actor]
+
+    def __contains__(self, actor: str) -> bool:
+        return actor in self._actors
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    # ------------------------------------------------------------- utilities
+    def copy(self, name: Optional[str] = None) -> "SDFGraph":
+        """A deep-enough copy (actors and edges are re-created)."""
+        clone = SDFGraph(name or self.name)
+        for actor in self._actors.values():
+            clone.add_actor(actor.name, firing_duration=actor.firing_duration, **actor.metadata)
+        for edge in self._edges.values():
+            clone.add_edge(
+                edge.name,
+                edge.producer,
+                edge.consumer,
+                production=edge.production,
+                consumption=edge.consumption,
+                initial_tokens=edge.initial_tokens,
+                buffer_name=edge.buffer_name,
+            )
+        return clone
+
+    def summary(self) -> str:
+        lines = [f"SDF graph {self.name!r}: {len(self._actors)} actors, {len(self._edges)} edges"]
+        for actor in self._actors.values():
+            lines.append(f"  actor {actor.name} (rho={actor.firing_duration})")
+        for edge in self._edges.values():
+            lines.append(
+                f"  edge {edge.name}: {edge.producer} -[{edge.production}]-> "
+                f"[{edge.consumption}]- {edge.consumer}, d={edge.initial_tokens}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SDFGraph {self.name!r} actors={len(self._actors)} edges={len(self._edges)}>"

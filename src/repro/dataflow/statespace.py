@@ -1,0 +1,167 @@
+"""Exact self-timed state-space analysis of SDF graphs.
+
+This is the *exponential* baseline the paper argues against for modal
+multi-rate systems (Sec. II: "exact analysis algorithms to verify the
+satisfaction of temporal constraints have an exponential time complexity").
+The analysis executes the graph self-timed (every actor fires as soon as all
+its input tokens are available), records the token/timestamp state after every
+completed iteration and detects the periodic phase when a state repeats.  The
+exact throughput is then read off the cycle of the state space.
+
+The state space can grow with the product of buffer capacities and repetition
+vector entries, which is exponential in the size of the description -- the
+scaling benchmark (`benchmarks/bench_scaling_analysis.py`) measures this
+against the polynomial CTA analysis.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.analysis import repetition_vector
+from repro.dataflow.sdf import SDFGraph
+from repro.util.rational import Rat
+
+
+@dataclass
+class StateSpaceResult:
+    """Result of the exact state-space throughput analysis."""
+
+    #: average time per graph iteration in the periodic phase (seconds)
+    iteration_period: Optional[Rat]
+    #: firings per second per actor in the periodic phase
+    actor_throughput: Dict[str, Rat] = field(default_factory=dict)
+    #: number of iterations simulated before the state repeated
+    transient_iterations: int = 0
+    #: length (in iterations) of the periodic phase
+    period_iterations: int = 0
+    #: number of discrete-event steps executed
+    events_processed: int = 0
+    deadlocked: bool = False
+
+
+def self_timed_statespace(
+    graph: SDFGraph,
+    *,
+    max_iterations: int = 10_000,
+) -> StateSpaceResult:
+    """Execute *graph* self-timed until the iteration state repeats.
+
+    Each actor fires as soon as every input edge holds enough tokens (tokens
+    are consumed atomically at the start of the firing and produced
+    ``firing_duration`` later).  Auto-concurrency is excluded: an actor has at
+    most one firing in flight, matching the task semantics of the OIL runtime.
+
+    The state recorded after every complete iteration is the vector of token
+    counts plus the relative completion times of in-flight firings; a repeat
+    of this state means the execution has entered its periodic phase and the
+    exact iteration period is the time between the two occurrences divided by
+    the number of iterations in between.
+    """
+    q = repetition_vector(graph)
+    if not graph.actors:
+        return StateSpaceResult(None)
+
+    tokens: Dict[str, int] = {name: e.initial_tokens for name, e in graph.edges.items()}
+    busy_until: Dict[str, Optional[Rat]] = {a: None for a in graph.actors}
+    fired_in_iteration: Dict[str, int] = {a: 0 for a in graph.actors}
+
+    #: (completion_time, sequence, actor) min-heap of in-flight firings
+    in_flight: List[Tuple[Rat, int, str]] = []
+    sequence = 0
+    now: Rat = Fraction(0)
+    events = 0
+    completed_iterations = 0
+
+    #: state -> (iteration index, time)
+    seen: Dict[Tuple, Tuple[int, Rat]] = {}
+    iteration_times: List[Rat] = [Fraction(0)]
+
+    def try_start_firings() -> bool:
+        nonlocal sequence
+        started = False
+        progress = True
+        while progress:
+            progress = False
+            for actor_name, actor in graph.actors.items():
+                if busy_until[actor_name] is not None:
+                    continue
+                if all(tokens[e.name] >= e.consumption for e in graph.in_edges(actor_name)):
+                    for e in graph.in_edges(actor_name):
+                        tokens[e.name] -= e.consumption
+                    completion = now + actor.firing_duration
+                    busy_until[actor_name] = completion
+                    sequence += 1
+                    heapq.heappush(in_flight, (completion, sequence, actor_name))
+                    progress = True
+                    started = True
+        return started
+
+    def state_key() -> Tuple:
+        pending = tuple(
+            sorted((a, (t - now)) for a, t in busy_until.items() if t is not None)
+        )
+        return (tuple(sorted(tokens.items())), pending, tuple(sorted(fired_in_iteration.items())))
+
+    try_start_firings()
+    if not in_flight:
+        return StateSpaceResult(None, deadlocked=True)
+
+    while completed_iterations < max_iterations:
+        if not in_flight:
+            return StateSpaceResult(None, deadlocked=True, events_processed=events)
+        completion, _, actor_name = heapq.heappop(in_flight)
+        now = completion
+        events += 1
+        for e in graph.out_edges(actor_name):
+            tokens[e.name] += e.production
+        busy_until[actor_name] = None
+        fired_in_iteration[actor_name] += 1
+
+        # A complete iteration has finished when every actor reached its
+        # repetition count; reset the per-iteration counters.
+        if all(fired_in_iteration[a] >= q[a] for a in graph.actors):
+            for a in graph.actors:
+                fired_in_iteration[a] -= q[a]
+            completed_iterations += 1
+            iteration_times.append(now)
+            key = state_key()
+            if key in seen:
+                first_iteration, first_time = seen[key]
+                period_iterations = completed_iterations - first_iteration
+                period_time = now - first_time
+                iteration_period = period_time / period_iterations
+                throughput = {
+                    a: Fraction(q[a]) / iteration_period if iteration_period > 0 else Fraction(0)
+                    for a in graph.actors
+                }
+                return StateSpaceResult(
+                    iteration_period=iteration_period,
+                    actor_throughput=throughput,
+                    transient_iterations=first_iteration,
+                    period_iterations=period_iterations,
+                    events_processed=events,
+                )
+            seen[key] = (completed_iterations, now)
+
+        try_start_firings()
+
+    # Did not converge within the iteration budget; report the average period
+    # over the simulated horizon as an approximation.
+    if completed_iterations >= 1:
+        iteration_period = (iteration_times[-1] - iteration_times[0]) / completed_iterations
+        throughput = {
+            a: Fraction(q[a]) / iteration_period if iteration_period > 0 else Fraction(0)
+            for a in graph.actors
+        }
+        return StateSpaceResult(
+            iteration_period=iteration_period,
+            actor_throughput=throughput,
+            transient_iterations=completed_iterations,
+            period_iterations=0,
+            events_processed=events,
+        )
+    return StateSpaceResult(None, deadlocked=True, events_processed=events)

@@ -1,0 +1,32 @@
+"""Task-graph extraction from sequential OIL modules.
+
+* :mod:`repro.graph.taskgraph` -- tasks, buffers, loops, stream endpoints,
+* :mod:`repro.graph.extraction` -- the parallelisation front of ref. [5]
+  (one task per statement, guarded tasks, circular buffers per variable),
+* :mod:`repro.graph.circular_buffer` -- circular buffers with multiple
+  overlapping windows (ref. [26]) used by the runtime,
+* :mod:`repro.graph.schedule` -- SDF views and static-order schedules.
+"""
+
+from repro.graph.taskgraph import Access, BufferSpec, LoopInfo, StreamEndpoint, Task, TaskGraph
+from repro.graph.extraction import extract_task_graph
+from repro.graph.circular_buffer import CircularBuffer
+from repro.graph.schedule import (
+    schedule_length,
+    static_order_schedule,
+    task_graph_to_sdf,
+)
+
+__all__ = [
+    "Access",
+    "BufferSpec",
+    "LoopInfo",
+    "StreamEndpoint",
+    "Task",
+    "TaskGraph",
+    "extract_task_graph",
+    "CircularBuffer",
+    "schedule_length",
+    "static_order_schedule",
+    "task_graph_to_sdf",
+]

@@ -1,0 +1,226 @@
+"""Circular buffers with multiple overlapping windows.
+
+The OIL compiler communicates all data through circular buffers (CBs), a
+generalisation of FIFO buffers in which *multiple* producers and consumers are
+allowed (Bijlsma et al., ref. [26] of the paper).  The key ideas reproduced
+here:
+
+* the buffer is a fixed-capacity circular array of locations,
+* every producer and every consumer owns a *window* that slides over the
+  buffer; windows of different producers (or different consumers) may overlap
+  the same locations -- this is how two mutually exclusively guarded
+  assignments to the same variable (Fig. 4) can both be producers of one
+  buffer: they write the *same* location in a given iteration and exactly one
+  of them actually stores a value,
+* a producer *acquires* space (blocking while the buffer is full), optionally
+  writes values, and *releases* the locations to the consumers; a consumer
+  acquires full locations (blocking while empty), reads them, and releases the
+  space back to the producers,
+* releasing without writing is allowed (a guarded producer whose guard is
+  false); the location then retains its previous value, matching the
+  "functions remain guarded but tasks execute unconditionally" semantics.
+
+The implementation below is sequential (it is driven by the discrete-event
+simulator in :mod:`repro.runtime`, not by threads): ``can_acquire`` /
+``acquire`` / ``release`` never block, they simply report whether the
+operation is possible so the scheduler can decide whether a task may fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.validation import check_positive, require
+
+
+@dataclass
+class WindowState:
+    """Book-keeping for one producer or consumer window."""
+
+    name: str
+    #: index (in tokens since start) up to which the window has been released
+    released: int = 0
+    #: index up to which the window has been acquired
+    acquired: int = 0
+    #: inactive windows (tasks of a currently inactive mode/loop) are ignored
+    #: by the availability computations; see :meth:`CircularBuffer.set_producer_active`
+    active: bool = True
+
+    @property
+    def held(self) -> int:
+        return self.acquired - self.released
+
+
+class CircularBuffer:
+    """A bounded circular buffer with multiple producer and consumer windows.
+
+    Token indices are global (monotonically increasing); location ``i`` of the
+    underlying array stores token ``i mod capacity``.  A token is *available*
+    to consumers once **every** producer has released past it (for overlapped
+    producers exactly one of them has actually written the value, the others
+    released without writing).  Space for token ``i`` is available to
+    producers once every consumer has released past ``i - capacity``.
+    """
+
+    def __init__(self, name: str, capacity: int, *, initial_values: Sequence[Any] = ()) -> None:
+        check_positive(capacity, "capacity")
+        require(
+            len(initial_values) <= capacity,
+            f"buffer {name!r}: {len(initial_values)} initial values exceed capacity {capacity}",
+        )
+        self.name = name
+        self.capacity = capacity
+        self._storage: List[Any] = [None] * capacity
+        self._producers: Dict[str, WindowState] = {}
+        self._consumers: Dict[str, WindowState] = {}
+        self._initial = len(initial_values)
+        for index, value in enumerate(initial_values):
+            self._storage[index % capacity] = value
+
+    # ------------------------------------------------------------------ setup
+    def register_producer(self, name: str) -> None:
+        require(name not in self._producers, f"duplicate producer window {name!r}")
+        self._producers[name] = WindowState(name, released=self._initial, acquired=self._initial)
+
+    def register_consumer(self, name: str) -> None:
+        require(name not in self._consumers, f"duplicate consumer window {name!r}")
+        self._consumers[name] = WindowState(name)
+
+    # ------------------------------------------------------ window management
+    def _active_producers(self) -> List[WindowState]:
+        active = [w for w in self._producers.values() if w.active]
+        return active if active else list(self._producers.values())
+
+    def _active_consumers(self) -> List[WindowState]:
+        active = [w for w in self._consumers.values() if w.active]
+        return active if active else list(self._consumers.values())
+
+    def set_producer_active(self, name: str, active: bool) -> None:
+        """(De)activate a producer window.
+
+        Inactive windows belong to tasks of a currently inactive mode (a
+        while-loop that is not executing); they are excluded from the
+        availability computations so an idle mode never blocks the active one.
+        """
+        self._producers[name].active = active
+
+    def set_consumer_active(self, name: str, active: bool) -> None:
+        """(De)activate a consumer window (see :meth:`set_producer_active`)."""
+        self._consumers[name].active = active
+
+    def producer_position(self, name: str) -> int:
+        return self._producers[name].released
+
+    def consumer_position(self, name: str) -> int:
+        return self._consumers[name].released
+
+    def advance_producer_to(self, name: str, position: int) -> None:
+        """Move an idle producer window forward to *position* (mode switch:
+        the newly activated mode continues from the frontier the previous mode
+        left behind, mirroring the combination task of Sec. V-B.3)."""
+        window = self._producers[name]
+        require(window.held == 0, f"cannot reposition producer {name!r} mid-firing")
+        if position > window.released:
+            window.released = position
+            window.acquired = position
+
+    def advance_consumer_to(self, name: str, position: int) -> None:
+        """Move an idle consumer window forward to *position* (see
+        :meth:`advance_producer_to`)."""
+        window = self._consumers[name]
+        require(window.held == 0, f"cannot reposition consumer {name!r} mid-firing")
+        if position > window.released:
+            window.released = position
+            window.acquired = position
+
+    # ------------------------------------------------------------- occupancy
+    @property
+    def tokens_available(self) -> int:
+        """Number of tokens every (active) producer has released and no
+        (active) consumer has consumed yet."""
+        if not self._producers:
+            produced = self._initial
+        else:
+            produced = min(w.released for w in self._active_producers())
+        consumed = min((w.released for w in self._active_consumers()), default=0) if self._consumers else 0
+        return produced - consumed
+
+    @property
+    def space_available(self) -> int:
+        """Free locations from the point of view of the slowest producer."""
+        consumed = min((w.released for w in self._active_consumers()), default=None) if self._consumers else None
+        produced = max((w.acquired for w in self._producers.values()), default=self._initial)
+        if consumed is None:
+            return self.capacity - produced
+        return self.capacity - (produced - consumed)
+
+    def occupancy(self) -> int:
+        """Tokens currently stored (acquired-but-unconsumed locations included)."""
+        consumed = min((w.released for w in self._active_consumers()), default=0) if self._consumers else 0
+        produced = max((w.acquired for w in self._producers.values()), default=self._initial)
+        return produced - consumed
+
+    # ------------------------------------------------------------- producers
+    def can_produce(self, producer: str, count: int) -> bool:
+        """True when *producer* can acquire *count* locations."""
+        window = self._producers[producer]
+        consumed = min((w.released for w in self._active_consumers()), default=None) if self._consumers else None
+        if consumed is None:
+            return window.acquired + count - 0 <= self.capacity
+        return window.acquired + count - consumed <= self.capacity
+
+    def produce(self, producer: str, values: Optional[Sequence[Any]], count: int) -> None:
+        """Acquire *count* locations, write *values* (or keep the previous
+        contents when ``values`` is ``None``) and release them.
+
+        ``values`` must have exactly *count* elements when given.
+        """
+        require(self.can_produce(producer, count), f"buffer {self.name!r}: produce would overflow")
+        window = self._producers[producer]
+        if values is not None:
+            require(
+                len(values) == count,
+                f"buffer {self.name!r}: produced {len(values)} values, expected {count}",
+            )
+            for offset in range(count):
+                self._storage[(window.acquired + offset) % self.capacity] = values[offset]
+        window.acquired += count
+        window.released += count
+
+    # ------------------------------------------------------------- consumers
+    def can_consume(self, consumer: str, count: int) -> bool:
+        """True when *consumer* can acquire *count* full locations."""
+        window = self._consumers[consumer]
+        if self._producers:
+            produced = min(w.released for w in self._active_producers())
+        else:
+            produced = self._initial
+        return window.acquired + count <= produced
+
+    def consume(self, consumer: str, count: int) -> List[Any]:
+        """Acquire, read and release *count* tokens; returns the values."""
+        require(self.can_consume(consumer, count), f"buffer {self.name!r}: consume would underflow")
+        window = self._consumers[consumer]
+        values = [
+            self._storage[(window.acquired + offset) % self.capacity] for offset in range(count)
+        ]
+        window.acquired += count
+        window.released += count
+        return values
+
+    def peek(self, consumer: str, count: int) -> List[Any]:
+        """Read *count* tokens without releasing them (used by sinks that
+        re-read the last value, e.g. an audio mute repeating a sample)."""
+        require(self.can_consume(consumer, count), f"buffer {self.name!r}: peek would underflow")
+        window = self._consumers[consumer]
+        return [
+            self._storage[(window.acquired + offset) % self.capacity] for offset in range(count)
+        ]
+
+    # ------------------------------------------------------------- reporting
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<CircularBuffer {self.name!r} capacity={self.capacity} "
+            f"occupancy={self.occupancy()}>"
+        )

@@ -1,0 +1,297 @@
+"""Extraction of task graphs from sequential OIL modules.
+
+Implements the parallelisation front of ref. [5] as summarised in Sec. IV of
+the paper:
+
+* every function call and assignment statement becomes a task,
+* tasks created from statements guarded by ``if``/``switch`` are executed
+  unconditionally; the guard is kept on the task and applied to the function
+  or assignment *inside* the task, and the variables the guard reads become
+  additional inputs of the task,
+* every local variable becomes a circular buffer with one producer per
+  writing statement and one consumer per reading statement,
+* every stream parameter becomes a buffer whose opposite side lives outside
+  the module; values written to output streams before the first loop become
+  the buffer's initial tokens (this is how the four initial values of the
+  Fig. 2 example enter the model),
+* while-loops are recorded with their nesting structure so the CTA derivation
+  can create one component per loop (Sec. V-B.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.taskgraph import Access, BufferSpec, LoopInfo, StreamEndpoint, Task, TaskGraph
+from repro.lang import ast
+from repro.lang.errors import OilSemanticError
+
+
+class _ExtractionState:
+    """Mutable traversal state."""
+
+    def __init__(self, module: ast.SequentialModule) -> None:
+        self.module = module
+        self.graph = TaskGraph(module.name)
+        self.order = 0
+        self.task_counter: Dict[str, int] = {}
+
+    def next_order(self) -> int:
+        self.order += 1
+        return self.order
+
+    def task_name(self, base: str) -> str:
+        index = self.task_counter.get(base, 0)
+        self.task_counter[base] = index + 1
+        if index == 0:
+            return f"t_{base}"
+        return f"t_{base}_{index + 1}"
+
+
+def extract_task_graph(module: ast.SequentialModule) -> TaskGraph:
+    """Extract the task graph of a sequential OIL module."""
+    state = _ExtractionState(module)
+    graph = state.graph
+
+    params = {p.name: p for p in module.params}
+    for param in module.params:
+        graph.streams[param.name] = StreamEndpoint(name=param.name, is_output=param.is_output)
+        graph.add_buffer(
+            BufferSpec(name=param.name, kind="stream-out" if param.is_output else "stream-in")
+        )
+    for variable in module.variables:
+        graph.add_buffer(BufferSpec(name=variable.name, kind="variable"))
+
+    _walk_statements(state, module.body, loop=None, guard=None, guard_reads=[])
+
+    _finalise_streams(graph, params)
+    return graph
+
+
+# --------------------------------------------------------------------------
+# traversal
+# --------------------------------------------------------------------------
+
+def _conjoin(left: Optional[ast.Expression], right: ast.Expression) -> ast.Expression:
+    if left is None:
+        return right
+    return ast.BinaryOp("and", left, right)
+
+
+def _negate(expression: ast.Expression) -> ast.Expression:
+    return ast.UnaryOp("!", expression)
+
+
+def _walk_statements(
+    state: _ExtractionState,
+    statements,
+    *,
+    loop: Optional[str],
+    guard: Optional[ast.Expression],
+    guard_reads: List[Tuple[str, int]],
+) -> None:
+    loop_counter = 0
+    for statement in statements:
+        if isinstance(statement, (ast.Assignment, ast.FunctionCall)):
+            _make_task(state, statement, loop=loop, guard=guard, guard_reads=guard_reads)
+        elif isinstance(statement, ast.IfStatement):
+            condition_reads = list(ast.expression_stream_reads(statement.condition))
+            _walk_statements(
+                state,
+                statement.then_body,
+                loop=loop,
+                guard=_conjoin(guard, statement.condition),
+                guard_reads=guard_reads + condition_reads,
+            )
+            if statement.else_body:
+                _walk_statements(
+                    state,
+                    statement.else_body,
+                    loop=loop,
+                    guard=_conjoin(guard, _negate(statement.condition)),
+                    guard_reads=guard_reads + condition_reads,
+                )
+        elif isinstance(statement, ast.SwitchStatement):
+            selector_reads = list(ast.expression_stream_reads(statement.selector))
+            matched: Optional[ast.Expression] = None
+            for case in statement.cases:
+                case_condition = ast.BinaryOp(
+                    "==", statement.selector, ast.NumberLiteral(case.value)
+                )
+                matched = case_condition if matched is None else ast.BinaryOp("or", matched, case_condition)
+                _walk_statements(
+                    state,
+                    case.body,
+                    loop=loop,
+                    guard=_conjoin(guard, case_condition),
+                    guard_reads=guard_reads + selector_reads,
+                )
+            default_guard = _negate(matched) if matched is not None else None
+            if statement.default:
+                _walk_statements(
+                    state,
+                    statement.default,
+                    loop=loop,
+                    guard=_conjoin(guard, default_guard) if default_guard is not None else guard,
+                    guard_reads=guard_reads + selector_reads,
+                )
+        elif isinstance(statement, ast.LoopStatement):
+            if guard is not None:
+                raise OilSemanticError(
+                    f"module {state.module.name!r}: while-loops nested inside if/switch "
+                    "statements are not supported by the task extraction"
+                )
+            if loop is None:
+                identifier = f"loop{loop_counter}"
+            else:
+                identifier = f"{loop}.loop{loop_counter}"
+            loop_counter += 1
+            state.graph.add_loop(
+                LoopInfo(
+                    identifier=identifier,
+                    parent=loop,
+                    condition=statement.condition,
+                    order=state.next_order(),
+                )
+            )
+            _walk_statements(
+                state,
+                statement.body,
+                loop=identifier,
+                guard=None,
+                guard_reads=[],
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported statement {type(statement).__name__}")
+
+
+def _make_task(
+    state: _ExtractionState,
+    statement,
+    *,
+    loop: Optional[str],
+    guard: Optional[ast.Expression],
+    guard_reads: List[Tuple[str, int]],
+) -> Task:
+    graph = state.graph
+
+    if isinstance(statement, ast.Assignment):
+        base = statement.target
+        kind = "assignment"
+        function = _single_function_name(statement.expression)
+        writes = [(statement.target, 1)]
+        reads = list(ast.expression_stream_reads(statement.expression))
+    else:
+        base = statement.name
+        kind = "call"
+        function = statement.name
+        writes = [
+            (argument.name, argument.count)
+            for argument in statement.arguments
+            if isinstance(argument, ast.OutArgument)
+        ]
+        reads = []
+        for argument in statement.arguments:
+            if isinstance(argument, ast.InArgument):
+                reads.extend(ast.expression_stream_reads(argument.expression))
+
+    if loop is None:
+        kind = "init" if kind == "call" else kind
+
+    # Guard variables are additional inputs of the task (the task must know
+    # the guard's value to decide whether to execute its body).
+    reads = reads + [r for r in guard_reads if r not in reads]
+
+    task = Task(
+        name=state.task_name(base),
+        kind=kind,
+        statement=statement,
+        function=function,
+        guard=guard,
+        loop=loop,
+        reads=[Access(name, count) for name, count in _merge_accesses(reads, mode="max")],
+        writes=[Access(name, count) for name, count in _merge_accesses(writes, mode="sum")],
+        order=state.next_order(),
+    )
+    graph.add_task(task)
+
+    for access in task.reads:
+        buffer = _buffer_for(graph, access.buffer)
+        buffer.consumers.append((task.name, access.count))
+    for access in task.writes:
+        buffer = _buffer_for(graph, access.buffer)
+        buffer.producers.append((task.name, access.count))
+
+    return task
+
+
+def _merge_accesses(accesses: List[Tuple[str, int]], *, mode: str = "sum") -> List[Tuple[str, int]]:
+    """Merge repeated accesses to the same buffer within one statement.
+
+    Reads are merged with ``max``: reading the same variable or stream several
+    times inside one statement (e.g. in the guard and as an argument) observes
+    the *same* values, so the statement only needs the largest access count
+    (Sec. IV-A: "the same value is read repeatedly").  Writes are merged with
+    ``sum``: every written value occupies its own location.
+    """
+    merged: Dict[str, int] = {}
+    order: List[str] = []
+    for name, count in accesses:
+        if name not in merged:
+            merged[name] = count
+            order.append(name)
+        elif mode == "max":
+            merged[name] = max(merged[name], count)
+        else:
+            merged[name] += count
+    return [(name, merged[name]) for name in order]
+
+
+def _single_function_name(expression: ast.Expression) -> Optional[str]:
+    """The function name when the expression is a single function call."""
+    if isinstance(expression, ast.FunctionExpr):
+        return expression.name
+    return None
+
+
+def _buffer_for(graph: TaskGraph, name: str) -> BufferSpec:
+    if name not in graph.buffers:
+        # Names not declared as variables or parameters should have been
+        # rejected by the semantic analysis; create a variable buffer so that
+        # extraction of not-yet-validated programs still works.
+        graph.add_buffer(BufferSpec(name=name, kind="variable"))
+    return graph.buffers[name]
+
+
+def _finalise_streams(graph: TaskGraph, params) -> None:
+    """Fill in the per-loop access counts and initial values of stream endpoints."""
+    for name, endpoint in graph.streams.items():
+        buffer = graph.buffers[name]
+        accesses = buffer.producers if endpoint.is_output else buffer.consumers
+        ordered_tasks = sorted(
+            (graph.tasks[task_name] for task_name, _ in accesses),
+            key=lambda t: t.order,
+        )
+        endpoint.accessing_tasks = [t.name for t in ordered_tasks]
+
+        # Values transferred per loop iteration: several statements accessing
+        # the same stream in one iteration still transfer only one access
+        # worth of values -- only the last written value becomes visible and
+        # repeated reads observe the same values (Sec. IV-A).
+        per_loop: Dict[str, int] = {}
+        last_order: Dict[str, int] = {}
+        initial = 0
+        for task_name, count in accesses:
+            task = graph.tasks[task_name]
+            if task.loop is None:
+                initial += count
+            elif endpoint.is_output:
+                if task.order >= last_order.get(task.loop, -1):
+                    last_order[task.loop] = task.order
+                    per_loop[task.loop] = count
+            else:
+                per_loop[task.loop] = max(per_loop.get(task.loop, 0), count)
+        endpoint.per_loop_counts = per_loop
+        endpoint.initial_values = initial
+        if endpoint.is_output:
+            buffer.initial_tokens = initial

@@ -1,0 +1,138 @@
+"""Dataflow views and static-order schedules of task graphs.
+
+Bridges the task graph extracted from a sequential OIL module to the SDF
+substrate:
+
+* :func:`task_graph_to_sdf` builds the SDF view of the tasks of one loop (or
+  of the whole single-loop module), with one actor per task and one channel
+  per buffer producer/consumer pair,
+* :func:`static_order_schedule` produces a single-processor static-order
+  schedule of one graph iteration -- the schedule a programmer of a purely
+  sequential language would have to find and encode by hand (Sec. III-A /
+  Fig. 2b); its length is what the Fig. 2 benchmark compares against the size
+  of the OIL specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dataflow.analysis import check_deadlock, repetition_vector
+from repro.dataflow.sdf import SDFGraph
+from repro.graph.taskgraph import TaskGraph
+
+
+def task_graph_to_sdf(
+    graph: TaskGraph,
+    *,
+    loop: Optional[str] = None,
+    include_streams: bool = True,
+    stream_capacity: Optional[int] = None,
+) -> SDFGraph:
+    """Build the SDF view of the tasks of *loop* (default: the unique top-level
+    loop when the module has exactly one, otherwise all tasks).
+
+    Buffers written and read by the selected tasks become SDF channels; buffers
+    connecting to the outside (stream parameters) become channels to/from
+    synthetic ``<stream>.env`` actors when ``include_streams`` is True, so the
+    resulting graph is closed and can be analysed for deadlock and throughput.
+    ``stream_capacity`` optionally bounds those environment channels.
+    """
+    if loop is None:
+        top = graph.top_level_loops()
+        loop = top[0].identifier if len(top) == 1 else None
+
+    if loop is not None:
+        tasks = [t for t in graph.tasks.values() if t.loop == loop]
+    else:
+        tasks = list(graph.tasks.values())
+    selected = {t.name for t in tasks}
+
+    sdf = SDFGraph(f"{graph.module_name}.{loop or 'all'}")
+    for task in sorted(tasks, key=lambda t: t.order):
+        sdf.add_actor(task.name, firing_duration=task.firing_duration)
+
+    env_actors: Dict[str, str] = {}
+
+    def env_actor(stream: str) -> str:
+        if stream not in env_actors:
+            name = f"{stream}.env"
+            sdf.add_actor(name, firing_duration=0)
+            env_actors[stream] = name
+        return env_actors[stream]
+
+    for buffer in graph.buffers.values():
+        producers = [(t, c) for t, c in buffer.producers if t in selected]
+        consumers = [(t, c) for t, c in buffer.consumers if t in selected]
+        external_producer = buffer.kind == "stream-in"
+        external_consumer = buffer.kind == "stream-out"
+
+        if external_producer and include_streams and consumers:
+            endpoint = graph.streams[buffer.name]
+            count = endpoint.per_loop_counts.get(loop, 0) if loop else max(
+                endpoint.per_loop_counts.values(), default=1
+            )
+            if count:
+                producers = [(env_actor(buffer.name), count)]
+        if external_consumer and include_streams and producers:
+            endpoint = graph.streams[buffer.name]
+            count = endpoint.per_loop_counts.get(loop, 0) if loop else max(
+                endpoint.per_loop_counts.values(), default=1
+            )
+            if count:
+                consumers = [(env_actor(buffer.name), count)]
+
+        if not producers or not consumers:
+            continue
+
+        # A channel per producer/consumer pair.  Multiple producers of a
+        # variable (mutually exclusive guarded writers) all feed every
+        # consumer; the initial tokens are attached to the first pair only.
+        initial_remaining = buffer.initial_tokens
+        for producer_name, production in producers:
+            for consumer_name, consumption in consumers:
+                edge_name = f"{buffer.name}.{producer_name}->{consumer_name}"
+                sdf.add_edge(
+                    edge_name,
+                    producer_name,
+                    consumer_name,
+                    production=production,
+                    consumption=consumption,
+                    initial_tokens=initial_remaining,
+                    buffer_name=buffer.name,
+                )
+                if stream_capacity is not None and (external_producer or external_consumer):
+                    sdf.add_edge(
+                        f"{edge_name}.space",
+                        consumer_name,
+                        producer_name,
+                        production=consumption,
+                        consumption=production,
+                        initial_tokens=max(stream_capacity - initial_remaining, 0),
+                        buffer_name=buffer.name,
+                    )
+                initial_remaining = 0
+
+    return sdf
+
+
+def static_order_schedule(sdf: SDFGraph) -> List[str]:
+    """A valid single-processor static-order schedule for one iteration.
+
+    This is the schedule that has to be spelled out explicitly when the same
+    application is written in a sequential language (Fig. 2b); the list
+    contains one entry per firing, so its length equals the sum of the
+    repetition vector.  Raises ``ValueError`` when the graph deadlocks.
+    """
+    result = check_deadlock(sdf)
+    if not result.deadlock_free:
+        raise ValueError(
+            f"graph {sdf.name!r} deadlocks; no static-order schedule exists "
+            f"(remaining firings: {result.remaining})"
+        )
+    return result.schedule
+
+
+def schedule_length(sdf: SDFGraph) -> int:
+    """The length of the static-order schedule (sum of the repetition vector)."""
+    return repetition_vector(sdf).total_firings()

@@ -1,0 +1,212 @@
+"""Task graphs extracted from sequential OIL modules.
+
+Parallelism is extracted from a sequential OIL module in the form of a task
+graph (Sec. IV, following ref. [5]):
+
+* a *task* is created for every function call and assignment statement; a
+  task whose statement is guarded by an ``if``/``switch`` executes
+  unconditionally but the function/assignment inside remains guarded,
+* for every variable a *circular buffer* is created; every statement writing
+  the variable becomes a producer, every statement reading it a consumer
+  (ref. [26] allows multiple producers and consumers on one buffer),
+* stream parameters of the module become buffers of kind "stream" whose other
+  end is outside the module,
+* values written to output streams before the first loop (e.g. the ``init``
+  call of Fig. 2c) become *initial tokens* of the corresponding buffer.
+
+The structures in this module are purely structural; the functional circular
+buffer used by the runtime lives in :mod:`repro.graph.circular_buffer` and the
+extraction itself in :mod:`repro.graph.extraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang import ast
+from repro.util.rational import Rat, as_rational
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class Access:
+    """One access of a task to a buffer: *count* values per execution."""
+
+    buffer: str
+    count: int
+
+    def __post_init__(self) -> None:
+        require(self.count >= 1, "access count must be at least 1")
+
+
+@dataclass
+class Task:
+    """A node of the task graph.
+
+    ``guard`` is the condition under which the task's body actually executes
+    (``None`` for unguarded statements); the task itself fires every
+    iteration of its innermost enclosing loop regardless of the guard.
+    ``loop`` is the identifier of that innermost loop (``None`` for statements
+    outside all loops, which execute exactly once at start-up).
+    """
+
+    name: str
+    kind: str  # "call" | "assignment" | "init"
+    statement: Optional[ast.Statement] = None
+    function: Optional[str] = None
+    guard: Optional[ast.Expression] = None
+    loop: Optional[str] = None
+    reads: List[Access] = field(default_factory=list)
+    writes: List[Access] = field(default_factory=list)
+    #: worst-case response time in seconds (assigned from the function registry)
+    firing_duration: Rat = Fraction(0)
+    #: position of the originating statement in the module's sequential order
+    order: int = 0
+
+    def reads_from(self, buffer: str) -> int:
+        return sum(a.count for a in self.reads if a.buffer == buffer)
+
+    def writes_to(self, buffer: str) -> int:
+        return sum(a.count for a in self.writes if a.buffer == buffer)
+
+
+@dataclass
+class BufferSpec:
+    """A circular buffer of the task graph.
+
+    ``kind`` is ``"variable"`` for module-local variables, ``"stream-in"`` /
+    ``"stream-out"`` for the module's stream parameters.  ``initial_tokens``
+    are values available before the steady-state loops start (produced by
+    statements outside any loop).
+    """
+
+    name: str
+    kind: str
+    producers: List[Tuple[str, int]] = field(default_factory=list)  # (task, count)
+    consumers: List[Tuple[str, int]] = field(default_factory=list)
+    initial_tokens: int = 0
+
+    @property
+    def production_per_iteration(self) -> int:
+        return sum(count for _, count in self.producers)
+
+    @property
+    def consumption_per_iteration(self) -> int:
+        return sum(count for _, count in self.consumers)
+
+
+@dataclass
+class LoopInfo:
+    """A while-loop of the module body.
+
+    ``identifier`` is a stable name ("loop0", "loop0.loop1", ...); ``parent``
+    the identifier of the enclosing loop (``None`` for top-level loops);
+    ``condition`` the loop condition (``while(1)`` marks infinite streaming
+    loops); ``order`` the loop's position in the sequential execution order.
+    """
+
+    identifier: str
+    parent: Optional[str]
+    condition: ast.Expression
+    order: int
+
+    @property
+    def is_infinite(self) -> bool:
+        return isinstance(self.condition, ast.NumberLiteral) and self.condition.value == 1
+
+
+@dataclass
+class StreamEndpoint:
+    """How the module as a whole uses one of its stream parameters."""
+
+    name: str
+    is_output: bool
+    #: per loop identifier: total values transferred per loop iteration
+    per_loop_counts: Dict[str, int] = field(default_factory=dict)
+    #: task names accessing the stream, in sequential program order
+    accessing_tasks: List[str] = field(default_factory=list)
+    #: values transferred before the first loop (initial writes)
+    initial_values: int = 0
+
+
+class TaskGraph:
+    """The complete task graph of one sequential OIL module."""
+
+    def __init__(self, module_name: str) -> None:
+        self.module_name = module_name
+        self.tasks: Dict[str, Task] = {}
+        self.buffers: Dict[str, BufferSpec] = {}
+        self.loops: Dict[str, LoopInfo] = {}
+        self.streams: Dict[str, StreamEndpoint] = {}
+
+    # ------------------------------------------------------------------ build
+    def add_task(self, task: Task) -> Task:
+        require(task.name not in self.tasks, f"duplicate task {task.name!r}")
+        self.tasks[task.name] = task
+        return task
+
+    def add_buffer(self, buffer: BufferSpec) -> BufferSpec:
+        require(buffer.name not in self.buffers, f"duplicate buffer {buffer.name!r}")
+        self.buffers[buffer.name] = buffer
+        return buffer
+
+    def add_loop(self, loop: LoopInfo) -> LoopInfo:
+        require(loop.identifier not in self.loops, f"duplicate loop {loop.identifier!r}")
+        self.loops[loop.identifier] = loop
+        return loop
+
+    # -------------------------------------------------------------- accessors
+    def tasks_in_loop(self, loop: Optional[str]) -> List[Task]:
+        return [t for t in self.tasks.values() if t.loop == loop]
+
+    def producers_of(self, buffer: str) -> List[Task]:
+        return [self.tasks[name] for name, _ in self.buffers[buffer].producers]
+
+    def consumers_of(self, buffer: str) -> List[Task]:
+        return [self.tasks[name] for name, _ in self.buffers[buffer].consumers]
+
+    def top_level_loops(self) -> List[LoopInfo]:
+        return sorted(
+            (l for l in self.loops.values() if l.parent is None), key=lambda l: l.order
+        )
+
+    def initialization_tasks(self) -> List[Task]:
+        """Tasks outside any loop (execute exactly once before steady state)."""
+        return sorted((t for t in self.tasks.values() if t.loop is None), key=lambda t: t.order)
+
+    def set_firing_durations(self, durations: Dict[str, Rat], default: Rat = Fraction(0)) -> None:
+        """Assign worst-case response times per coordinated function name."""
+        for task in self.tasks.values():
+            if task.function is not None and task.function in durations:
+                task.firing_duration = as_rational(durations[task.function])
+            elif task.kind == "assignment":
+                task.firing_duration = as_rational(durations.get("__assignment__", default))
+            else:
+                task.firing_duration = as_rational(durations.get(task.function or "", default))
+
+    # ------------------------------------------------------------- reporting
+    def summary(self) -> str:
+        lines = [
+            f"task graph of module {self.module_name!r}: "
+            f"{len(self.tasks)} tasks, {len(self.buffers)} buffers, {len(self.loops)} loops"
+        ]
+        for task in sorted(self.tasks.values(), key=lambda t: t.order):
+            guard = " [guarded]" if task.guard is not None else ""
+            loop = f" in {task.loop}" if task.loop else " (init)"
+            reads = ", ".join(f"{a.buffer}:{a.count}" for a in task.reads)
+            writes = ", ".join(f"{a.buffer}:{a.count}" for a in task.writes)
+            lines.append(f"  {task.name}{guard}{loop}: reads[{reads}] writes[{writes}]")
+        for buffer in self.buffers.values():
+            lines.append(
+                f"  buffer {buffer.name} ({buffer.kind}): producers={buffer.producers} "
+                f"consumers={buffer.consumers} initial={buffer.initial_tokens}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TaskGraph {self.module_name!r} tasks={len(self.tasks)} "
+            f"buffers={len(self.buffers)} loops={len(self.loops)}>"
+        )

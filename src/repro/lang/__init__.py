@@ -1,0 +1,53 @@
+"""The OIL language frontend.
+
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- turn OIL source text
+  into the AST of :mod:`repro.lang.ast` (grammar of Fig. 5),
+* :mod:`repro.lang.semantics` -- the language rules that make OIL analyzable
+  (single FIFO writer, output streams written every loop iteration, no
+  recursion, ...), plus black-box module declarations,
+* :mod:`repro.lang.pretty` -- unparser used for canonical listings and
+  round-trip tests,
+* :mod:`repro.lang.errors` -- diagnostics.
+"""
+
+from repro.lang import ast
+from repro.lang.errors import (
+    Diagnostic,
+    DiagnosticCollector,
+    OilError,
+    OilSemanticError,
+    OilSyntaxError,
+    SourceLocation,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_module, parse_program
+from repro.lang.pretty import format_module, format_program
+from repro.lang.semantics import (
+    AnalyzedProgram,
+    BlackBoxModule,
+    BlackBoxPort,
+    StreamAccessSummary,
+    analyze_program,
+)
+
+__all__ = [
+    "ast",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "OilError",
+    "OilSemanticError",
+    "OilSyntaxError",
+    "SourceLocation",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_module",
+    "parse_program",
+    "format_module",
+    "format_program",
+    "AnalyzedProgram",
+    "BlackBoxModule",
+    "BlackBoxPort",
+    "StreamAccessSummary",
+    "analyze_program",
+]

@@ -1,0 +1,365 @@
+"""Abstract syntax tree of the OIL language.
+
+The node classes follow the core grammar of Fig. 5:
+
+* a *program* is a list of module definitions (plus an optional anonymous
+  top-level ``mod par { ... }`` block as used by the PAL decoder of Fig. 11),
+* a ``mod par`` module declares FIFOs, sources, sinks and latency constraints
+  and instantiates other modules in parallel,
+* a ``mod seq`` module declares local variables and contains a sequential
+  statement list with ``if``, ``switch`` and ``loop ... while`` control
+  statements coordinating function calls and assignments,
+* streams are read with the colon notation ``r:n`` (n values per loop
+  iteration) and written with ``out r:n``.
+
+All nodes are frozen dataclasses carrying their source location, which keeps
+them hashable and makes the AST safe to share between the semantic analyser,
+the task-graph extractor and the pretty printer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.lang.errors import SourceLocation
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class of all expression nodes."""
+
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expression):
+    """An integer or decimal literal."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class VarRef(Expression):
+    """A reference to a local variable, parameter or stream (single value)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StreamRead(Expression):
+    """A multi-value stream read ``r:n`` (n values consumed per iteration)."""
+
+    name: str
+    count: int
+
+
+@dataclass(frozen=True)
+class FunctionExpr(Expression):
+    """A function call in expression position, e.g. ``g()`` in ``y = g();``."""
+
+    name: str
+    arguments: Tuple["Argument", ...] = ()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary arithmetic / comparison / logical operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation (negation or logical not)."""
+
+    op: str
+    operand: Expression
+
+
+# --------------------------------------------------------------------------
+# Arguments
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Argument:
+    """Base class of call-argument nodes."""
+
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class InArgument(Argument):
+    """A value argument (an expression evaluated and passed by value)."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class OutArgument(Argument):
+    """An output argument ``out x`` / ``out r:n`` (the callee produces values)."""
+
+    name: str
+    count: int = 1
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class of statement nodes."""
+
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    """``x = e;`` -- assignment to a variable or (single-value) output stream."""
+
+    target: str
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Statement):
+    """``F(a, out b:2, ...);`` -- a coordination-level function call."""
+
+    name: str
+    arguments: Tuple[Argument, ...] = ()
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """``if (e) { ... } else { ... }`` (the else branch may be empty)."""
+
+    condition: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class SwitchCase:
+    """One ``case n { ... }`` alternative of a switch statement."""
+
+    value: int
+    body: Tuple[Statement, ...]
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class SwitchStatement(Statement):
+    """``switch (e) case n { ... } ... default { ... }``."""
+
+    selector: Expression
+    cases: Tuple[SwitchCase, ...]
+    default: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class LoopStatement(Statement):
+    """``loop { ... } while (e);`` -- a do-while loop (body runs at least once).
+
+    ``while(1)`` denotes an infinite streaming loop; data-dependent conditions
+    select modes of the application.
+    """
+
+    body: Tuple[Statement, ...]
+    condition: Expression
+
+
+# --------------------------------------------------------------------------
+# Declarations inside modules
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariableDecl:
+    """``T x;`` -- a local variable of a sequential module."""
+
+    type_name: str
+    name: str
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class StreamParam:
+    """A stream parameter of a module: ``out T r`` or ``T r``."""
+
+    type_name: str
+    name: str
+    is_output: bool
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class FifoDecl:
+    """``fifo T x;`` (or ``fifo T x, y;`` which the parser expands)."""
+
+    type_name: str
+    name: str
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class SourceDecl:
+    """``source T x = F() @ n Hz;`` -- a periodic, time-triggered source."""
+
+    type_name: str
+    name: str
+    function: str
+    frequency_hz: Fraction
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class SinkDecl:
+    """``sink T x = F() @ n Hz;`` -- a periodic, time-triggered sink."""
+
+    type_name: str
+    name: str
+    function: str
+    frequency_hz: Fraction
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class LatencyDecl:
+    """``start x n ms after y;`` / ``start x n ms before y;``."""
+
+    subject: str
+    amount_seconds: Fraction
+    relation: str  # "after" | "before"
+    reference: str
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class CallArgument:
+    """An argument of a module instantiation: ``out r`` or ``r``."""
+
+    name: str
+    is_output: bool
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class ModuleCall:
+    """An instantiation ``A(out x, y)`` inside a parallel module."""
+
+    module: str
+    arguments: Tuple[CallArgument, ...]
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Modules and programs
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SequentialModule:
+    """``mod seq A(R) { V* S* }``."""
+
+    name: str
+    params: Tuple[StreamParam, ...]
+    variables: Tuple[VariableDecl, ...]
+    body: Tuple[Statement, ...]
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+@dataclass(frozen=True)
+class ParallelModule:
+    """``mod par A(R) { G* L* N }`` (name may be empty for the anonymous
+    top-level module of a program, e.g. the PAL decoder's main block)."""
+
+    name: str
+    params: Tuple[StreamParam, ...]
+    fifos: Tuple[FifoDecl, ...]
+    sources: Tuple[SourceDecl, ...]
+    sinks: Tuple[SinkDecl, ...]
+    latency_constraints: Tuple[LatencyDecl, ...]
+    calls: Tuple[ModuleCall, ...]
+    location: Optional[SourceLocation] = field(default=None, compare=False, kw_only=True)
+
+
+Module = Union[SequentialModule, ParallelModule]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete OIL program: a list of module definitions.
+
+    ``main`` is the anonymous or explicitly selected top-level parallel module
+    that instantiates the application; it may be ``None`` for library-only
+    programs (collections of modules meant to be composed elsewhere).
+    """
+
+    modules: Tuple[Module, ...]
+    main: Optional[ParallelModule] = None
+
+    def module(self, name: str) -> Module:
+        """Look up a module definition by name."""
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(f"program has no module named {name!r}")
+
+    def module_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.modules if m.name)
+
+    def sequential_modules(self) -> Tuple[SequentialModule, ...]:
+        return tuple(m for m in self.modules if isinstance(m, SequentialModule))
+
+    def parallel_modules(self) -> Tuple[ParallelModule, ...]:
+        return tuple(m for m in self.modules if isinstance(m, ParallelModule))
+
+
+# --------------------------------------------------------------------------
+# Small helpers used across the compiler
+# --------------------------------------------------------------------------
+
+def statement_children(statement: Statement) -> Tuple[Statement, ...]:
+    """The directly nested statements of a control statement (empty for
+    assignments and calls)."""
+    if isinstance(statement, IfStatement):
+        return statement.then_body + statement.else_body
+    if isinstance(statement, SwitchStatement):
+        children: Tuple[Statement, ...] = ()
+        for case in statement.cases:
+            children += case.body
+        return children + statement.default
+    if isinstance(statement, LoopStatement):
+        return statement.body
+    return ()
+
+
+def walk_statements(statements: Sequence[Statement]):
+    """Yield every statement in *statements* and all nested statements,
+    pre-order."""
+    for statement in statements:
+        yield statement
+        yield from walk_statements(statement_children(statement))
+
+
+def expression_stream_reads(expression: Expression):
+    """Yield ``(name, count)`` for every stream/variable read in *expression*."""
+    if isinstance(expression, VarRef):
+        yield expression.name, 1
+    elif isinstance(expression, StreamRead):
+        yield expression.name, expression.count
+    elif isinstance(expression, FunctionExpr):
+        for argument in expression.arguments:
+            if isinstance(argument, InArgument):
+                yield from expression_stream_reads(argument.expression)
+    elif isinstance(expression, BinaryOp):
+        yield from expression_stream_reads(expression.left)
+        yield from expression_stream_reads(expression.right)
+    elif isinstance(expression, UnaryOp):
+        yield from expression_stream_reads(expression.operand)

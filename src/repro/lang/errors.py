@@ -1,0 +1,87 @@
+"""Diagnostics for the OIL language frontend.
+
+All frontend errors carry a source location (line, column) and a message so
+that programs written against the reproduction get compiler-quality error
+reporting.  :class:`OilSyntaxError` is raised by the lexer/parser,
+:class:`OilSemanticError` by the semantic validator; both derive from
+:class:`OilError` so callers can catch either category or both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an OIL source text (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = f"{self.filename}:" if self.filename else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+
+class OilError(Exception):
+    """Base class for all OIL frontend errors."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.message = message
+        self.location = location
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        if self.location is not None:
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class OilSyntaxError(OilError):
+    """A lexical or syntactic error in an OIL program."""
+
+
+class OilSemanticError(OilError):
+    """A violation of the OIL language rules (Sec. IV)."""
+
+
+@dataclass
+class Diagnostic:
+    """A single semantic diagnostic (error or warning)."""
+
+    severity: str  # "error" | "warning"
+    message: str
+    location: Optional[SourceLocation] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        loc = f"{self.location}: " if self.location else ""
+        return f"{loc}{self.severity}: {self.message}"
+
+
+class DiagnosticCollector:
+    """Accumulates diagnostics during semantic analysis."""
+
+    def __init__(self) -> None:
+        self.diagnostics: List[Diagnostic] = []
+
+    def error(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("error", message, location))
+
+    def warning(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("warning", message, location))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            summary = "\n".join(str(d) for d in self.errors)
+            raise OilSemanticError(f"{len(self.errors)} semantic error(s):\n{summary}")

@@ -1,0 +1,181 @@
+"""Lexer for the OIL language.
+
+Converts OIL source text into a stream of :class:`~repro.lang.tokens.Token`
+objects.  The lexer accepts both the ASCII spelling ``||`` and the Unicode
+parallel-bars symbol ``‖`` used in the paper's listings for parallel module
+composition, C/C++-style line (``//``) and block (``/* */``) comments, and
+numbers with decimal points (``6.4`` in ``@ 6.4 MHz``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.errors import OilSyntaxError, SourceLocation
+from repro.lang.tokens import KEYWORDS, Token, TokenType
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ";": TokenType.SEMICOLON,
+    ",": TokenType.COMMA,
+    ":": TokenType.COLON,
+    "@": TokenType.AT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "\\": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+}
+
+
+class Lexer:
+    """Tokenises one OIL source text."""
+
+    def __init__(self, source: str, filename: Optional[str] = None) -> None:
+        self.source = source
+        self.filename = filename
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ utils
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.position : self.position + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.position += count
+        return text
+
+    # ------------------------------------------------------------------ main
+    def tokenize(self) -> List[Token]:
+        """Produce the full token list (terminated by an EOF token)."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.position >= len(self.source):
+                tokens.append(Token(TokenType.EOF, "", self._location()))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self.position < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.position >= len(self.source):
+                    raise OilSyntaxError("unterminated block comment", start)
+                self._advance(2)
+                continue
+            break
+
+    def _next_token(self) -> Token:
+        location = self._location()
+        ch = self._peek()
+
+        # parallel composition: '||' or the Unicode double bar
+        if ch == "|" and self._peek(1) == "|":
+            self._advance(2)
+            return Token(TokenType.PARALLEL, "||", location)
+        if ch in ("‖", "∥"):
+            self._advance()
+            return Token(TokenType.PARALLEL, "||", location)
+
+        # multi-character operators
+        if ch == "=" and self._peek(1) == "=":
+            self._advance(2)
+            return Token(TokenType.EQ, "==", location)
+        if ch == "!" and self._peek(1) == "=":
+            self._advance(2)
+            return Token(TokenType.NEQ, "!=", location)
+        if ch == "<" and self._peek(1) == "=":
+            self._advance(2)
+            return Token(TokenType.LE, "<=", location)
+        if ch == ">" and self._peek(1) == "=":
+            self._advance(2)
+            return Token(TokenType.GE, ">=", location)
+        if ch == "&" and self._peek(1) == "&":
+            self._advance(2)
+            return Token(TokenType.AND, "&&", location)
+
+        if ch == "=":
+            self._advance()
+            return Token(TokenType.ASSIGN, "=", location)
+        if ch == "<":
+            self._advance()
+            return Token(TokenType.LT, "<", location)
+        if ch == ">":
+            self._advance()
+            return Token(TokenType.GT, ">", location)
+        if ch == "!":
+            self._advance()
+            return Token(TokenType.NOT, "!", location)
+
+        if ch in _SINGLE_CHAR:
+            self._advance()
+            return Token(_SINGLE_CHAR[ch], ch, location)
+
+        if ch.isdigit():
+            return self._number(location)
+
+        if ch.isalpha() or ch == "_":
+            return self._identifier(location)
+
+        raise OilSyntaxError(f"unexpected character {ch!r}", location)
+
+    def _number(self, location: SourceLocation) -> Token:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.position]
+        value: object = float(text) if is_float else int(text)
+        return Token(TokenType.NUMBER, text, location, value)
+
+    def _identifier(self, location: SourceLocation) -> Token:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.position]
+        keyword = KEYWORDS.get(text)
+        if keyword is not None:
+            return Token(keyword, text, location)
+        return Token(TokenType.IDENT, text, location)
+
+
+def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
+    """Convenience wrapper: tokenise *source* and return the token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,547 @@
+"""Recursive-descent parser for the OIL language.
+
+Implements the core grammar of Fig. 5 with the small practical extensions the
+paper's listings use:
+
+* the anonymous top-level module ``mod par { ... }`` (Fig. 11),
+* frequencies with units (``@ 6.4 MHz``, ``@ 32 kHz``) and latency amounts
+  with units (``5 ms``),
+* comma-separated declarations (``fifo sample mas, mvs;``),
+* comparison / logical operators in conditions (needed to express the modes
+  the paper motivates; the published grammar elides condition syntax),
+* C-style comments.
+
+The parser produces the AST of :mod:`repro.lang.ast`; all language *rules*
+(single FIFO writer, output streams written every iteration, ...) are checked
+separately by :mod:`repro.lang.semantics`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import OilSyntaxError, SourceLocation
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+_FREQUENCY_UNITS = {
+    "hz": Fraction(1),
+    "khz": Fraction(1000),
+    "mhz": Fraction(10**6),
+    "ghz": Fraction(10**9),
+}
+
+_TIME_UNITS = {
+    "s": Fraction(1),
+    "sec": Fraction(1),
+    "ms": Fraction(1, 1000),
+    "us": Fraction(1, 10**6),
+    "ns": Fraction(1, 10**9),
+}
+
+
+def _number_to_fraction(token: Token) -> Fraction:
+    if isinstance(token.value, int):
+        return Fraction(token.value)
+    return Fraction(str(token.value))
+
+
+class Parser:
+    """Parses one OIL source text into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, source: str, filename: Optional[str] = None) -> None:
+        self.tokens = tokenize(source, filename)
+        self.index = 0
+
+    # ------------------------------------------------------------------ utils
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, token_type: TokenType, offset: int = 0) -> bool:
+        return self._peek(offset).type == token_type
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _expect(self, token_type: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise OilSyntaxError(
+                f"expected {what}, found {token.text!r}", token.location
+            )
+        return self._advance()
+
+    def _expect_ident(self, what: str) -> Token:
+        return self._expect(TokenType.IDENT, what)
+
+    # ------------------------------------------------------------------ entry
+    def parse_program(self) -> ast.Program:
+        modules: List[ast.Module] = []
+        anonymous_main: Optional[ast.ParallelModule] = None
+        while not self._at(TokenType.EOF):
+            module = self.parse_module()
+            modules.append(module)
+            if isinstance(module, ast.ParallelModule) and module.name == "main" and anonymous_main is None:
+                anonymous_main = module
+        main = anonymous_main
+        if main is None:
+            # Fall back to the unique parallel module that no other module
+            # instantiates, if there is exactly one.
+            instantiated = set()
+            for module in modules:
+                if isinstance(module, ast.ParallelModule):
+                    for call in module.calls:
+                        instantiated.add(call.module)
+            candidates = [
+                m
+                for m in modules
+                if isinstance(m, ast.ParallelModule) and m.name not in instantiated
+            ]
+            if len(candidates) == 1:
+                main = candidates[0]
+        return ast.Program(modules=tuple(modules), main=main)
+
+    # ---------------------------------------------------------------- modules
+    def parse_module(self) -> ast.Module:
+        start = self._expect(TokenType.KW_MOD, "'mod'")
+        if self._at(TokenType.KW_PAR):
+            self._advance()
+            return self._parse_parallel_module(start.location)
+        if self._at(TokenType.KW_SEQ):
+            self._advance()
+            return self._parse_sequential_module(start.location)
+        token = self._peek()
+        raise OilSyntaxError("expected 'par' or 'seq' after 'mod'", token.location)
+
+    def _parse_module_header(self) -> Tuple[str, Tuple[ast.StreamParam, ...]]:
+        """Parse the optional name and parameter list of a module."""
+        name = "main"
+        params: Tuple[ast.StreamParam, ...] = ()
+        if self._at(TokenType.IDENT):
+            name = self._advance().text
+            self._expect(TokenType.LPAREN, "'(' after module name")
+            params = self._parse_stream_params()
+            self._expect(TokenType.RPAREN, "')' after module parameters")
+        elif self._at(TokenType.LPAREN):
+            self._advance()
+            params = self._parse_stream_params()
+            self._expect(TokenType.RPAREN, "')' after module parameters")
+        return name, params
+
+    def _parse_stream_params(self) -> Tuple[ast.StreamParam, ...]:
+        params: List[ast.StreamParam] = []
+        if self._at(TokenType.RPAREN):
+            return ()
+        while True:
+            location = self._peek().location
+            is_output = False
+            if self._at(TokenType.KW_OUT):
+                is_output = True
+                self._advance()
+            type_name = self._expect_ident("stream type name").text
+            stream_name = self._expect_ident("stream name").text
+            params.append(
+                ast.StreamParam(type_name, stream_name, is_output, location=location)
+            )
+            if self._at(TokenType.COMMA):
+                self._advance()
+                continue
+            break
+        return tuple(params)
+
+    # -------------------------------------------------------- parallel module
+    def _parse_parallel_module(self, location: SourceLocation) -> ast.ParallelModule:
+        name, params = self._parse_module_header()
+        self._expect(TokenType.LBRACE, "'{' starting the module body")
+
+        fifos: List[ast.FifoDecl] = []
+        sources: List[ast.SourceDecl] = []
+        sinks: List[ast.SinkDecl] = []
+        latencies: List[ast.LatencyDecl] = []
+        calls: List[ast.ModuleCall] = []
+
+        while not self._at(TokenType.RBRACE):
+            if self._at(TokenType.KW_FIFO):
+                fifos.extend(self._parse_fifo_decl())
+            elif self._at(TokenType.KW_SOURCE):
+                sources.append(self._parse_source_or_sink(is_source=True))
+            elif self._at(TokenType.KW_SINK):
+                sinks.append(self._parse_source_or_sink(is_source=False))
+            elif self._at(TokenType.KW_START):
+                latencies.append(self._parse_latency_decl())
+            elif self._at(TokenType.IDENT):
+                calls.extend(self._parse_module_calls())
+            else:
+                token = self._peek()
+                raise OilSyntaxError(
+                    f"unexpected {token.text!r} in parallel module body", token.location
+                )
+        self._expect(TokenType.RBRACE, "'}' ending the module body")
+
+        return ast.ParallelModule(
+            name=name,
+            params=params,
+            fifos=tuple(fifos),
+            sources=tuple(sources),
+            sinks=tuple(sinks),
+            latency_constraints=tuple(latencies),
+            calls=tuple(calls),
+            location=location,
+        )
+
+    def _parse_fifo_decl(self) -> List[ast.FifoDecl]:
+        start = self._expect(TokenType.KW_FIFO, "'fifo'")
+        type_name = self._expect_ident("FIFO element type").text
+        decls: List[ast.FifoDecl] = []
+        while True:
+            name = self._expect_ident("FIFO name").text
+            decls.append(ast.FifoDecl(type_name, name, location=start.location))
+            if self._at(TokenType.COMMA):
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.SEMICOLON, "';' after fifo declaration")
+        return decls
+
+    def _parse_source_or_sink(self, *, is_source: bool):
+        start = self._advance()  # 'source' or 'sink'
+        type_name = self._expect_ident("element type").text
+        name = self._expect_ident("stream name").text
+        self._expect(TokenType.ASSIGN, "'=' in source/sink declaration")
+        function = self._expect_ident("source/sink function name").text
+        self._expect(TokenType.LPAREN, "'(' after function name")
+        self._expect(TokenType.RPAREN, "')' after function name")
+        self._expect(TokenType.AT, "'@' before the frequency")
+        number = self._expect(TokenType.NUMBER, "frequency value")
+        unit = self._expect_ident("frequency unit (Hz, kHz, MHz)")
+        unit_factor = _FREQUENCY_UNITS.get(unit.text.lower())
+        if unit_factor is None:
+            raise OilSyntaxError(f"unknown frequency unit {unit.text!r}", unit.location)
+        self._expect(TokenType.SEMICOLON, "';' after source/sink declaration")
+        frequency = _number_to_fraction(number) * unit_factor
+        cls = ast.SourceDecl if is_source else ast.SinkDecl
+        return cls(type_name, name, function, frequency, location=start.location)
+
+    def _parse_latency_decl(self) -> ast.LatencyDecl:
+        start = self._expect(TokenType.KW_START, "'start'")
+        subject = self._expect_ident("stream name").text
+        number = self._expect(TokenType.NUMBER, "latency amount")
+        unit = self._expect_ident("time unit (ms, us, s)")
+        unit_factor = _TIME_UNITS.get(unit.text.lower())
+        if unit_factor is None:
+            raise OilSyntaxError(f"unknown time unit {unit.text!r}", unit.location)
+        if self._at(TokenType.KW_AFTER):
+            relation = "after"
+            self._advance()
+        elif self._at(TokenType.KW_BEFORE):
+            relation = "before"
+            self._advance()
+        else:
+            token = self._peek()
+            raise OilSyntaxError("expected 'after' or 'before'", token.location)
+        reference = self._expect_ident("stream name").text
+        self._expect(TokenType.SEMICOLON, "';' after latency constraint")
+        amount = _number_to_fraction(number) * unit_factor
+        return ast.LatencyDecl(subject, amount, relation, reference, location=start.location)
+
+    def _parse_module_calls(self) -> List[ast.ModuleCall]:
+        calls = [self._parse_module_call()]
+        while self._at(TokenType.PARALLEL):
+            self._advance()
+            calls.append(self._parse_module_call())
+        # An optional trailing semicolon after the composition is tolerated.
+        if self._at(TokenType.SEMICOLON):
+            self._advance()
+        return calls
+
+    def _parse_module_call(self) -> ast.ModuleCall:
+        name_token = self._expect_ident("module name")
+        self._expect(TokenType.LPAREN, "'(' after module name")
+        arguments: List[ast.CallArgument] = []
+        if not self._at(TokenType.RPAREN):
+            while True:
+                location = self._peek().location
+                is_output = False
+                if self._at(TokenType.KW_OUT):
+                    is_output = True
+                    self._advance()
+                argument = self._expect_ident("stream argument").text
+                arguments.append(ast.CallArgument(argument, is_output, location=location))
+                if self._at(TokenType.COMMA):
+                    self._advance()
+                    continue
+                break
+        self._expect(TokenType.RPAREN, "')' after module arguments")
+        return ast.ModuleCall(name_token.text, tuple(arguments), location=name_token.location)
+
+    # ------------------------------------------------------ sequential module
+    def _parse_sequential_module(self, location: SourceLocation) -> ast.SequentialModule:
+        name, params = self._parse_module_header()
+        self._expect(TokenType.LBRACE, "'{' starting the module body")
+        variables: List[ast.VariableDecl] = []
+        statements: List[ast.Statement] = []
+        while not self._at(TokenType.RBRACE):
+            # ``T x;`` or ``T x, y;`` -- two identifiers in a row start a
+            # variable declaration; everything else is a statement.
+            if self._at(TokenType.IDENT) and self._at(TokenType.IDENT, 1):
+                variables.extend(self._parse_variable_decl())
+            else:
+                statements.append(self._parse_statement())
+        self._expect(TokenType.RBRACE, "'}' ending the module body")
+        return ast.SequentialModule(
+            name=name,
+            params=params,
+            variables=tuple(variables),
+            body=tuple(statements),
+            location=location,
+        )
+
+    def _parse_variable_decl(self) -> List[ast.VariableDecl]:
+        type_token = self._expect_ident("variable type")
+        decls: List[ast.VariableDecl] = []
+        while True:
+            name = self._expect_ident("variable name")
+            decls.append(
+                ast.VariableDecl(type_token.text, name.text, location=name.location)
+            )
+            if self._at(TokenType.COMMA):
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.SEMICOLON, "';' after variable declaration")
+        return decls
+
+    # -------------------------------------------------------------- statements
+    def _parse_block(self) -> Tuple[ast.Statement, ...]:
+        self._expect(TokenType.LBRACE, "'{'")
+        statements: List[ast.Statement] = []
+        while not self._at(TokenType.RBRACE):
+            statements.append(self._parse_statement())
+        self._expect(TokenType.RBRACE, "'}'")
+        return tuple(statements)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.type is TokenType.KW_IF:
+            return self._parse_if()
+        if token.type is TokenType.KW_SWITCH:
+            return self._parse_switch()
+        if token.type is TokenType.KW_LOOP:
+            return self._parse_loop()
+        if token.type is TokenType.IDENT:
+            if self._at(TokenType.ASSIGN, 1):
+                return self._parse_assignment()
+            if self._at(TokenType.LPAREN, 1):
+                return self._parse_call_statement()
+            raise OilSyntaxError(
+                f"expected '=' or '(' after identifier {token.text!r}", token.location
+            )
+        raise OilSyntaxError(f"unexpected {token.text!r}; expected a statement", token.location)
+
+    def _parse_if(self) -> ast.IfStatement:
+        start = self._expect(TokenType.KW_IF, "'if'")
+        self._expect(TokenType.LPAREN, "'(' after 'if'")
+        condition = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')' after condition")
+        then_body = self._parse_block()
+        else_body: Tuple[ast.Statement, ...] = ()
+        if self._at(TokenType.KW_ELSE):
+            self._advance()
+            if self._at(TokenType.KW_IF):
+                else_body = (self._parse_if(),)
+            else:
+                else_body = self._parse_block()
+        return ast.IfStatement(condition, then_body, else_body, location=start.location)
+
+    def _parse_switch(self) -> ast.SwitchStatement:
+        start = self._expect(TokenType.KW_SWITCH, "'switch'")
+        self._expect(TokenType.LPAREN, "'(' after 'switch'")
+        selector = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')' after switch selector")
+        cases: List[ast.SwitchCase] = []
+        default: Tuple[ast.Statement, ...] = ()
+        saw_default = False
+        while self._at(TokenType.KW_CASE) or self._at(TokenType.KW_DEFAULT):
+            if self._at(TokenType.KW_CASE):
+                case_token = self._advance()
+                value_token = self._expect(TokenType.NUMBER, "case value")
+                if not isinstance(value_token.value, int):
+                    raise OilSyntaxError("case values must be integers", value_token.location)
+                body = self._parse_block()
+                cases.append(ast.SwitchCase(value_token.value, body, location=case_token.location))
+            else:
+                if saw_default:
+                    token = self._peek()
+                    raise OilSyntaxError("duplicate 'default' in switch", token.location)
+                self._advance()
+                default = self._parse_block()
+                saw_default = True
+        if not saw_default:
+            raise OilSyntaxError("switch statement requires a 'default' block", start.location)
+        return ast.SwitchStatement(selector, tuple(cases), default, location=start.location)
+
+    def _parse_loop(self) -> ast.LoopStatement:
+        start = self._expect(TokenType.KW_LOOP, "'loop'")
+        body = self._parse_block()
+        self._expect(TokenType.KW_WHILE, "'while' after loop body")
+        self._expect(TokenType.LPAREN, "'(' after 'while'")
+        condition = self._parse_expression()
+        self._expect(TokenType.RPAREN, "')' after loop condition")
+        self._expect(TokenType.SEMICOLON, "';' after loop statement")
+        return ast.LoopStatement(body, condition, location=start.location)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        target = self._expect_ident("assignment target")
+        self._expect(TokenType.ASSIGN, "'='")
+        expression = self._parse_expression()
+        self._expect(TokenType.SEMICOLON, "';' after assignment")
+        return ast.Assignment(target.text, expression, location=target.location)
+
+    def _parse_call_statement(self) -> ast.FunctionCall:
+        name = self._expect_ident("function name")
+        arguments = self._parse_call_arguments()
+        self._expect(TokenType.SEMICOLON, "';' after function call")
+        return ast.FunctionCall(name.text, arguments, location=name.location)
+
+    def _parse_call_arguments(self) -> Tuple[ast.Argument, ...]:
+        self._expect(TokenType.LPAREN, "'('")
+        arguments: List[ast.Argument] = []
+        if not self._at(TokenType.RPAREN):
+            while True:
+                arguments.append(self._parse_argument())
+                if self._at(TokenType.COMMA):
+                    self._advance()
+                    continue
+                break
+        self._expect(TokenType.RPAREN, "')'")
+        return tuple(arguments)
+
+    def _parse_argument(self) -> ast.Argument:
+        token = self._peek()
+        if token.type is TokenType.KW_OUT:
+            self._advance()
+            name = self._expect_ident("output argument name")
+            count = 1
+            if self._at(TokenType.COLON):
+                self._advance()
+                count_token = self._expect(TokenType.NUMBER, "output count")
+                if not isinstance(count_token.value, int) or count_token.value <= 0:
+                    raise OilSyntaxError("stream access counts must be positive integers", count_token.location)
+                count = count_token.value
+            return ast.OutArgument(name.text, count, location=token.location)
+        expression = self._parse_expression()
+        return ast.InArgument(expression, location=token.location)
+
+    # ------------------------------------------------------------ expressions
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._at(TokenType.OR):
+            op = self._advance()
+            right = self._parse_and()
+            left = ast.BinaryOp("or", left, right, location=op.location)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_comparison()
+        while self._at(TokenType.AND):
+            op = self._advance()
+            right = self._parse_comparison()
+            left = ast.BinaryOp("and", left, right, location=op.location)
+        return left
+
+    _COMPARISON = {
+        TokenType.EQ: "==",
+        TokenType.NEQ: "!=",
+        TokenType.LT: "<",
+        TokenType.LE: "<=",
+        TokenType.GT: ">",
+        TokenType.GE: ">=",
+    }
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type in self._COMPARISON:
+            self._advance()
+            right = self._parse_additive()
+            return ast.BinaryOp(self._COMPARISON[token.type], left, right, location=token.location)
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while self._at(TokenType.PLUS) or self._at(TokenType.MINUS):
+            op = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op.text, left, right, location=op.location)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while self._at(TokenType.STAR) or self._at(TokenType.SLASH) or self._at(TokenType.PERCENT):
+            op = self._advance()
+            text = "/" if op.type is TokenType.SLASH else op.text
+            right = self._parse_unary()
+            left = ast.BinaryOp(text, left, right, location=op.location)
+        return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp("-", operand, location=token.location)
+        if token.type is TokenType.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp("!", operand, location=token.location)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.NumberLiteral(token.value, location=token.location)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.RPAREN, "')'")
+            return inner
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._at(TokenType.LPAREN):
+                arguments = self._parse_call_arguments()
+                return ast.FunctionExpr(token.text, arguments, location=token.location)
+            if self._at(TokenType.COLON):
+                self._advance()
+                count_token = self._expect(TokenType.NUMBER, "stream access count")
+                if not isinstance(count_token.value, int) or count_token.value <= 0:
+                    raise OilSyntaxError(
+                        "stream access counts must be positive integers", count_token.location
+                    )
+                return ast.StreamRead(token.text, count_token.value, location=token.location)
+            return ast.VarRef(token.text, location=token.location)
+        raise OilSyntaxError(f"unexpected {token.text!r} in expression", token.location)
+
+
+def parse_program(source: str, filename: Optional[str] = None) -> ast.Program:
+    """Parse OIL source text into a :class:`~repro.lang.ast.Program`."""
+    return Parser(source, filename).parse_program()
+
+
+def parse_module(source: str, filename: Optional[str] = None) -> ast.Module:
+    """Parse a source text containing exactly one module definition."""
+    program = parse_program(source, filename)
+    if len(program.modules) != 1:
+        raise OilSyntaxError(
+            f"expected exactly one module definition, found {len(program.modules)}"
+        )
+    return program.modules[0]

@@ -1,0 +1,213 @@
+"""Pretty printer (unparser) for OIL programs.
+
+Renders an AST back into OIL source text.  The output parses back to an
+equivalent AST (modulo source locations), which is exercised by a round-trip
+property test; it is also used to emit canonical listings of generated or
+programmatically constructed programs (e.g. the PAL decoder used by the
+examples and benchmarks).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.lang import ast
+
+
+def _frequency_literal(frequency_hz: Fraction) -> str:
+    value = Fraction(frequency_hz)
+    for factor, unit in ((Fraction(10**6), "MHz"), (Fraction(10**3), "kHz")):
+        scaled = value / factor
+        if scaled >= 1:
+            return f"{_number(scaled)} {unit}"
+    return f"{_number(value)} Hz"
+
+
+def _time_literal(seconds: Fraction) -> str:
+    value = Fraction(seconds)
+    for factor, unit in ((Fraction(1), "s"), (Fraction(1, 10**3), "ms"), (Fraction(1, 10**6), "us")):
+        scaled = value / factor
+        if scaled >= 1 or value == 0:
+            if unit == "s" and scaled < 1:
+                continue
+            if value == 0:
+                return "0 ms"
+            return f"{_number(scaled)} {unit}"
+    return f"{_number(value * 10**9)} ns"
+
+
+def _number(value) -> str:
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return str(float(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class PrettyPrinter:
+    """Stateful pretty printer with two-space indentation."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def _emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    # ------------------------------------------------------------------ nodes
+    def print_program(self, program: ast.Program) -> str:
+        for i, module in enumerate(program.modules):
+            if i:
+                self._emit("")
+            self.print_module(module)
+        return "\n".join(self.lines) + "\n"
+
+    def print_module(self, module: ast.Module) -> None:
+        if isinstance(module, ast.ParallelModule):
+            self._print_parallel(module)
+        else:
+            self._print_sequential(module)
+
+    def _params(self, params: Sequence[ast.StreamParam]) -> str:
+        rendered = []
+        for param in params:
+            prefix = "out " if param.is_output else ""
+            rendered.append(f"{prefix}{param.type_name} {param.name}")
+        return ", ".join(rendered)
+
+    def _print_parallel(self, module: ast.ParallelModule) -> None:
+        header = "mod par"
+        if module.name != "main" or module.params:
+            header += f" {module.name}({self._params(module.params)})"
+        self._emit(header + " {")
+        self.indent += 1
+        for fifo in module.fifos:
+            self._emit(f"fifo {fifo.type_name} {fifo.name};")
+        for source in module.sources:
+            self._emit(
+                f"source {source.type_name} {source.name} = {source.function}() @ "
+                f"{_frequency_literal(source.frequency_hz)};"
+            )
+        for sink in module.sinks:
+            self._emit(
+                f"sink {sink.type_name} {sink.name} = {sink.function}() @ "
+                f"{_frequency_literal(sink.frequency_hz)};"
+            )
+        for constraint in module.latency_constraints:
+            self._emit(
+                f"start {constraint.subject} {_time_literal(constraint.amount_seconds)} "
+                f"{constraint.relation} {constraint.reference};"
+            )
+        if module.calls:
+            rendered_calls = [self._call(call) for call in module.calls]
+            self._emit(" ||\n".join(
+                ("  " * self.indent + text if i else text)
+                for i, text in enumerate(rendered_calls)
+            ))
+        self.indent -= 1
+        self._emit("}")
+
+    def _call(self, call: ast.ModuleCall) -> str:
+        rendered = []
+        for argument in call.arguments:
+            prefix = "out " if argument.is_output else ""
+            rendered.append(prefix + argument.name)
+        return f"{call.module}({', '.join(rendered)})"
+
+    def _print_sequential(self, module: ast.SequentialModule) -> None:
+        self._emit(f"mod seq {module.name}({self._params(module.params)}) {{")
+        self.indent += 1
+        for variable in module.variables:
+            self._emit(f"{variable.type_name} {variable.name};")
+        self.print_statements(module.body)
+        self.indent -= 1
+        self._emit("}")
+
+    def print_statements(self, statements: Sequence[ast.Statement]) -> None:
+        for statement in statements:
+            self.print_statement(statement)
+
+    def print_statement(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.Assignment):
+            self._emit(f"{statement.target} = {self.expression(statement.expression)};")
+        elif isinstance(statement, ast.FunctionCall):
+            self._emit(f"{statement.name}({self._arguments(statement.arguments)});")
+        elif isinstance(statement, ast.IfStatement):
+            self._emit(f"if ({self.expression(statement.condition)}) {{")
+            self.indent += 1
+            self.print_statements(statement.then_body)
+            self.indent -= 1
+            if statement.else_body:
+                self._emit("} else {")
+                self.indent += 1
+                self.print_statements(statement.else_body)
+                self.indent -= 1
+            self._emit("}")
+        elif isinstance(statement, ast.SwitchStatement):
+            self._emit(f"switch ({self.expression(statement.selector)})")
+            for case in statement.cases:
+                self._emit(f"case {case.value} {{")
+                self.indent += 1
+                self.print_statements(case.body)
+                self.indent -= 1
+                self._emit("}")
+            self._emit("default {")
+            self.indent += 1
+            self.print_statements(statement.default)
+            self.indent -= 1
+            self._emit("}")
+        elif isinstance(statement, ast.LoopStatement):
+            self._emit("loop {")
+            self.indent += 1
+            self.print_statements(statement.body)
+            self.indent -= 1
+            self._emit(f"}} while ({self.expression(statement.condition)});")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown statement node {type(statement).__name__}")
+
+    def _arguments(self, arguments: Sequence[ast.Argument]) -> str:
+        rendered = []
+        for argument in arguments:
+            if isinstance(argument, ast.OutArgument):
+                suffix = f":{argument.count}" if argument.count != 1 else ""
+                rendered.append(f"out {argument.name}{suffix}")
+            else:
+                rendered.append(self.expression(argument.expression))
+        return ", ".join(rendered)
+
+    # ------------------------------------------------------------ expressions
+    def expression(self, expression: ast.Expression) -> str:
+        if isinstance(expression, ast.NumberLiteral):
+            return _number(expression.value)
+        if isinstance(expression, ast.VarRef):
+            return expression.name
+        if isinstance(expression, ast.StreamRead):
+            suffix = f":{expression.count}" if expression.count != 1 else ""
+            return f"{expression.name}{suffix}"
+        if isinstance(expression, ast.FunctionExpr):
+            return f"{expression.name}({self._arguments(expression.arguments)})"
+        if isinstance(expression, ast.BinaryOp):
+            op = expression.op
+            if op in ("and", "or"):
+                rendered_op = f" {op} "
+            else:
+                rendered_op = f" {op} "
+            return f"({self.expression(expression.left)}{rendered_op}{self.expression(expression.right)})"
+        if isinstance(expression, ast.UnaryOp):
+            return f"{expression.op}({self.expression(expression.operand)})"
+        raise TypeError(f"unknown expression node {type(expression).__name__}")
+
+
+def format_program(program: ast.Program) -> str:
+    """Render *program* as OIL source text."""
+    return PrettyPrinter().print_program(program)
+
+
+def format_module(module: ast.Module) -> str:
+    """Render a single module definition as OIL source text."""
+    printer = PrettyPrinter()
+    printer.print_module(module)
+    return "\n".join(printer.lines) + "\n"

@@ -1,0 +1,610 @@
+"""Semantic validation of OIL programs.
+
+The OIL language obtains its analyzability from a set of rules the grammar
+alone cannot enforce (Sec. IV).  This module checks them and reports
+compiler-style diagnostics:
+
+* module instantiation: called modules must exist (or be registered black-box
+  modules), argument counts and in/out directions must match, and the
+  instantiation graph must be acyclic (no recursion -- the language is not
+  Turing complete),
+* FIFOs: exactly one writing module, at least one reader (multiple readers
+  all observe the same values); sources are only read, sinks only written,
+* sequential modules: variables are declared before use, input streams are
+  never written, output streams are never read, and **every output stream is
+  written in every loop iteration** (Sec. IV-A) -- checked as "written on all
+  control paths of every loop body and of the module body",
+* sources and sinks must be accessed in every loop iteration of modules that
+  use them (Sec. III-B / V-B) -- checked for the streams a sequential module
+  receives, so that the CTA abstraction of while-loops is valid,
+* the colon (multi-value) notation is restricted to stream parameters.
+
+Black-box modules (like the Video/Audio modules of the PAL decoder) are
+declared by the host application through :class:`BlackBoxModule`; they
+participate in the call checks and later get CTA components built from their
+declared interface rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import DiagnosticCollector, OilSemanticError
+
+
+@dataclass(frozen=True)
+class BlackBoxPort:
+    """One stream port of a black-box module."""
+
+    name: str
+    is_output: bool
+    #: values transferred per firing (the colon count of the interface)
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class BlackBoxModule:
+    """An externally implemented module with a declared temporal interface.
+
+    ``firing_duration`` is the worst-case response time per firing in seconds;
+    ``max_rate`` optionally bounds the firing rate (both are used when the
+    black box is turned into a CTA component).
+    """
+
+    name: str
+    ports: Tuple[BlackBoxPort, ...]
+    firing_duration: Fraction = Fraction(0)
+    max_rate: Optional[Fraction] = None
+
+    def port(self, index: int) -> BlackBoxPort:
+        return self.ports[index]
+
+
+@dataclass
+class StreamAccessSummary:
+    """How a sequential module uses one of its stream parameters."""
+
+    name: str
+    is_output: bool
+    reads: int = 0
+    writes: int = 0
+    read_counts: List[int] = field(default_factory=list)
+    write_counts: List[int] = field(default_factory=list)
+
+    @property
+    def max_read_count(self) -> int:
+        return max(self.read_counts, default=0)
+
+    @property
+    def max_write_count(self) -> int:
+        return max(self.write_counts, default=0)
+
+
+@dataclass
+class AnalyzedProgram:
+    """The result of semantic analysis: the program plus derived tables."""
+
+    program: ast.Program
+    diagnostics: DiagnosticCollector
+    black_boxes: Mapping[str, BlackBoxModule]
+    #: per sequential module: stream name -> access summary
+    stream_usage: Dict[str, Dict[str, StreamAccessSummary]] = field(default_factory=dict)
+    #: names of C/C++ functions referenced by each sequential module
+    functions: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics.errors
+
+
+# --------------------------------------------------------------------------
+# Statement helpers
+# --------------------------------------------------------------------------
+
+def _writes_of_statement(statement: ast.Statement) -> List[Tuple[str, int]]:
+    """Direct writes (name, count) performed by *statement* itself."""
+    if isinstance(statement, ast.Assignment):
+        return [(statement.target, 1)]
+    if isinstance(statement, ast.FunctionCall):
+        return [
+            (arg.name, arg.count)
+            for arg in statement.arguments
+            if isinstance(arg, ast.OutArgument)
+        ]
+    return []
+
+
+def _reads_of_statement(statement: ast.Statement) -> List[Tuple[str, int]]:
+    """Direct reads (name, count) performed by *statement* itself (conditions
+    of control statements count as reads of the guarding statement)."""
+    reads: List[Tuple[str, int]] = []
+    if isinstance(statement, ast.Assignment):
+        reads.extend(ast.expression_stream_reads(statement.expression))
+    elif isinstance(statement, ast.FunctionCall):
+        for arg in statement.arguments:
+            if isinstance(arg, ast.InArgument):
+                reads.extend(ast.expression_stream_reads(arg.expression))
+    elif isinstance(statement, ast.IfStatement):
+        reads.extend(ast.expression_stream_reads(statement.condition))
+    elif isinstance(statement, ast.SwitchStatement):
+        reads.extend(ast.expression_stream_reads(statement.selector))
+    elif isinstance(statement, ast.LoopStatement):
+        reads.extend(ast.expression_stream_reads(statement.condition))
+    return reads
+
+
+def writes_on_all_paths(statements: Sequence[ast.Statement], name: str) -> bool:
+    """True when every control path through *statements* writes *name*.
+
+    A ``loop ... while`` executes its body at least once (do-while semantics),
+    so a write inside a loop body counts; a write inside only one branch of an
+    ``if`` without ``else`` does not.
+    """
+    for statement in statements:
+        if any(target == name for target, _ in _writes_of_statement(statement)):
+            return True
+        if isinstance(statement, ast.IfStatement):
+            if statement.else_body and writes_on_all_paths(statement.then_body, name) and writes_on_all_paths(
+                statement.else_body, name
+            ):
+                return True
+        elif isinstance(statement, ast.SwitchStatement):
+            branches = [case.body for case in statement.cases] + [statement.default]
+            if all(writes_on_all_paths(branch, name) for branch in branches):
+                return True
+        elif isinstance(statement, ast.LoopStatement):
+            if writes_on_all_paths(statement.body, name):
+                return True
+    return False
+
+
+def accesses_on_all_paths(statements: Sequence[ast.Statement], name: str) -> bool:
+    """True when every control path through *statements* reads or writes *name*."""
+    for statement in statements:
+        if any(target == name for target, _ in _writes_of_statement(statement)):
+            return True
+        if any(source == name for source, _ in _reads_of_statement(statement)):
+            return True
+        if isinstance(statement, ast.IfStatement):
+            if statement.else_body and accesses_on_all_paths(statement.then_body, name) and accesses_on_all_paths(
+                statement.else_body, name
+            ):
+                return True
+        elif isinstance(statement, ast.SwitchStatement):
+            branches = [case.body for case in statement.cases] + [statement.default]
+            if all(accesses_on_all_paths(branch, name) for branch in branches):
+                return True
+        elif isinstance(statement, ast.LoopStatement):
+            if accesses_on_all_paths(statement.body, name):
+                return True
+    return False
+
+
+def top_level_loops(module: ast.SequentialModule) -> List[ast.LoopStatement]:
+    """The top-level ``loop ... while`` statements of a sequential module."""
+    return [s for s in module.body if isinstance(s, ast.LoopStatement)]
+
+
+# --------------------------------------------------------------------------
+# Main analysis
+# --------------------------------------------------------------------------
+
+def analyze_program(
+    program: ast.Program,
+    black_boxes: Optional[Sequence[BlackBoxModule]] = None,
+    *,
+    strict: bool = False,
+) -> AnalyzedProgram:
+    """Run all semantic checks on *program* and return the analysis result.
+
+    With ``strict=True`` an :class:`~repro.lang.errors.OilSemanticError` is
+    raised when any error-level diagnostic was produced.
+    """
+    diagnostics = DiagnosticCollector()
+    boxes = {box.name: box for box in (black_boxes or [])}
+
+    module_table: Dict[str, ast.Module] = {}
+    for module in program.modules:
+        if module.name in module_table:
+            diagnostics.error(f"duplicate module name {module.name!r}", module.location)
+            continue
+        if module.name in boxes:
+            diagnostics.error(
+                f"module {module.name!r} clashes with a registered black-box module",
+                module.location,
+            )
+        module_table[module.name] = module
+
+    analyzed = AnalyzedProgram(program=program, diagnostics=diagnostics, black_boxes=boxes)
+
+    for module in program.modules:
+        if isinstance(module, ast.ParallelModule):
+            _check_parallel_module(module, module_table, boxes, diagnostics)
+        else:
+            usage, functions = _check_sequential_module(module, diagnostics)
+            analyzed.stream_usage[module.name] = usage
+            analyzed.functions[module.name] = functions
+
+    _check_instantiation_acyclic(program, module_table, diagnostics)
+
+    if strict:
+        diagnostics.raise_if_errors()
+    return analyzed
+
+
+def _module_params(module_or_box) -> List[Tuple[str, bool]]:
+    """(name, is_output) per parameter of a module definition or black box."""
+    if isinstance(module_or_box, BlackBoxModule):
+        return [(p.name, p.is_output) for p in module_or_box.ports]
+    return [(p.name, p.is_output) for p in module_or_box.params]
+
+
+def _check_parallel_module(
+    module: ast.ParallelModule,
+    module_table: Mapping[str, ast.Module],
+    boxes: Mapping[str, BlackBoxModule],
+    diagnostics: DiagnosticCollector,
+) -> None:
+    # Streams visible in this module: its own parameters, FIFOs, sources, sinks.
+    params = {p.name: p for p in module.params}
+    fifos = {f.name for f in module.fifos}
+    sources = {s.name for s in module.sources}
+    sinks = {s.name for s in module.sinks}
+
+    for collection, kind in ((fifos, "fifo"), (sources, "source"), (sinks, "sink")):
+        for name in collection:
+            if name in params:
+                diagnostics.error(
+                    f"{kind} {name!r} shadows a parameter of module {module.name!r}",
+                    module.location,
+                )
+    duplicate_check: Dict[str, str] = {}
+    for name, kind in [(f.name, "fifo") for f in module.fifos] + [
+        (s.name, "source") for s in module.sources
+    ] + [(s.name, "sink") for s in module.sinks]:
+        if name in duplicate_check:
+            diagnostics.error(
+                f"stream {name!r} declared twice (as {duplicate_check[name]} and {kind}) "
+                f"in module {module.name!r}",
+                module.location,
+            )
+        duplicate_check[name] = kind
+
+    known_streams = set(params) | fifos | sources | sinks
+
+    if not module.calls:
+        diagnostics.warning(
+            f"parallel module {module.name!r} instantiates no modules", module.location
+        )
+
+    writers: Dict[str, List[str]] = {name: [] for name in known_streams}
+    readers: Dict[str, List[str]] = {name: [] for name in known_streams}
+
+    for call in module.calls:
+        target = module_table.get(call.module) or boxes.get(call.module)
+        if target is None:
+            diagnostics.error(
+                f"module {module.name!r} instantiates unknown module {call.module!r} "
+                "(define it or register it as a black-box module)",
+                call.location,
+            )
+            continue
+        if isinstance(target, ast.ParallelModule) and target.name == module.name:
+            diagnostics.error(
+                f"module {module.name!r} instantiates itself", call.location
+            )
+        params_of_target = _module_params(target)
+        if len(params_of_target) != len(call.arguments):
+            diagnostics.error(
+                f"call to {call.module!r} passes {len(call.arguments)} arguments, "
+                f"expected {len(params_of_target)}",
+                call.location,
+            )
+            continue
+        for (param_name, param_is_out), argument in zip(params_of_target, call.arguments):
+            if argument.name not in known_streams:
+                diagnostics.error(
+                    f"call to {call.module!r} references undeclared stream {argument.name!r}",
+                    argument.location,
+                )
+                continue
+            if param_is_out != argument.is_output:
+                expected = "out" if param_is_out else "input"
+                diagnostics.error(
+                    f"argument {argument.name!r} of call to {call.module!r} must be an "
+                    f"{expected} argument (parameter {param_name!r})",
+                    argument.location,
+                )
+            if argument.is_output:
+                writers[argument.name].append(call.module)
+            else:
+                readers[argument.name].append(call.module)
+
+    # Writer/reader rules per stream kind.
+    for name in fifos:
+        if len(writers[name]) == 0:
+            diagnostics.error(
+                f"fifo {name!r} in module {module.name!r} has no writer", module.location
+            )
+        elif len(writers[name]) > 1:
+            diagnostics.error(
+                f"fifo {name!r} in module {module.name!r} has multiple writers: "
+                f"{sorted(writers[name])} (only one module can write to a FIFO)",
+                module.location,
+            )
+        if len(readers[name]) == 0:
+            diagnostics.warning(
+                f"fifo {name!r} in module {module.name!r} is never read", module.location
+            )
+    for name in sources:
+        if writers[name]:
+            diagnostics.error(
+                f"source {name!r} is written by {sorted(writers[name])}; sources are produced "
+                "by the environment and can only be read",
+                module.location,
+            )
+        if not readers[name]:
+            diagnostics.warning(f"source {name!r} is never read", module.location)
+    for name in sinks:
+        if readers[name]:
+            diagnostics.error(
+                f"sink {name!r} is read by {sorted(readers[name])}; sinks are consumed by the "
+                "environment and can only be written",
+                module.location,
+            )
+        if len(writers[name]) == 0:
+            diagnostics.error(f"sink {name!r} is never written", module.location)
+        elif len(writers[name]) > 1:
+            diagnostics.error(
+                f"sink {name!r} has multiple writers: {sorted(writers[name])}", module.location
+            )
+    for name, param in params.items():
+        if param.is_output:
+            if len(writers[name]) == 0:
+                diagnostics.error(
+                    f"output stream {name!r} of module {module.name!r} is never written by "
+                    "any instantiated module",
+                    module.location,
+                )
+            elif len(writers[name]) > 1:
+                diagnostics.error(
+                    f"output stream {name!r} of module {module.name!r} has multiple writers: "
+                    f"{sorted(writers[name])}",
+                    module.location,
+                )
+        else:
+            if writers[name]:
+                diagnostics.error(
+                    f"input stream {name!r} of module {module.name!r} is written by "
+                    f"{sorted(writers[name])}; input streams are read-only",
+                    module.location,
+                )
+
+    # Latency constraints must reference sources or sinks declared here.
+    timed = sources | sinks
+    for constraint in module.latency_constraints:
+        for endpoint in (constraint.subject, constraint.reference):
+            if endpoint not in timed:
+                diagnostics.error(
+                    f"latency constraint references {endpoint!r} which is not a source or "
+                    f"sink of module {module.name!r}",
+                    constraint.location,
+                )
+        if constraint.amount_seconds < 0:
+            diagnostics.error(
+                "latency constraint amounts must be non-negative", constraint.location
+            )
+
+
+def _check_sequential_module(
+    module: ast.SequentialModule,
+    diagnostics: DiagnosticCollector,
+) -> Tuple[Dict[str, StreamAccessSummary], Set[str]]:
+    params = {p.name: p for p in module.params}
+    variables = {v.name for v in module.variables}
+    functions: Set[str] = set()
+
+    for variable in module.variables:
+        if variable.name in params:
+            diagnostics.error(
+                f"variable {variable.name!r} shadows a stream parameter of module "
+                f"{module.name!r}",
+                variable.location,
+            )
+
+    usage: Dict[str, StreamAccessSummary] = {
+        name: StreamAccessSummary(name=name, is_output=param.is_output)
+        for name, param in params.items()
+    }
+
+    declared = set(params) | variables
+    assigned: Set[str] = set()
+
+    def note_read(name: str, count: int, location) -> None:
+        if name not in declared:
+            diagnostics.error(
+                f"module {module.name!r} reads undeclared name {name!r}", location
+            )
+            return
+        if name in usage:
+            summary = usage[name]
+            if summary.is_output:
+                diagnostics.error(
+                    f"module {module.name!r} reads its output stream {name!r}; output "
+                    "streams are write-only",
+                    location,
+                )
+            summary.reads += 1
+            summary.read_counts.append(count)
+        else:
+            if count != 1:
+                diagnostics.error(
+                    f"the colon notation can only be applied to streams, not to local "
+                    f"variable {name!r}",
+                    location,
+                )
+            if name not in assigned:
+                # Reading an unassigned local is allowed for stateful C
+                # functions' outputs but is suspicious for plain variables.
+                diagnostics.warning(
+                    f"local variable {name!r} may be read before it is written in module "
+                    f"{module.name!r}",
+                    location,
+                )
+
+    def note_write(name: str, count: int, location) -> None:
+        if name not in declared:
+            diagnostics.error(
+                f"module {module.name!r} writes undeclared name {name!r}", location
+            )
+            return
+        if name in usage:
+            summary = usage[name]
+            if not summary.is_output:
+                diagnostics.error(
+                    f"module {module.name!r} writes its input stream {name!r}; input "
+                    "streams are read-only",
+                    location,
+                )
+            summary.writes += 1
+            summary.write_counts.append(count)
+        else:
+            if count != 1:
+                diagnostics.error(
+                    f"the colon notation can only be applied to streams, not to local "
+                    f"variable {name!r}",
+                    location,
+                )
+            assigned.add(name)
+
+    def visit(statements: Sequence[ast.Statement]) -> None:
+        for statement in statements:
+            location = statement.location
+            if isinstance(statement, ast.Assignment):
+                for name, count in ast.expression_stream_reads(statement.expression):
+                    note_read(name, count, location)
+                for expr_call in _function_names(statement.expression):
+                    functions.add(expr_call)
+                note_write(statement.target, 1, location)
+            elif isinstance(statement, ast.FunctionCall):
+                functions.add(statement.name)
+                for argument in statement.arguments:
+                    if isinstance(argument, ast.InArgument):
+                        for name, count in ast.expression_stream_reads(argument.expression):
+                            note_read(name, count, location)
+                        for expr_call in _function_names(argument.expression):
+                            functions.add(expr_call)
+                    else:
+                        note_write(argument.name, argument.count, location)
+            elif isinstance(statement, ast.IfStatement):
+                for name, count in ast.expression_stream_reads(statement.condition):
+                    note_read(name, count, location)
+                visit(statement.then_body)
+                visit(statement.else_body)
+            elif isinstance(statement, ast.SwitchStatement):
+                for name, count in ast.expression_stream_reads(statement.selector):
+                    note_read(name, count, location)
+                for case in statement.cases:
+                    visit(case.body)
+                visit(statement.default)
+            elif isinstance(statement, ast.LoopStatement):
+                visit(statement.body)
+                for name, count in ast.expression_stream_reads(statement.condition):
+                    note_read(name, count, location)
+
+    visit(module.body)
+
+    # Every output stream must be written on all paths of the module body and
+    # of every loop body (Sec. IV-A: "Output streams have to be written every
+    # loop iteration").
+    loops = top_level_loops(module)
+    for name, param in params.items():
+        if not param.is_output:
+            continue
+        if not writes_on_all_paths(module.body, name):
+            diagnostics.error(
+                f"output stream {name!r} of module {module.name!r} is not written on every "
+                "control path",
+                module.location,
+            )
+        for index, loop in enumerate(loops):
+            if not writes_on_all_paths(loop.body, name):
+                diagnostics.error(
+                    f"output stream {name!r} of module {module.name!r} is not written in "
+                    f"every iteration of loop #{index}",
+                    loop.location,
+                )
+
+    # Streams (inputs and outputs) should be accessed in every loop iteration
+    # so that the periodic abstraction of Sec. V-B is valid; inputs that are
+    # not accessed in some loop produce a warning (the abstraction is then
+    # conservative only if the stream tolerates it).
+    for name, param in params.items():
+        if param.is_output:
+            continue
+        for index, loop in enumerate(loops):
+            if not accesses_on_all_paths(loop.body, name):
+                diagnostics.warning(
+                    f"input stream {name!r} of module {module.name!r} is not accessed in "
+                    f"every iteration of loop #{index}; the derived temporal model assumes "
+                    "periodic accesses",
+                    loop.location,
+                )
+
+    if not module.body:
+        diagnostics.warning(f"module {module.name!r} has an empty body", module.location)
+
+    return usage, functions
+
+
+def _function_names(expression: ast.Expression) -> List[str]:
+    names: List[str] = []
+    if isinstance(expression, ast.FunctionExpr):
+        names.append(expression.name)
+        for argument in expression.arguments:
+            if isinstance(argument, ast.InArgument):
+                names.extend(_function_names(argument.expression))
+    elif isinstance(expression, ast.BinaryOp):
+        names.extend(_function_names(expression.left))
+        names.extend(_function_names(expression.right))
+    elif isinstance(expression, ast.UnaryOp):
+        names.extend(_function_names(expression.operand))
+    return names
+
+
+def _check_instantiation_acyclic(
+    program: ast.Program,
+    module_table: Mapping[str, ast.Module],
+    diagnostics: DiagnosticCollector,
+) -> None:
+    """The module instantiation graph must be acyclic (no recursion)."""
+    graph: Dict[str, List[str]] = {}
+    for module in program.modules:
+        if isinstance(module, ast.ParallelModule):
+            graph[module.name] = [
+                call.module for call in module.calls if call.module in module_table
+            ]
+        else:
+            graph[module.name] = []
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def dfs(node: str, stack: List[str]) -> None:
+        color[node] = GREY
+        for neighbour in graph.get(node, []):
+            if color.get(neighbour, WHITE) == WHITE:
+                dfs(neighbour, stack + [neighbour])
+            elif color.get(neighbour) == GREY:
+                cycle = " -> ".join(stack + [neighbour])
+                diagnostics.error(
+                    f"recursive module instantiation is not allowed: {cycle}"
+                )
+        color[node] = BLACK
+
+    for name in graph:
+        if color[name] == WHITE:
+            dfs(name, [name])

@@ -1,0 +1,107 @@
+"""Token definitions for the OIL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+from repro.lang.errors import SourceLocation
+
+
+class TokenType(Enum):
+    """Lexical token categories of the OIL language (Fig. 5 plus the
+    condition operators the examples use)."""
+
+    # literals and names
+    IDENT = auto()
+    NUMBER = auto()
+
+    # keywords
+    KW_MOD = auto()
+    KW_PAR = auto()
+    KW_SEQ = auto()
+    KW_FIFO = auto()
+    KW_SOURCE = auto()
+    KW_SINK = auto()
+    KW_START = auto()
+    KW_AFTER = auto()
+    KW_BEFORE = auto()
+    KW_LOOP = auto()
+    KW_WHILE = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_SWITCH = auto()
+    KW_CASE = auto()
+    KW_DEFAULT = auto()
+    KW_OUT = auto()
+
+    # punctuation
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    SEMICOLON = auto()
+    COMMA = auto()
+    COLON = auto()
+    AT = auto()
+    PARALLEL = auto()  # '||' or '‖'
+
+    # operators
+    ASSIGN = auto()     # '='
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()      # '/' (the grammar writes '\' which we also accept)
+    PERCENT = auto()
+    EQ = auto()         # '=='
+    NEQ = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    AND = auto()        # '&&'
+    OR = auto()         # '||' inside expressions is ambiguous with PARALLEL;
+                        # OIL uses 'or' / 'and' keywords inside conditions instead
+    NOT = auto()        # '!'
+
+    EOF = auto()
+
+
+#: Reserved words of the language mapped to their token types.
+KEYWORDS = {
+    "mod": TokenType.KW_MOD,
+    "par": TokenType.KW_PAR,
+    "seq": TokenType.KW_SEQ,
+    "fifo": TokenType.KW_FIFO,
+    "source": TokenType.KW_SOURCE,
+    "sink": TokenType.KW_SINK,
+    "start": TokenType.KW_START,
+    "after": TokenType.KW_AFTER,
+    "before": TokenType.KW_BEFORE,
+    "loop": TokenType.KW_LOOP,
+    "while": TokenType.KW_WHILE,
+    "if": TokenType.KW_IF,
+    "else": TokenType.KW_ELSE,
+    "switch": TokenType.KW_SWITCH,
+    "case": TokenType.KW_CASE,
+    "default": TokenType.KW_DEFAULT,
+    "out": TokenType.KW_OUT,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    type: TokenType
+    text: str
+    location: SourceLocation
+    #: numeric value for NUMBER tokens (int or float)
+    value: Optional[object] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.name}({self.text!r})@{self.location}"

@@ -1,0 +1,42 @@
+"""Discrete-event runtime for compiled OIL programs.
+
+* :mod:`repro.runtime.functions` -- registry of the coordinated functions,
+* :mod:`repro.runtime.events` -- event queue with exact rational time,
+* :mod:`repro.runtime.tasks` -- data-driven runtime tasks and the expression
+  evaluator for guards and assignments,
+* :mod:`repro.runtime.sources` -- time-triggered sources and sinks with
+  deadline-violation detection,
+* :mod:`repro.runtime.fifo` -- inter-module FIFO channels,
+* :mod:`repro.runtime.trace` -- execution traces and measurements,
+* :mod:`repro.runtime.simulator` -- the simulation engine.
+"""
+
+from repro.runtime.functions import FunctionRegistry, FunctionSpec, default_registry
+from repro.runtime.events import Event, EventQueue
+from repro.runtime.tasks import OilRuntimeError, RuntimeTask, evaluate_expression
+from repro.runtime.sources import SinkDriver, SourceDriver
+from repro.runtime.fifo import Fifo, make_fifo
+from repro.runtime.trace import DeadlineViolation, EndpointEvent, Firing, TraceRecorder
+from repro.runtime.simulator import ModeSchedule, SequentialInstance, Simulation
+
+__all__ = [
+    "FunctionRegistry",
+    "FunctionSpec",
+    "default_registry",
+    "Event",
+    "EventQueue",
+    "OilRuntimeError",
+    "RuntimeTask",
+    "evaluate_expression",
+    "SinkDriver",
+    "SourceDriver",
+    "Fifo",
+    "make_fifo",
+    "DeadlineViolation",
+    "EndpointEvent",
+    "Firing",
+    "TraceRecorder",
+    "ModeSchedule",
+    "SequentialInstance",
+    "Simulation",
+]

@@ -1,0 +1,84 @@
+"""Discrete-event machinery of the runtime simulator.
+
+The simulator is a classical discrete-event engine: an event queue ordered by
+(time, sequence number) whose entries are callbacks.  Exact rational
+timestamps are used so that periodic sources and sinks with incommensurable
+frequencies (6.4 MHz vs 32 kHz) never suffer floating-point drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.rational import Rat, as_rational
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback."""
+
+    time: Rat
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A time-ordered queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self.now: Rat = Fraction(0)
+        self.processed = 0
+
+    def schedule(self, time: Rat, callback: EventCallback, *, label: str = "") -> Event:
+        """Schedule *callback* at absolute *time* (must not be in the past)."""
+        time = as_rational(time)
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} before current time {self.now}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: Rat, callback: EventCallback, *, label: str = "") -> Event:
+        """Schedule *callback* ``delay`` seconds after the current time."""
+        return self.schedule(self.now + as_rational(delay), callback, label=label)
+
+    def cancel(self, event: Event) -> None:
+        event.cancelled = True
+
+    def empty(self) -> bool:
+        return not any(not e.cancelled for e in self._heap)
+
+    def run_until(self, end_time: Rat, *, max_events: Optional[int] = None) -> Rat:
+        """Process events up to (and including) *end_time*; returns the final time."""
+        end_time = as_rational(end_time)
+        while self._heap:
+            event = self._heap[0]
+            if event.time > end_time:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.processed += 1
+            if max_events is not None and self.processed >= max_events:
+                break
+        if self.now < end_time:
+            self.now = end_time
+        return self.now
+
+    def peek_time(self) -> Optional[Rat]:
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None

@@ -1,0 +1,43 @@
+"""Inter-module FIFO channels.
+
+Modules communicate via FIFO buffers (Sec. IV-A): exactly one module writes,
+any number of modules read and every reader observes every value.  The
+runtime implements this on top of the circular buffer with multiple windows
+(:mod:`repro.graph.circular_buffer`): the single writer gets one producer
+window and every reading module instance its own consumer window, so the
+writer is throttled by the slowest reader -- the behaviour the CTA capacity
+connections model.
+
+This module only adds a small convenience wrapper used by the simulator; the
+actual storage and window logic is the circular buffer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+from repro.graph.circular_buffer import CircularBuffer
+
+
+@dataclass
+class Fifo:
+    """A named FIFO channel backed by a circular buffer."""
+
+    buffer: CircularBuffer
+
+    @property
+    def name(self) -> str:
+        return self.buffer.name
+
+    @property
+    def capacity(self) -> int:
+        return self.buffer.capacity
+
+    def occupancy(self) -> int:
+        return self.buffer.occupancy()
+
+
+def make_fifo(name: str, capacity: int, *, initial_values: Sequence[Any] = ()) -> Fifo:
+    """Create a FIFO channel with the given capacity and initial contents."""
+    return Fifo(CircularBuffer(name, capacity, initial_values=initial_values))

@@ -1,0 +1,534 @@
+"""Discrete-event execution of compiled OIL programs.
+
+The simulator instantiates the module hierarchy of a compiled program --
+FIFOs, sources, sinks, sequential-module task graphs and black boxes -- and
+executes it with self-timed (data-driven) task semantics on virtual
+unbounded-parallel hardware: every task occupies its own processor, exactly
+the execution model the CTA analysis bounds.  This replaces the paper's
+multi-core MPSoC platform (ref. [28]); each task firing takes its registered
+worst-case response time.
+
+The simulation is used by the examples and benchmarks to validate the
+analysis results: with the buffer capacities computed by
+:mod:`repro.cta.buffer_sizing`, periodic sources never find their buffer full
+and periodic sinks never find it empty, and the observed buffer occupancies
+stay within the computed capacities.
+
+Modal behaviour: a sequential module with a single (infinite) top-level loop
+runs fully data-driven; a module with several top-level loops switches
+between them according to a *mode schedule* (iteration quotas per loop)
+supplied by the caller -- the adversarial mode sequences of experiment E10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.compiler import CompilationResult
+from repro.graph.circular_buffer import CircularBuffer
+from repro.graph.taskgraph import Access, Task, TaskGraph
+from repro.lang import ast
+from repro.lang.semantics import BlackBoxModule
+from repro.runtime.events import EventQueue
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.sources import SinkDriver, SourceDriver
+from repro.runtime.tasks import OilRuntimeError, RuntimeTask
+from repro.runtime.trace import TraceRecorder
+from repro.util.rational import Rat, as_rational
+
+#: A mode schedule: per module instance path (or module name), the cyclic list
+#: of (loop identifier, iteration quota) phases.
+ModeSchedule = Mapping[str, Sequence[Tuple[str, int]]]
+
+
+def _counting_signal() -> Iterator[int]:
+    return itertools.count()
+
+
+@dataclass
+class SequentialInstance:
+    """Book-keeping of one instantiated sequential module."""
+
+    path: str
+    graph: TaskGraph
+    tasks: List[RuntimeTask] = field(default_factory=list)
+    #: phases: list of (loop identifier, iteration quota); empty = single mode
+    phases: List[Tuple[str, int]] = field(default_factory=list)
+    phase_index: int = 0
+
+    def tasks_of_loop(self, loop: Optional[str]) -> List[RuntimeTask]:
+        return [t for t in self.tasks if (t.task.loop or "").split(".")[0] == (loop or "")]
+
+    def active_loop(self) -> Optional[str]:
+        if not self.phases:
+            return None
+        return self.phases[self.phase_index % len(self.phases)][0]
+
+    def apply_activation(self) -> None:
+        """Activate the tasks of the current phase (single-mode: all tasks).
+
+        When a mode switch activates a loop, the windows of its tasks are
+        moved forward to the frontier the previous mode left behind -- this is
+        the runtime counterpart of the distribution/combination tasks of
+        Sec. V-B.3 (the next values of a stream go to whichever loop executes
+        next), and the windows of inactive loops are excluded from the buffer
+        availability computations so that an idle mode never blocks the
+        active one.
+        """
+        if not self.phases:
+            for task in self.tasks:
+                task.active = True
+            return
+        active = self.active_loop()
+        newly_active: List[RuntimeTask] = []
+        for task in self.tasks:
+            if task.one_shot:
+                task.active = True
+                continue
+            top_loop = (task.task.loop or "").split(".")[0]
+            was_active = task.active
+            task.active = top_loop == active
+            if task.active and not was_active:
+                newly_active.append(task)
+            if not task.active:
+                task.phase_firings = 0
+
+        # Reflect activation on the buffer windows.
+        for task in self.tasks:
+            if task.one_shot:
+                continue
+            key = task.producer_key()
+            for access in task.task.reads:
+                task.buffers[access.buffer].set_consumer_active(key, task.active)
+            for access in task.task.writes:
+                task.buffers[access.buffer].set_producer_active(key, task.active)
+
+        # Newly activated tasks continue from the frontier of the instance.
+        for task in newly_active:
+            key = task.producer_key()
+            for access in task.task.reads:
+                buffer = task.buffers[access.buffer]
+                frontier = max(
+                    (
+                        buffer.consumer_position(other.producer_key())
+                        for other in self.tasks
+                        if not other.one_shot
+                        and any(a.buffer == access.buffer for a in other.task.reads)
+                    ),
+                    default=0,
+                )
+                buffer.advance_consumer_to(key, frontier)
+            for access in task.task.writes:
+                buffer = task.buffers[access.buffer]
+                frontier = max(
+                    (
+                        buffer.producer_position(other.producer_key())
+                        for other in self.tasks
+                        if not other.one_shot
+                        and any(a.buffer == access.buffer for a in other.task.writes)
+                    ),
+                    default=0,
+                )
+                buffer.advance_producer_to(key, frontier)
+
+    def maybe_advance_phase(self) -> bool:
+        """Advance to the next phase when the iteration quota is reached."""
+        if not self.phases:
+            return False
+        loop, quota = self.phases[self.phase_index % len(self.phases)]
+        loop_tasks = [t for t in self.tasks if not t.one_shot and (t.task.loop or "").split(".")[0] == loop]
+        if not loop_tasks:
+            return False
+        if min(t.phase_firings for t in loop_tasks) >= quota:
+            for task in loop_tasks:
+                task.phase_firings = 0
+            self.phase_index += 1
+            self.apply_activation()
+            return True
+        return False
+
+
+class Simulation:
+    """A runnable instantiation of a compiled OIL program."""
+
+    def __init__(
+        self,
+        result: CompilationResult,
+        registry: FunctionRegistry,
+        *,
+        source_signals: Optional[Mapping[str, Union[Iterable, Callable[[], Iterator]]]] = None,
+        capacities: Optional[Mapping[str, Optional[int]]] = None,
+        default_capacity: int = 64,
+        mode_schedules: Optional[ModeSchedule] = None,
+        sink_start_times: Optional[Mapping[str, Rat]] = None,
+        top: Optional[str] = None,
+    ) -> None:
+        self.result = result
+        self.registry = registry
+        self.queue = EventQueue()
+        self.trace = TraceRecorder()
+        self.default_capacity = default_capacity
+        self.mode_schedules = dict(mode_schedules or {})
+        self.sink_start_times = {k: as_rational(v) for k, v in (sink_start_times or {}).items()}
+        self._signals = dict(source_signals or {})
+
+        provided = capacities if capacities is not None else result.buffer_capacities()
+        self.capacities: Dict[str, int] = {
+            name: value for name, value in provided.items() if value is not None
+        }
+
+        self.buffers: Dict[str, CircularBuffer] = {}
+        self.sources: Dict[str, SourceDriver] = {}
+        self.sinks: Dict[str, SinkDriver] = {}
+        self.instances: List[SequentialInstance] = []
+        self.tasks: List[RuntimeTask] = []
+        self._dispatch_pending = False
+
+        top_name = top or self._default_top()
+        top_module = result.program.module(top_name)
+        if isinstance(top_module, ast.SequentialModule):
+            raise OilRuntimeError(
+                "the simulation entry point must be a parallel module with sources and sinks"
+            )
+        self._instantiate_parallel(top_module, bindings={}, path=top_name)
+
+        for instance in self.instances:
+            instance.apply_activation()
+
+    # ------------------------------------------------------------------ build
+    def _default_top(self) -> str:
+        metadata = self.result.root.component.metadata
+        name = metadata.get("module")
+        if isinstance(name, str):
+            return name
+        if self.result.program.main is not None:
+            return self.result.program.main.name
+        raise OilRuntimeError("cannot determine the top-level module of the simulation")
+
+    def _capacity_for(self, *keys: str, minimum: int = 1) -> int:
+        """Combine the analysis capacities of the buffers chained between two
+        modules into the capacity of the single runtime buffer implementing
+        them (a series of buffers of sizes a and b behaves like one buffer of
+        size a+b for the purposes of back pressure)."""
+        total = 0
+        matched = False
+        for key in keys:
+            if key in self.capacities:
+                total += self.capacities[key]
+                matched = True
+        if not matched:
+            total = self.default_capacity
+        return max(total, minimum)
+
+    def _access_capacity_keys(self, module_name: str, param: str) -> List[str]:
+        """The analysis buffer names of all distribution/combination buffers
+        that sit between *param* of *module_name* and the tasks that finally
+        access it.
+
+        For a sequential module these are its own ``<param>.access*`` buffers;
+        for a parallel module the stream is forwarded to inner module calls,
+        so the walk recurses into every call that receives the parameter.
+        Black boxes contribute nothing (they access the FIFO directly).
+        """
+        boxes = self.result.analysis.black_boxes
+        if module_name in boxes:
+            return []
+        try:
+            definition = self.result.program.module(module_name)
+        except KeyError:
+            return []
+        if isinstance(definition, ast.SequentialModule):
+            prefix = f"{module_name}/"
+            needle = f"/{param}.access"
+            return [
+                name for name in self.capacities if name.startswith(prefix) and needle in name
+            ]
+        keys: List[str] = []
+        for call in definition.calls:
+            target = boxes.get(call.module)
+            if target is not None:
+                params = [p.name for p in target.ports]
+            else:
+                params = [p.name for p in self.result.program.module(call.module).params]
+            for inner_param, argument in zip(params, call.arguments):
+                if argument.name == param:
+                    keys.extend(self._access_capacity_keys(call.module, inner_param))
+        return keys
+
+    def _transfer_floor(self, module_name: str, param: str) -> int:
+        """The largest number of values transferred in one access of *param*
+        by *module_name* (a lower bound for any runtime buffer capacity)."""
+        boxes = self.result.analysis.black_boxes
+        if module_name in boxes:
+            counts = [p.count for p in boxes[module_name].ports if p.name == param]
+            return max(counts, default=1)
+        try:
+            definition = self.result.program.module(module_name)
+        except KeyError:
+            return 1
+        if isinstance(definition, ast.SequentialModule):
+            graph = self.result.task_graphs.get(module_name)
+            if graph and param in graph.streams:
+                counts = list(graph.streams[param].per_loop_counts.values())
+                buffer_spec = graph.buffers.get(param)
+                if buffer_spec is not None:
+                    counts.extend(count for _, count in buffer_spec.producers)
+                    counts.extend(count for _, count in buffer_spec.consumers)
+                return max(counts, default=1)
+            return 1
+        floor = 1
+        for call in definition.calls:
+            target = boxes.get(call.module)
+            if target is not None:
+                params = [p.name for p in target.ports]
+            else:
+                params = [p.name for p in self.result.program.module(call.module).params]
+            for inner_param, argument in zip(params, call.arguments):
+                if argument.name == param:
+                    floor = max(floor, self._transfer_floor(call.module, inner_param))
+        return floor
+
+    def _instantiate_parallel(
+        self,
+        module: ast.ParallelModule,
+        bindings: Mapping[str, CircularBuffer],
+        path: str,
+    ) -> None:
+        local: Dict[str, CircularBuffer] = dict(bindings)
+
+        # Who uses each locally declared stream? (for capacity aggregation)
+        users: Dict[str, List[Tuple[str, str]]] = {}
+        for call in module.calls:
+            target = self.result.analysis.black_boxes.get(call.module)
+            params: List[Tuple[str, bool]]
+            if target is not None:
+                params = [(p.name, p.is_output) for p in target.ports]
+            else:
+                definition = self.result.program.module(call.module)
+                params = [(p.name, p.is_output) for p in definition.params]
+            for (param_name, _), argument in zip(params, call.arguments):
+                users.setdefault(argument.name, []).append((call.module, param_name))
+
+        def stream_capacity(par_key: str, stream: str) -> int:
+            keys = [f"{par_key}/{stream}"]
+            floor = 1
+            for user_module, user_param in users.get(stream, []):
+                keys.extend(self._access_capacity_keys(user_module, user_param))
+                floor = max(floor, self._transfer_floor(user_module, user_param))
+            return self._capacity_for(*keys, minimum=floor)
+
+        # FIFOs declared here.
+        for fifo in module.fifos:
+            capacity = stream_capacity(module.name, fifo.name)
+            buffer = CircularBuffer(f"{path}/{fifo.name}", capacity)
+            self.buffers[buffer.name] = buffer
+            local[fifo.name] = buffer
+
+        # Sources and sinks declared here.
+        for source in module.sources:
+            capacity = stream_capacity(module.name, source.name)
+            buffer = CircularBuffer(f"{path}/{source.name}", capacity)
+            self.buffers[buffer.name] = buffer
+            local[source.name] = buffer
+            signal = self._signals.get(source.name)
+            if signal is None:
+                iterator: Iterator = _counting_signal()
+            elif callable(signal) and not hasattr(signal, "__next__") and not hasattr(signal, "__iter__"):
+                iterator = signal()
+            else:
+                iterator = iter(signal)  # type: ignore[arg-type]
+            driver = SourceDriver(
+                name=source.name,
+                buffer=buffer,
+                period=Fraction(1) / Fraction(source.frequency_hz),
+                values=iterator,
+                trace=self.trace,
+                queue=self.queue,
+                on_change=self._schedule_dispatch,
+            )
+            self.sources[source.name] = driver
+
+        for sink in module.sinks:
+            capacity = stream_capacity(module.name, sink.name)
+            buffer = CircularBuffer(f"{path}/{sink.name}", capacity)
+            self.buffers[buffer.name] = buffer
+            local[sink.name] = buffer
+            driver = SinkDriver(
+                name=sink.name,
+                buffer=buffer,
+                period=Fraction(1) / Fraction(sink.frequency_hz),
+                trace=self.trace,
+                queue=self.queue,
+                start_time=self.sink_start_times.get(sink.name),
+                on_change=self._schedule_dispatch,
+            )
+            self.sinks[sink.name] = driver
+
+        # Instantiate the called modules.
+        for index, call in enumerate(module.calls):
+            child_path = f"{path}/{call.module}" if path else call.module
+            if call.module in self.result.analysis.black_boxes:
+                box = self.result.analysis.black_boxes[call.module]
+                child_bindings = {
+                    port.name: local[argument.name]
+                    for port, argument in zip(box.ports, call.arguments)
+                }
+                self._instantiate_black_box(box, child_bindings, child_path)
+                continue
+            definition = self.result.program.module(call.module)
+            child_bindings = {
+                param.name: local[argument.name]
+                for param, argument in zip(definition.params, call.arguments)
+            }
+            if isinstance(definition, ast.ParallelModule):
+                self._instantiate_parallel(definition, child_bindings, child_path)
+            else:
+                self._instantiate_sequential(definition, child_bindings, child_path)
+
+    def _instantiate_sequential(
+        self,
+        module: ast.SequentialModule,
+        bindings: Mapping[str, CircularBuffer],
+        path: str,
+    ) -> None:
+        graph = self.result.task_graphs[module.name]
+        instance = SequentialInstance(path=path, graph=graph)
+
+        # Local variable buffers.
+        buffers: Dict[str, CircularBuffer] = dict(bindings)
+        for buffer_spec in graph.buffers.values():
+            if buffer_spec.kind != "variable":
+                continue
+            capacity = self._capacity_for(f"{module.name}/{buffer_spec.name}", minimum=2)
+            buffer = CircularBuffer(f"{path}/{buffer_spec.name}", capacity)
+            self.buffers[buffer.name] = buffer
+            buffers[buffer_spec.name] = buffer
+
+        # Runtime tasks.
+        for task in sorted(graph.tasks.values(), key=lambda t: t.order):
+            runtime_task = RuntimeTask(
+                name=task.name,
+                task=task,
+                instance=path,
+                registry=self.registry,
+                buffers=buffers,
+                wcet=task.firing_duration,
+                one_shot=task.loop is None,
+            )
+            key = runtime_task.producer_key()
+            for access in task.reads:
+                buffers[access.buffer].register_consumer(key)
+            for access in task.writes:
+                buffers[access.buffer].register_producer(key)
+            instance.tasks.append(runtime_task)
+            self.tasks.append(runtime_task)
+
+        # Mode schedule (multiple top-level loops).
+        top_loops = graph.top_level_loops()
+        schedule = self.mode_schedules.get(path) or self.mode_schedules.get(module.name)
+        if schedule:
+            instance.phases = [(loop, int(quota)) for loop, quota in schedule]
+        elif len(top_loops) > 1:
+            # Default: round-robin with one iteration per loop.
+            instance.phases = [(loop.identifier, 1) for loop in top_loops]
+        self.instances.append(instance)
+
+    def _instantiate_black_box(
+        self,
+        box: BlackBoxModule,
+        bindings: Mapping[str, CircularBuffer],
+        path: str,
+    ) -> None:
+        task = Task(name=box.name, kind="call", function=box.name, firing_duration=box.firing_duration)
+        task.reads = [Access(port.name, port.count) for port in box.ports if not port.is_output]
+        task.writes = [Access(port.name, port.count) for port in box.ports if port.is_output]
+        runtime_task = RuntimeTask(
+            name=f"{box.name}",
+            task=task,
+            instance=path,
+            registry=self.registry,
+            buffers=dict(bindings),
+            wcet=box.firing_duration,
+        )
+        key = runtime_task.producer_key()
+        for access in task.reads:
+            bindings[access.buffer].register_consumer(key)
+        for access in task.writes:
+            bindings[access.buffer].register_producer(key)
+        self.tasks.append(runtime_task)
+        instance = SequentialInstance(path=path, graph=TaskGraph(box.name))
+        instance.tasks.append(runtime_task)
+        self.instances.append(instance)
+
+    # -------------------------------------------------------------- scheduling
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.queue.schedule(self.queue.now, self._dispatch, label="dispatch")
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        progress = True
+        while progress:
+            progress = False
+            for task in self.tasks:
+                if task.can_fire():
+                    self._start_task(task)
+                    progress = True
+
+    def _start_task(self, task: RuntimeTask) -> None:
+        start = self.queue.now
+        values = task.start_firing()
+
+        def complete() -> None:
+            executed = task.finish_firing(values)
+            self.trace.record_firing(f"{task.instance}:{task.name}", start, self.queue.now, executed)
+            for access in task.task.writes:
+                buffer = task.buffers[access.buffer]
+                self.trace.record_occupancy(buffer.name, buffer.occupancy())
+            for instance in self.instances:
+                if task in instance.tasks:
+                    instance.maybe_advance_phase()
+                    break
+            self._notify_sinks()
+            self._schedule_dispatch()
+
+        self.queue.schedule(start + task.wcet, complete, label=f"complete:{task.name}")
+
+    def _notify_sinks(self) -> None:
+        for driver in self.sinks.values():
+            driver.notify_data_available()
+
+    # ------------------------------------------------------------------- run
+    def run(self, duration: Rat) -> TraceRecorder:
+        """Run the simulation for *duration* seconds of simulated time."""
+        duration = as_rational(duration)
+        for driver in self.sources.values():
+            driver.start()
+        for driver in self.sinks.values():
+            driver.start()
+        self._schedule_dispatch()
+        self.queue.run_until(duration)
+        return self.trace
+
+    def run_until_sink_count(
+        self, sink: str, count: int, *, max_time: Rat = Fraction(10)
+    ) -> TraceRecorder:
+        """Run until *sink* consumed *count* values (or *max_time* elapsed)."""
+        max_time = as_rational(max_time)
+        for driver in self.sources.values():
+            driver.start()
+        for driver in self.sinks.values():
+            driver.start()
+        self._schedule_dispatch()
+        target = self.sinks[sink]
+        step = max_time / 64
+        while self.queue.now < max_time and len(target.consumed) < count:
+            self.queue.run_until(min(self.queue.now + step, max_time))
+            if self.queue.empty():
+                break
+        return self.trace

@@ -1,0 +1,128 @@
+"""Time-triggered sources and sinks of the runtime.
+
+Sources and sinks are a special case of modules (Sec. IV-B): they execute
+time-triggered with the period the programmer declared (``@ 6.4 MHz``) and
+communicate with the rest of the application through circular buffers with
+FIFO semantics.  The runtime drivers implemented here:
+
+* a :class:`SourceDriver` produces one sample per period, taking the values
+  from a user-supplied generator (e.g. the synthetic PAL RF signal); when the
+  buffer is full at a trigger instant the sample is *dropped* and a
+  ``source-overflow`` violation is recorded -- this is exactly the real-time
+  failure the buffer-sizing analysis must exclude,
+* a :class:`SinkDriver` consumes one sample per period once it has started;
+  when the buffer is empty at a trigger instant a ``sink-underflow`` violation
+  is recorded.  A sink starts either at a configured offset or, by default, at
+  the first instant data is available (the measured value of that instant is
+  the pipeline-fill latency reported by the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.graph.circular_buffer import CircularBuffer
+from repro.runtime.events import EventQueue
+from repro.runtime.trace import TraceRecorder
+from repro.util.rational import Rat, as_rational
+
+
+@dataclass
+class SourceDriver:
+    """Periodic producer writing one value per period into its buffer."""
+
+    name: str
+    buffer: CircularBuffer
+    period: Rat
+    values: Iterator[Any]
+    trace: TraceRecorder
+    queue: EventQueue
+    start_offset: Rat = Fraction(0)
+    produced: int = 0
+    dropped: int = 0
+    #: callback invoked whenever the buffer content changed (wakes the scheduler)
+    on_change: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        self.buffer.register_producer(self.name)
+        self.queue.schedule(self.start_offset, self._tick, label=f"source:{self.name}")
+
+    def _tick(self) -> None:
+        time = self.queue.now
+        try:
+            value = next(self.values)
+        except StopIteration:
+            return  # finite stimulus exhausted: stop producing
+        if self.buffer.can_produce(self.name, 1):
+            self.buffer.produce(self.name, [value], 1)
+            self.produced += 1
+            self.trace.record_endpoint(self.name, "source", time, value)
+            self.trace.record_occupancy(self.buffer.name, self.buffer.occupancy())
+            if self.on_change is not None:
+                self.on_change()
+        else:
+            self.dropped += 1
+            self.trace.record_violation(
+                self.name,
+                "source-overflow",
+                time,
+                detail=f"buffer {self.buffer.name!r} full ({self.buffer.occupancy()} tokens)",
+            )
+        self.queue.schedule(time + self.period, self._tick, label=f"source:{self.name}")
+
+
+@dataclass
+class SinkDriver:
+    """Periodic consumer reading one value per period from its buffer."""
+
+    name: str
+    buffer: CircularBuffer
+    period: Rat
+    trace: TraceRecorder
+    queue: EventQueue
+    #: absolute start time; None = start when data first becomes available
+    start_time: Optional[Rat] = None
+    started: bool = False
+    consumed: List[Any] = field(default_factory=list)
+    misses: int = 0
+    on_change: Optional[Callable[[], None]] = None
+
+    def start(self) -> None:
+        self.buffer.register_consumer(self.name)
+        if self.start_time is not None:
+            self.started = True
+            self.queue.schedule(self.start_time, self._tick, label=f"sink:{self.name}")
+
+    def notify_data_available(self) -> None:
+        """Called by the scheduler when the sink's buffer received data; used
+        to start sinks that wait for the pipeline to fill.
+
+        The first consumption happens half a period after the data became
+        available: the sink phase is then interleaved with the (equally
+        periodic) production instants, which avoids start-time races on exact
+        ties.  An explicit ``start_time`` overrides this behaviour.
+        """
+        if self.started:
+            return
+        if self.buffer.can_consume(self.name, 1):
+            self.started = True
+            self.queue.schedule(
+                self.queue.now + self.period / 2, self._tick, label=f"sink:{self.name}"
+            )
+
+    def _tick(self) -> None:
+        time = self.queue.now
+        if self.buffer.can_consume(self.name, 1):
+            value = self.buffer.consume(self.name, 1)[0]
+            self.consumed.append(value)
+            self.trace.record_endpoint(self.name, "sink", time, value)
+            if self.on_change is not None:
+                self.on_change()
+        else:
+            self.misses += 1
+            self.trace.record_violation(
+                self.name, "sink-underflow", time, detail=f"buffer {self.buffer.name!r} empty"
+            )
+        self.queue.schedule(time + self.period, self._tick, label=f"sink:{self.name}")

@@ -1,0 +1,268 @@
+"""Runtime tasks: data-driven execution of extracted task-graph tasks.
+
+Each task of an extracted task graph becomes a :class:`RuntimeTask` bound to
+the circular buffers of its module instance.  The runtime semantics follow the
+paper's execution model:
+
+* a task is *eligible* when its loop is active, all buffers it reads hold
+  enough values, all buffers it writes have enough space and no previous
+  firing of the same task is still in flight (tasks are sequential code
+  fragments),
+* at the start of a firing the task atomically acquires its inputs, evaluates
+  its guard on the values just read and -- only if the guard holds -- executes
+  the coordinated function / assignment,
+* the outputs are released ``wcet`` seconds later; when the guard was false
+  the output locations are released *without writing*, so consumers observe
+  the previous values (the overlapping-window semantics of the circular
+  buffer),
+* statements outside any loop (initialisation) fire exactly once at start-up.
+
+The module also contains the small expression evaluator used for guards,
+assignment right-hand sides and function-call arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.graph.circular_buffer import CircularBuffer
+from repro.graph.taskgraph import Task
+from repro.lang import ast
+from repro.runtime.functions import FunctionRegistry
+from repro.util.rational import Rat
+
+
+class OilRuntimeError(RuntimeError):
+    """Raised for runtime execution problems (missing functions, bad values)."""
+
+
+# --------------------------------------------------------------------------
+# Expression evaluation
+# --------------------------------------------------------------------------
+
+def evaluate_expression(
+    expression: ast.Expression,
+    values: Dict[str, Any],
+    registry: Optional[FunctionRegistry] = None,
+) -> Any:
+    """Evaluate an OIL expression given the values read this firing.
+
+    ``values`` maps names (variables / streams) to either a scalar or the list
+    of values read; a :class:`~repro.lang.ast.VarRef` of a multi-value read
+    yields the last (most recent) value, a
+    :class:`~repro.lang.ast.StreamRead` yields the full list.
+    """
+    if isinstance(expression, ast.NumberLiteral):
+        return expression.value
+    if isinstance(expression, ast.VarRef):
+        if expression.name not in values:
+            raise OilRuntimeError(f"no value available for {expression.name!r}")
+        value = values[expression.name]
+        if isinstance(value, list):
+            return value[-1] if value else None
+        return value
+    if isinstance(expression, ast.StreamRead):
+        if expression.name not in values:
+            raise OilRuntimeError(f"no value available for stream {expression.name!r}")
+        value = values[expression.name]
+        return value if isinstance(value, list) else [value]
+    if isinstance(expression, ast.FunctionExpr):
+        if registry is None:
+            raise OilRuntimeError(
+                f"cannot evaluate function {expression.name!r} without a registry"
+            )
+        args = [
+            evaluate_expression(argument.expression, values, registry)
+            for argument in expression.arguments
+            if isinstance(argument, ast.InArgument)
+        ]
+        return registry.call(expression.name, *args)
+    if isinstance(expression, ast.UnaryOp):
+        operand = evaluate_expression(expression.operand, values, registry)
+        if expression.op == "-":
+            return -operand
+        if expression.op == "!":
+            return not operand
+        raise OilRuntimeError(f"unknown unary operator {expression.op!r}")
+    if isinstance(expression, ast.BinaryOp):
+        left = evaluate_expression(expression.left, values, registry)
+        right = evaluate_expression(expression.right, values, registry)
+        op = expression.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "and":
+            return bool(left) and bool(right)
+        if op == "or":
+            return bool(left) or bool(right)
+        raise OilRuntimeError(f"unknown binary operator {op!r}")
+    raise OilRuntimeError(f"cannot evaluate expression node {type(expression).__name__}")
+
+
+# --------------------------------------------------------------------------
+# Runtime task
+# --------------------------------------------------------------------------
+
+@dataclass
+class RuntimeTask:
+    """One executable task instance bound to its buffers."""
+
+    name: str
+    task: Task
+    instance: str
+    registry: FunctionRegistry
+    #: buffer name (task-graph local) -> runtime circular buffer
+    buffers: Dict[str, CircularBuffer]
+    wcet: Rat = Fraction(0)
+    #: set by the owning module instance: whether the task's loop is active
+    active: bool = True
+    #: True while a firing is in flight
+    busy: bool = False
+    #: number of completed firings (total and within the current phase)
+    completed_firings: int = 0
+    phase_firings: int = 0
+    #: one-shot tasks (initialisation) fire at most once
+    one_shot: bool = False
+    fired_once: bool = False
+
+    def producer_key(self) -> str:
+        return f"{self.instance}:{self.name}"
+
+    # ------------------------------------------------------------ eligibility
+    def can_fire(self) -> bool:
+        if self.busy or not self.active:
+            return False
+        if self.one_shot and self.fired_once:
+            return False
+        key = self.producer_key()
+        for access in self.task.reads:
+            if not self.buffers[access.buffer].can_consume(key, access.count):
+                return False
+        for access in self.task.writes:
+            if not self.buffers[access.buffer].can_produce(key, access.count):
+                return False
+        return True
+
+    # --------------------------------------------------------------- execution
+    def start_firing(self) -> Dict[str, Any]:
+        """Atomically consume the inputs and return the values read."""
+        key = self.producer_key()
+        values: Dict[str, Any] = {}
+        for access in self.task.reads:
+            data = self.buffers[access.buffer].consume(key, access.count)
+            values[access.buffer] = data if access.count > 1 else data[0]
+        self.busy = True
+        return values
+
+    def finish_firing(self, values: Dict[str, Any]) -> bool:
+        """Execute the (guarded) body and release the outputs.
+
+        Returns True when the guarded body actually executed.
+        """
+        key = self.producer_key()
+        execute = True
+        if self.task.guard is not None:
+            execute = bool(evaluate_expression(self.task.guard, values, self.registry))
+
+        outputs: Dict[str, Optional[List[Any]]] = {
+            access.buffer: None for access in self.task.writes
+        }
+        if execute:
+            outputs.update(self._run_body(values))
+
+        for access in self.task.writes:
+            produced = outputs.get(access.buffer)
+            if produced is not None and len(produced) != access.count:
+                raise OilRuntimeError(
+                    f"task {self.name!r}: function produced {len(produced)} values for "
+                    f"{access.buffer!r}, expected {access.count}"
+                )
+            self.buffers[access.buffer].produce(key, produced, access.count)
+
+        self.busy = False
+        self.completed_firings += 1
+        self.phase_firings += 1
+        if self.one_shot:
+            self.fired_once = True
+        return execute
+
+    def _run_body(self, values: Dict[str, Any]) -> Dict[str, List[Any]]:
+        """Run the assignment / function call and collect produced values."""
+        statement = self.task.statement
+        outputs: Dict[str, List[Any]] = {}
+
+        if isinstance(statement, ast.Assignment):
+            result = evaluate_expression(statement.expression, values, self.registry)
+            outputs[statement.target] = [result]
+            return outputs
+
+        if isinstance(statement, ast.FunctionCall):
+            call_args: List[Any] = []
+            out_accesses: List[ast.OutArgument] = []
+            for argument in statement.arguments:
+                if isinstance(argument, ast.InArgument):
+                    call_args.append(
+                        evaluate_expression(argument.expression, values, self.registry)
+                    )
+                else:
+                    out_accesses.append(argument)
+            result = self.registry.call(statement.name, *call_args)
+
+            if not out_accesses:
+                return outputs
+            if len(out_accesses) == 1:
+                results: Sequence[Any] = (result,)
+            else:
+                if not isinstance(result, tuple) or len(result) != len(out_accesses):
+                    raise OilRuntimeError(
+                        f"function {statement.name!r} must return a tuple with "
+                        f"{len(out_accesses)} entries (one per out argument)"
+                    )
+                results = result
+            for out_arg, produced in zip(out_accesses, results):
+                if out_arg.count == 1 and not isinstance(produced, list):
+                    outputs[out_arg.name] = [produced]
+                else:
+                    produced_list = list(produced)
+                    outputs[out_arg.name] = produced_list
+            return outputs
+
+        # Synthetic tasks (black boxes) carry no statement: treat all reads as
+        # inputs and all writes as outputs of a single registered function.
+        call_args = []
+        for access in self.task.reads:
+            value = values[access.buffer]
+            call_args.append(value)
+        result = self.registry.call(self.task.function or self.name, *call_args)
+        writes = self.task.writes
+        if len(writes) == 1:
+            results = (result,)
+        else:
+            results = result
+        for access, produced in zip(writes, results):
+            if access.count == 1 and not isinstance(produced, list):
+                outputs[access.buffer] = [produced]
+            else:
+                outputs[access.buffer] = list(produced)
+        return outputs

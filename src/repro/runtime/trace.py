@@ -1,0 +1,132 @@
+"""Execution traces and measurements of the runtime simulator.
+
+The trace recorder collects:
+
+* task firings (task, start time, completion time, whether the guarded body
+  actually executed),
+* source productions and sink consumptions with their timestamps,
+* deadline violations (a periodic source finding its buffer full, a periodic
+  sink finding its buffer empty),
+* buffer occupancy high-water marks.
+
+From these it derives the measured quantities the experiments compare against
+the analysis: sustained throughput per source/sink, end-to-end latency, and
+maximal observed buffer occupancy (which must never exceed the capacities the
+CTA buffer-sizing algorithm computed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rational import Rat
+
+
+@dataclass
+class Firing:
+    task: str
+    start: Rat
+    end: Rat
+    executed_body: bool
+
+
+@dataclass
+class EndpointEvent:
+    name: str
+    kind: str  # "source" | "sink"
+    time: Rat
+    value: object
+
+
+@dataclass
+class DeadlineViolation:
+    name: str
+    kind: str  # "source-overflow" | "sink-underflow"
+    time: Rat
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates simulation events and derives measurements."""
+
+    firings: List[Firing] = field(default_factory=list)
+    endpoint_events: List[EndpointEvent] = field(default_factory=list)
+    violations: List[DeadlineViolation] = field(default_factory=list)
+    buffer_high_water: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- recording
+    def record_firing(self, task: str, start: Rat, end: Rat, executed_body: bool) -> None:
+        self.firings.append(Firing(task, start, end, executed_body))
+
+    def record_endpoint(self, name: str, kind: str, time: Rat, value: object) -> None:
+        self.endpoint_events.append(EndpointEvent(name, kind, time, value))
+
+    def record_violation(self, name: str, kind: str, time: Rat, detail: str = "") -> None:
+        self.violations.append(DeadlineViolation(name, kind, time, detail))
+
+    def record_occupancy(self, buffer: str, occupancy: int) -> None:
+        current = self.buffer_high_water.get(buffer, 0)
+        if occupancy > current:
+            self.buffer_high_water[buffer] = occupancy
+
+    # ----------------------------------------------------------- measurements
+    def firings_of(self, task: str) -> List[Firing]:
+        return [f for f in self.firings if f.task == task]
+
+    def events_of(self, name: str) -> List[EndpointEvent]:
+        return [e for e in self.endpoint_events if e.name == name]
+
+    def measured_rate(self, name: str) -> Optional[Rat]:
+        """Average events per second of a source or sink over the simulation."""
+        events = self.events_of(name)
+        if len(events) < 2:
+            return None
+        span = events[-1].time - events[0].time
+        if span <= 0:
+            return None
+        return Fraction(len(events) - 1) / span
+
+    def task_throughput(self, task: str) -> Optional[Rat]:
+        """Average firings per second of a task."""
+        firings = self.firings_of(task)
+        if len(firings) < 2:
+            return None
+        span = firings[-1].start - firings[0].start
+        if span <= 0:
+            return None
+        return Fraction(len(firings) - 1) / span
+
+    def first_output_time(self, name: str) -> Optional[Rat]:
+        events = self.events_of(name)
+        return events[0].time if events else None
+
+    def end_to_end_latency(self, source: str, sink: str) -> Optional[Rat]:
+        """Time between the first source production and the first sink
+        consumption -- the pipeline fill latency."""
+        first_in = self.first_output_time(source)
+        first_out = self.first_output_time(sink)
+        if first_in is None or first_out is None:
+            return None
+        return first_out - first_in
+
+    def deadline_miss_count(self) -> int:
+        return len(self.violations)
+
+    def summary(self) -> str:
+        lines = [
+            f"trace: {len(self.firings)} firings, {len(self.endpoint_events)} endpoint events, "
+            f"{len(self.violations)} violations"
+        ]
+        names = sorted({e.name for e in self.endpoint_events})
+        for name in names:
+            rate = self.measured_rate(name)
+            rendered = "n/a" if rate is None else f"{float(rate):.6g} Hz"
+            lines.append(f"  {name}: {len(self.events_of(name))} events, measured rate {rendered}")
+        if self.buffer_high_water:
+            lines.append("  buffer high-water marks:")
+            for buffer, occupancy in sorted(self.buffer_high_water.items()):
+                lines.append(f"    {buffer}: {occupancy}")
+        return "\n".join(lines)

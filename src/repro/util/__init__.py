@@ -1,0 +1,62 @@
+"""Shared utilities for the OIL/CTA reproduction.
+
+This package contains the numerically exact building blocks the analysis
+layers rely on:
+
+* :mod:`repro.util.rational` -- exact rational rate arithmetic,
+* :mod:`repro.util.units` -- frequency / time unit handling (Hz, kHz, MHz,
+  seconds, milliseconds, microseconds),
+* :mod:`repro.util.graphs` -- constraint-graph algorithms (Bellman-Ford
+  longest/shortest path with cycle detection, Howard / Lawler style cycle
+  ratio computations, cycle enumeration helpers),
+* :mod:`repro.util.validation` -- small argument-validation helpers used
+  across the public API.
+"""
+
+from repro.util.rational import Rat, as_rational, rational_gcd, rational_lcm
+from repro.util.units import Frequency, TimeValue, hz, khz, mhz, ms, us, seconds
+from repro.util.graphs import (
+    ConstraintGraph,
+    BellmanFordResult,
+    CycleRatioResult,
+    detect_positive_cycle,
+    longest_path_offsets,
+    minimum_cycle_ratio,
+    maximum_cycle_ratio,
+    simple_cycles,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_type,
+    check_in,
+    require,
+)
+
+__all__ = [
+    "Rat",
+    "as_rational",
+    "rational_gcd",
+    "rational_lcm",
+    "Frequency",
+    "TimeValue",
+    "hz",
+    "khz",
+    "mhz",
+    "ms",
+    "us",
+    "seconds",
+    "ConstraintGraph",
+    "BellmanFordResult",
+    "CycleRatioResult",
+    "detect_positive_cycle",
+    "longest_path_offsets",
+    "minimum_cycle_ratio",
+    "maximum_cycle_ratio",
+    "simple_cycles",
+    "check_positive",
+    "check_non_negative",
+    "check_type",
+    "check_in",
+    "require",
+]

@@ -1,0 +1,183 @@
+"""Frequency and time unit handling.
+
+OIL programs declare sources and sinks with frequencies (``@ 6.4 MHz``,
+``@ 32 kHz``) and latency constraints in milliseconds (``start x 5 ms before
+y``).  The analysis internally works in a single canonical unit system:
+
+* time:      **seconds**, stored as exact rationals,
+* frequency: **Hertz**,   stored as exact rationals.
+
+:class:`Frequency` and :class:`TimeValue` are thin, immutable wrappers that
+carry the canonical rational value, support arithmetic, comparison and
+conversion and render themselves with an appropriate SI prefix.  The free
+functions :func:`hz`, :func:`khz`, :func:`mhz`, :func:`seconds`, :func:`ms`
+and :func:`us` are convenience constructors used heavily in tests and
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from repro.util.rational import Rat, RationalLike, as_rational
+
+
+@dataclass(frozen=True, order=True)
+class Frequency:
+    """A frequency in Hertz, stored exactly.
+
+    Supports scaling by rationals, ratio of two frequencies (a rational) and
+    conversion to a :class:`TimeValue` period.
+    """
+
+    hertz: Rat
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hertz", as_rational(self.hertz))
+        if self.hertz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hertz}")
+
+    @property
+    def period(self) -> "TimeValue":
+        """The period 1/f as a :class:`TimeValue` in seconds."""
+        return TimeValue(Fraction(1, 1) / self.hertz)
+
+    def __mul__(self, factor: RationalLike) -> "Frequency":
+        return Frequency(self.hertz * as_rational(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Frequency", RationalLike]) -> Union[Rat, "Frequency"]:
+        if isinstance(other, Frequency):
+            return self.hertz / other.hertz
+        return Frequency(self.hertz / as_rational(other))
+
+    def to_float(self) -> float:
+        return float(self.hertz)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        value = self.hertz
+        for factor, suffix in ((10**9, "GHz"), (10**6, "MHz"), (10**3, "kHz")):
+            if value >= factor:
+                scaled = value / factor
+                return f"{float(scaled):g} {suffix}"
+        return f"{float(value):g} Hz"
+
+
+@dataclass(frozen=True, order=True)
+class TimeValue:
+    """A time duration (or delay) in seconds, stored exactly.
+
+    Negative values are allowed because the CTA model uses negative delays to
+    express buffer capacities and periodicity back-edges.
+    """
+
+    seconds: Rat
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seconds", as_rational(self.seconds))
+
+    def __add__(self, other: "TimeValue") -> "TimeValue":
+        return TimeValue(self.seconds + other.seconds)
+
+    def __sub__(self, other: "TimeValue") -> "TimeValue":
+        return TimeValue(self.seconds - other.seconds)
+
+    def __neg__(self) -> "TimeValue":
+        return TimeValue(-self.seconds)
+
+    def __mul__(self, factor: RationalLike) -> "TimeValue":
+        return TimeValue(self.seconds * as_rational(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["TimeValue", RationalLike]) -> Union[Rat, "TimeValue"]:
+        if isinstance(other, TimeValue):
+            return self.seconds / other.seconds
+        return TimeValue(self.seconds / as_rational(other))
+
+    def to_float(self) -> float:
+        return float(self.seconds)
+
+    def to_ms(self) -> float:
+        return float(self.seconds * 1000)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        value = self.seconds
+        magnitude = abs(value)
+        if magnitude == 0:
+            return "0 s"
+        for factor, suffix in ((Fraction(1), "s"), (Fraction(1, 10**3), "ms"), (Fraction(1, 10**6), "us"), (Fraction(1, 10**9), "ns")):
+            if magnitude >= factor:
+                return f"{float(value / factor):g} {suffix}"
+        return f"{float(value):g} s"
+
+
+def hz(value: RationalLike) -> Frequency:
+    """Construct a frequency given in Hertz."""
+    return Frequency(as_rational(value))
+
+
+def khz(value: RationalLike) -> Frequency:
+    """Construct a frequency given in kilohertz."""
+    return Frequency(as_rational(value) * 1000)
+
+
+def mhz(value: RationalLike) -> Frequency:
+    """Construct a frequency given in megahertz."""
+    return Frequency(as_rational(value) * 10**6)
+
+
+def seconds(value: RationalLike) -> TimeValue:
+    """Construct a duration given in seconds."""
+    return TimeValue(as_rational(value))
+
+
+def ms(value: RationalLike) -> TimeValue:
+    """Construct a duration given in milliseconds."""
+    return TimeValue(as_rational(value) / 1000)
+
+
+def us(value: RationalLike) -> TimeValue:
+    """Construct a duration given in microseconds."""
+    return TimeValue(as_rational(value) / 10**6)
+
+
+_FREQ_SUFFIXES = {
+    "hz": 1,
+    "khz": 10**3,
+    "mhz": 10**6,
+    "ghz": 10**9,
+}
+
+_TIME_SUFFIXES = {
+    "s": Fraction(1),
+    "sec": Fraction(1),
+    "ms": Fraction(1, 10**3),
+    "us": Fraction(1, 10**6),
+    "ns": Fraction(1, 10**9),
+}
+
+
+def parse_frequency(text: str) -> Frequency:
+    """Parse a frequency literal such as ``"6.4 MHz"`` or ``"32kHz"``."""
+    stripped = text.strip().replace(" ", "")
+    lowered = stripped.lower()
+    for suffix in sorted(_FREQ_SUFFIXES, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            number = stripped[: len(stripped) - len(suffix)]
+            return Frequency(as_rational(float(number)) * _FREQ_SUFFIXES[suffix])
+    raise ValueError(f"cannot parse frequency literal {text!r}")
+
+
+def parse_time(text: str) -> TimeValue:
+    """Parse a time literal such as ``"5 ms"`` or ``"0.5s"``."""
+    stripped = text.strip().replace(" ", "")
+    lowered = stripped.lower()
+    for suffix in sorted(_TIME_SUFFIXES, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            number = stripped[: len(stripped) - len(suffix)]
+            return TimeValue(as_rational(float(number)) * _TIME_SUFFIXES[suffix])
+    raise ValueError(f"cannot parse time literal {text!r}")

@@ -1,0 +1,62 @@
+"""Small argument-validation helpers shared across the public API.
+
+These helpers raise uniform, descriptive exceptions so API misuse surfaces
+immediately at the boundary instead of deep inside an analysis algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* if *condition* is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_type(value: Any, expected: Type[T] | tuple[type, ...], name: str) -> T:
+    """Check that *value* is an instance of *expected* and return it."""
+    if not isinstance(value, expected):
+        expected_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {expected_name}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: Any, name: str) -> Any:
+    """Check that a numeric *value* is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: Any, name: str) -> Any:
+    """Check that a numeric *value* is non-negative."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in(value: T, allowed: Collection[T], name: str) -> T:
+    """Check that *value* is a member of *allowed*."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")
+    return value
+
+
+def check_identifier(value: str, name: str) -> str:
+    """Check that *value* is a valid OIL/CTA identifier (letters, digits, '_',
+    '.', ':' and '[]' for generated hierarchical names), non-empty."""
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{name} must be a non-empty string, got {value!r}")
+    allowed = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:[]/#<>-")
+    bad = set(value) - allowed
+    if bad:
+        raise ValueError(f"{name} {value!r} contains invalid characters: {sorted(bad)}")
+    return value

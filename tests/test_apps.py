@@ -1,0 +1,140 @@
+"""Tests for the packaged applications (Fig. 2, modal pipelines, quickstart)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.modal_audio import simulate_mute, simulate_two_mode
+from repro.apps.producer_consumer import simulate_quickstart
+from repro.apps.rate_converter import (
+    FIG2_OIL_SOURCE,
+    compare_specifications,
+    compile_fig2,
+    fig2_oil_source,
+    fig2_registry,
+    fig2_task_graph,
+    minimal_initial_tokens_for_cta,
+    sequential_program_text,
+    sequential_schedule,
+)
+from repro.dataflow import repetition_vector, sdf_throughput
+
+
+class TestFig2RateConverter:
+    def test_repetition_vector(self):
+        q = repetition_vector(fig2_task_graph())
+        assert q.as_dict() == {"tf": 2, "tg": 3}
+
+    def test_sequential_schedule_length(self):
+        schedule = sequential_schedule()
+        assert len(schedule) == 5
+        assert schedule.count("tf") == 2 and schedule.count("tg") == 3
+
+    def test_sequential_program_text_matches_fig2b(self):
+        text = sequential_program_text()
+        # 5 schedule statements + init + declarations + loop wrapper
+        assert text.count("f(out") == 2
+        assert text.count("g(out") == 3
+        assert "init(" in text and "while(1)" in text
+
+    def test_oil_program_constant_size(self):
+        comparison = compare_specifications()
+        assert comparison.oil_function_calls == 2
+        assert comparison.sequential_statement_count == 6
+        assert comparison.reduction_factor == 3.0
+
+    def test_cta_conservatism_vs_exact(self):
+        """Self-timed execution needs 4 initial values (the paper's example);
+        the strictly periodic CTA abstraction needs a few more."""
+        exact = sdf_throughput(fig2_task_graph())
+        assert not exact.deadlocked
+        minimal = minimal_initial_tokens_for_cta()
+        assert minimal > 4
+        assert minimal <= 8
+        assert not compile_fig2(initial_tokens=4).check_consistency(
+            assume_infinite_unsized=True
+        ).consistent
+        assert compile_fig2(initial_tokens=minimal).check_consistency(
+            assume_infinite_unsized=True
+        ).consistent
+
+    def test_buffer_sizing_with_sufficient_initial_tokens(self):
+        result = compile_fig2(initial_tokens=minimal_initial_tokens_for_cta())
+        sizing = result.size_buffers()
+        assert sizing.consistency.consistent
+        assert all(value >= 1 for value in sizing.capacities.values())
+
+    def test_source_template_validation(self):
+        with pytest.raises(ValueError):
+            fig2_oil_source(0)
+        assert "init(out c:4)" in FIG2_OIL_SOURCE
+
+    def test_registry_functions(self):
+        registry = fig2_registry()
+        assert registry.call("f", [1.0, 2.0, 3.0]) == [3.0, 5.0, 7.0]
+        assert registry.call("g", [2.0, 4.0]) == [3.0, 3.0]
+        assert len(registry.call("init")) == 4
+
+
+class TestQuickstartApp:
+    def test_analysis(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        consistency = sizing.consistency
+        assert consistency.consistent
+        assert consistency.port_rates[result.source_ports["samples"]] == 2000
+        assert consistency.port_rates[result.sink_ports["averages"]] == 1000
+
+    def test_latency_constraints_hold(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        checks = result.verify_latency(sizing.consistency)
+        assert len(checks) == 2
+        assert all(check.satisfied for check in checks)
+
+    def test_simulation_values_and_rate(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        simulation, trace = simulate_quickstart(Fraction(1, 5), result=result, sizing=sizing)
+        assert trace.deadline_miss_count() == 0
+        assert simulation.sinks["averages"].consumed[:4] == [0.5, 2.5, 4.5, 6.5]
+        assert trace.measured_rate("averages") == 1000
+
+
+class TestModalApps:
+    def test_mute_modal_behaviour(self, mute_sized):
+        result, sizing = mute_sized
+        # 40 good samples then 40 bad samples, repeated.
+        signal = ([1.0] * 40 + [-1.0] * 40) * 100
+        simulation, trace = simulate_mute(Fraction(1, 10), signal, result=result, sizing=sizing)
+        speaker = simulation.sinks["speaker"].consumed
+        assert trace.deadline_miss_count() == 0
+        assert 0.0 in speaker and 1.0 in speaker  # both modes observed
+        assert trace.measured_rate("speaker") == 2000
+
+    def test_mute_analysis_rates(self, mute_sized):
+        result, sizing = mute_sized
+        consistency = sizing.consistency
+        assert consistency.port_rates[result.source_ports["mic"]] == 8000
+        assert consistency.port_rates[result.sink_ports["speaker"]] == 2000
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [(("loop0", 1), ("loop1", 1)), (("loop0", 4), ("loop1", 2)), (("loop0", 2), ("loop1", 9))],
+        ids=["alternate", "calib-heavy", "process-heavy"],
+    )
+    def test_two_mode_conservative_under_any_schedule(self, two_mode_sized, schedule):
+        result, sizing = two_mode_sized
+        simulation, trace = simulate_two_mode(
+            Fraction(1, 20), mode_schedule=schedule, result=result, sizing=sizing
+        )
+        assert trace.deadline_miss_count() == 0
+        assert trace.measured_rate("dac") == 2000
+        for name, mark in trace.buffer_high_water.items():
+            assert mark <= simulation.buffers[name].capacity
+
+    def test_two_mode_modes_visible_in_output(self, two_mode_sized):
+        result, sizing = two_mode_sized
+        simulation, _ = simulate_two_mode(
+            Fraction(1, 25), mode_schedule=(("loop0", 2), ("loop1", 2)), result=result, sizing=sizing
+        )
+        values = simulation.sinks["dac"].consumed
+        assert any(v >= 50 for v in values)   # calibration mode marks its output
+        assert any(v < 50 for v in values)    # processing mode

@@ -1,0 +1,87 @@
+"""Tests for CTA buffer sizing."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cta import BufferParameter, CTAModel, check_consistency, size_buffers
+from repro.cta.buffer_sizing import BufferSizingError
+
+
+def pipeline_model(stages: int, *, wcet=Fraction(1, 100), sink_rate=20):
+    """A linear pipeline of *stages* tasks with a sized buffer between each."""
+    model = CTAModel("pipeline")
+    tasks = []
+    for index in range(stages):
+        task = model.new_component(f"t{index}", kind="task")
+        task.add_port("in", direction="in", fixed_rate=sink_rate if index == stages - 1 else None)
+        task.add_port("out", direction="out")
+        task.connect(task.port_ref("in"), task.port_ref("out"), epsilon=wcet, purpose="firing")
+        tasks.append(task)
+    buffers = []
+    for left, right in zip(tasks, tasks[1:]):
+        buffer = BufferParameter(f"b_{left.name}_{right.name}", minimum=1)
+        buffers.append(buffer)
+        model.connect(left.port_ref("out"), right.port_ref("in"), purpose="buffer-data")
+        model.connect(right.port_ref("out"), left.port_ref("in"), buffer=buffer, purpose="buffer")
+    return model, buffers
+
+
+class TestSizing:
+    def test_pipeline_becomes_consistent(self):
+        model, buffers = pipeline_model(3)
+        result = size_buffers(model)
+        assert result.consistency.consistent
+        assert all(b.value is not None for b in buffers)
+
+    def test_capacities_sufficient_for_rate(self):
+        model, _ = pipeline_model(2, wcet=Fraction(1, 25), sink_rate=20)
+        result = size_buffers(model)
+        # Each stage needs 1/25 s; at 20 Hz the slack per period is 1/20 s,
+        # so a single-token buffer is not enough for both cycles.
+        assert result.consistency.consistent
+        assert result.total_capacity >= 2
+
+    def test_minimize_reduces_capacity(self):
+        model, buffers = pipeline_model(2)
+        unminimized = size_buffers(model, minimize=False)
+        for buffer in buffers:
+            buffer.value = None
+        model2, buffers2 = pipeline_model(2)
+        minimized = size_buffers(model2, minimize=True)
+        assert minimized.total_capacity <= unminimized.total_capacity
+
+    def test_sized_model_is_checkable(self):
+        model, _ = pipeline_model(2)
+        size_buffers(model)
+        assert check_consistency(model).consistent
+
+    def test_infeasible_rates_raise(self):
+        # Processing slower than the required period and no buffer on the
+        # critical (firing-only) cycle: no capacity can help.
+        model = CTAModel("m")
+        a = model.new_component("a")
+        a.add_port("in", fixed_rate=10)
+        a.add_port("out")
+        a.connect(a.port_ref("in"), a.port_ref("out"), epsilon=Fraction(1, 2), purpose="firing")
+        a.connect(a.port_ref("out"), a.port_ref("in"), epsilon=0, phi=-1, purpose="periodicity")
+        with pytest.raises(BufferSizingError):
+            size_buffers(model)
+
+    def test_monotone_larger_rate_needs_no_smaller_buffers(self):
+        totals = []
+        for rate in (10, 40, 160):
+            model, _ = pipeline_model(2, wcet=Fraction(1, 400), sink_rate=rate)
+            totals.append(size_buffers(model).total_capacity)
+        assert totals == sorted(totals)
+
+
+@given(st.integers(2, 4), st.integers(1, 30))
+@settings(max_examples=15, deadline=None)
+def test_sizing_always_produces_consistent_model(stages, rate):
+    model, _ = pipeline_model(stages, wcet=Fraction(1, 1000), sink_rate=rate)
+    result = size_buffers(model)
+    assert result.consistency.consistent
+    # capacities respect the declared minima
+    assert all(value >= 1 for value in result.capacities.values())

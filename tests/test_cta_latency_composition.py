@@ -1,0 +1,167 @@
+"""Tests for latency constraints, composition, hiding and DOT export."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cta import (
+    BufferParameter,
+    CTAModel,
+    Component,
+    LatencyConstraint,
+    add_latency_constraint,
+    check_consistency,
+    compose,
+    end_to_end_latency,
+    flatten,
+    hide,
+    to_dot,
+    verify_latency,
+)
+
+
+def source_pipeline_sink(latency_bound=None):
+    """source (1 kHz) -> worker -> sink (1 kHz) with sized buffers."""
+    model = CTAModel("app")
+    source = model.new_component("source", kind="source")
+    worker = model.new_component("worker", kind="task")
+    sink = model.new_component("sink", kind="sink")
+    rate = Fraction(1000)
+    source.add_port("in", fixed_rate=rate)
+    source.add_port("out", fixed_rate=rate)
+    source.connect(source.port_ref("in"), source.port_ref("out"), epsilon=Fraction(1) / rate)
+    sink.add_port("in", fixed_rate=rate)
+    sink.add_port("out", fixed_rate=rate)
+    sink.connect(sink.port_ref("in"), sink.port_ref("out"), epsilon=Fraction(1) / rate)
+    worker.add_port("in")
+    worker.add_port("out")
+    worker.connect(worker.port_ref("in"), worker.port_ref("out"), epsilon=Fraction(1, 4000), purpose="firing")
+
+    b_in = BufferParameter("b_in", value=4)
+    b_out = BufferParameter("b_out", value=4)
+    model.connect(source.port_ref("out"), worker.port_ref("in"), purpose="buffer-data")
+    model.connect(worker.port_ref("out"), source.port_ref("in"), buffer=b_in, purpose="buffer")
+    model.connect(worker.port_ref("out"), sink.port_ref("in"), purpose="buffer-data")
+    model.connect(sink.port_ref("out"), worker.port_ref("in"), buffer=b_out, purpose="buffer")
+
+    constraint = None
+    if latency_bound is not None:
+        constraint = LatencyConstraint(
+            subject=source.port_ref("out"),
+            reference=sink.port_ref("in"),
+            bound=latency_bound,
+            kind="before",
+        )
+        add_latency_constraint(model, constraint)
+    return model, source, sink, constraint
+
+
+class TestLatency:
+    def test_satisfiable_bound(self):
+        model, source, sink, constraint = source_pipeline_sink(Fraction(5, 1000))
+        result = check_consistency(model)
+        assert result.consistent
+        checks = verify_latency(result, [constraint])
+        assert checks[0].satisfied
+
+    def test_unsatisfiable_bound_makes_model_inconsistent(self):
+        # The sink cannot start earlier than the worker's processing delay
+        # after the source; a 0.1 ms bound is tighter than the 0.25 ms firing
+        # duration of the worker, so the encoded constraint creates a positive
+        # cycle.
+        model, *_ = source_pipeline_sink(Fraction(1, 10000))
+        result = check_consistency(model)
+        assert not result.consistent
+
+    def test_end_to_end_latency_positive(self):
+        model, source, sink, constraint = source_pipeline_sink(Fraction(5, 1000))
+        result = check_consistency(model)
+        latency = end_to_end_latency(result, source.port_ref("out"), sink.port_ref("in"))
+        assert latency is not None
+        assert 0 <= latency <= Fraction(5, 1000)
+
+    def test_after_constraint(self):
+        model, source, sink, _ = source_pipeline_sink()
+        constraint = LatencyConstraint(
+            subject=sink.port_ref("in"),
+            reference=source.port_ref("out"),
+            bound=Fraction(1, 10000),
+            kind="after",
+        )
+        add_latency_constraint(model, constraint)
+        result = check_consistency(model)
+        assert result.consistent
+        checks = verify_latency(result, [constraint])
+        assert checks[0].satisfied
+
+    def test_invalid_kind_rejected(self):
+        model, source, sink, _ = source_pipeline_sink()
+        with pytest.raises(ValueError):
+            LatencyConstraint(source.port_ref("out"), sink.port_ref("in"), Fraction(1), "soon")
+
+    def test_missing_offsets_reported(self):
+        model, source, sink, _ = source_pipeline_sink()
+        constraint = LatencyConstraint(
+            subject=sink.port_ref("in"),
+            reference=source.port_ref("out"),
+            bound=0,
+            kind="after",
+        )
+        from repro.cta.consistency import ConsistencyResult
+        from repro.cta.rates import compute_rate_structure
+
+        empty = ConsistencyResult(False, compute_rate_structure(model))
+        checks = verify_latency(empty, [constraint])
+        assert not checks[0].satisfied
+
+
+class TestComposition:
+    def test_compose_creates_parent(self):
+        a = Component("a")
+        b = Component("b")
+        parent = compose("parent", [a, b])
+        assert set(parent.children) == {"a", "b"}
+        assert a.parent is parent
+
+    def test_flatten_preserves_counts(self):
+        model, *_ = source_pipeline_sink(Fraction(5, 1000))
+        flat = flatten(model)
+        assert len(flat.all_ports()) == len(model.all_ports())
+        assert len(flat.all_connections()) == len(model.all_connections())
+        assert all(len(ref.component) == 1 for ref in flat.all_ports())
+
+    def test_flatten_analysis_equivalent(self):
+        model, *_ = source_pipeline_sink(Fraction(5, 1000))
+        flat = flatten(model)
+        assert check_consistency(flat).consistent == check_consistency(model).consistent
+
+    def test_hide_exposes_selected_ports(self):
+        model, source, sink, _ = source_pipeline_sink()
+        iface = hide(model, [source.port_ref("out"), sink.port_ref("in")], name="bb")
+        assert len(iface.ports) == 2
+        assert iface.kind == "black-box"
+
+    def test_hide_preserves_path_delay(self):
+        model, source, sink, _ = source_pipeline_sink()
+        iface = hide(model, [source.port_ref("out"), sink.port_ref("in")])
+        # There must be a constraint from the source-side port to the
+        # sink-side port whose delay at the operating rate is at least the
+        # worker's firing duration.
+        rate = Fraction(1000)
+        delays = [
+            connection.delay(rate)
+            for connection in iface.all_connections()
+            if connection.src.port.startswith("out") and connection.dst.port.startswith("in")
+        ]
+        assert delays and max(delays) >= Fraction(1, 4000)
+
+
+class TestDot:
+    def test_dot_output_structure(self):
+        model, *_ = source_pipeline_sink(Fraction(5, 1000))
+        dot = to_dot(model)
+        assert dot.startswith("digraph")
+        assert "cluster" in dot
+        assert "->" in dot
+        # latency constraints are rendered dashed
+        assert "style=dashed" in dot

@@ -1,0 +1,123 @@
+"""Tests for the CTA data model (components, ports, connections, buffers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cta import BufferParameter, Component, CTAModel, PortRef
+from repro.cta.model import Connection
+
+
+def small_model():
+    model = CTAModel("m")
+    a = model.new_component("a", kind="task")
+    b = model.new_component("b", kind="task")
+    a.add_port("out", max_rate=10)
+    b.add_port("in", max_rate=10)
+    model.connect(a.port_ref("out"), b.port_ref("in"), epsilon=Fraction(1, 10))
+    return model, a, b
+
+
+class TestComponentStructure:
+    def test_paths(self):
+        model, a, b = small_model()
+        assert a.path() == ("m", "a")
+        assert model.path() == ("m",)
+
+    def test_duplicate_port_rejected(self):
+        model, a, _ = small_model()
+        with pytest.raises(ValueError):
+            a.add_port("out")
+
+    def test_duplicate_child_rejected(self):
+        model, _, _ = small_model()
+        with pytest.raises(ValueError):
+            model.new_component("a")
+
+    def test_reparent_rejected(self):
+        model, a, _ = small_model()
+        other = CTAModel("other")
+        with pytest.raises(ValueError):
+            other.add_component(a)
+
+    def test_port_ref_unknown(self):
+        _, a, _ = small_model()
+        with pytest.raises(ValueError):
+            a.port_ref("nope")
+
+    def test_walk_and_all_ports(self):
+        model, _, _ = small_model()
+        assert len(list(model.walk())) == 3
+        assert len(model.all_ports()) == 2
+        assert len(model.all_connections()) == 1
+
+    def test_find(self):
+        model, a, _ = small_model()
+        assert model.find(["a"]) is a
+
+    def test_summary_mentions_components(self):
+        model, _, _ = small_model()
+        text = model.summary()
+        assert "task a" in text
+        assert "task b" in text
+
+
+class TestPorts:
+    def test_fixed_above_max_rejected(self):
+        model = CTAModel("m")
+        c = model.new_component("c")
+        with pytest.raises(ValueError):
+            c.add_port("p", max_rate=5, fixed_rate=10)
+
+    def test_negative_rate_rejected(self):
+        model = CTAModel("m")
+        c = model.new_component("c")
+        with pytest.raises(ValueError):
+            c.add_port("p", max_rate=-1)
+
+
+class TestConnections:
+    def test_gamma_positive(self):
+        model, a, b = small_model()
+        with pytest.raises(ValueError):
+            model.connect(a.port_ref("out"), b.port_ref("in"), gamma=0)
+
+    def test_delay_with_buffer(self):
+        buffer = BufferParameter("buf", minimum=2, value=5)
+        connection = Connection(
+            PortRef(("m", "a"), "out"),
+            PortRef(("m", "b"), "in"),
+            phi=Fraction(1),
+            buffer=buffer,
+        )
+        # effective phi = 1 - 5 = -4; delay at rate 2 = -2
+        assert connection.effective_phi() == -4
+        assert connection.delay(2) == -2
+
+    def test_unsized_buffer_raises(self):
+        buffer = BufferParameter("buf")
+        connection = Connection(
+            PortRef(("m", "a"), "out"), PortRef(("m", "b"), "in"), buffer=buffer
+        )
+        with pytest.raises(ValueError):
+            connection.effective_phi()
+
+    def test_all_buffers_deduplicated(self):
+        model, a, b = small_model()
+        buffer = BufferParameter("shared")
+        model.connect(a.port_ref("out"), b.port_ref("in"), buffer=buffer)
+        model.connect(b.port_ref("in"), a.port_ref("out"), buffer=buffer)
+        assert model.all_buffers() == [buffer]
+
+
+class TestBufferParameter:
+    def test_resolved_unsized(self):
+        with pytest.raises(ValueError):
+            BufferParameter("b").resolved()
+
+    def test_value_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            BufferParameter("b", minimum=3, value=2)
+
+    def test_resolved(self):
+        assert BufferParameter("b", minimum=1, value=4).resolved() == 4

@@ -1,0 +1,116 @@
+"""Tests for transfer-rate propagation (rate components, scales, conflicts)."""
+
+from fractions import Fraction
+
+from repro.cta import CTAModel, compute_rate_structure
+
+
+def build_chain(gammas, *, fixed_first=None, max_rates=None):
+    """A linear chain of single-port components connected with given gammas."""
+    model = CTAModel("m")
+    components = []
+    for index in range(len(gammas) + 1):
+        c = model.new_component(f"c{index}")
+        max_rate = None if max_rates is None else max_rates[index]
+        c.add_port("p", max_rate=max_rate, fixed_rate=fixed_first if index == 0 else None)
+        components.append(c)
+    for index, gamma in enumerate(gammas):
+        model.connect(
+            components[index].port_ref("p"),
+            components[index + 1].port_ref("p"),
+            gamma=gamma,
+        )
+    return model, components
+
+
+class TestRatePropagation:
+    def test_relative_rates_along_chain(self):
+        model, comps = build_chain([Fraction(1, 2), Fraction(3, 1)])
+        structure = compute_rate_structure(model)
+        assert structure.consistent
+        assert len(structure.components) == 1
+        rc = structure.components[0]
+        rates = [rc.relative_rates[c.port_ref("p")] for c in comps]
+        base = rates[0]
+        assert rates[1] / base == Fraction(1, 2)
+        assert rates[2] / base == Fraction(3, 2)
+
+    def test_fixed_rate_pins_scale(self):
+        model, comps = build_chain([Fraction(1, 4)], fixed_first=100)
+        structure = compute_rate_structure(model)
+        rc = structure.components[0]
+        assert rc.fixed_scale is not None
+        # The second port's actual rate is 25.
+        rate = rc.rate_of(comps[1].port_ref("p"), rc.fixed_scale)
+        assert rate == 25
+
+    def test_max_rate_cap(self):
+        model, comps = build_chain([Fraction(1, 2)], max_rates=[10, 100])
+        structure = compute_rate_structure(model)
+        rc = structure.components[0]
+        # Port 0 capped at 10, port 1 at 100 but relative rate 1/2 -> cap 200.
+        assert rc.scale_cap is not None
+        assert rc.rate_of(comps[0].port_ref("p"), rc.scale_cap) <= 10
+
+    def test_two_disconnected_components(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        b = model.new_component("b")
+        a.add_port("p")
+        b.add_port("p")
+        structure = compute_rate_structure(model)
+        assert len(structure.components) == 2
+
+    def test_cycle_gamma_inconsistency(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        b = model.new_component("b")
+        a.add_port("p")
+        b.add_port("p")
+        model.connect(a.port_ref("p"), b.port_ref("p"), gamma=2)
+        model.connect(b.port_ref("p"), a.port_ref("p"), gamma=1)  # product != 1
+        structure = compute_rate_structure(model)
+        assert not structure.consistent
+        assert structure.conflicts[0].kind == "cycle"
+
+    def test_cycle_gamma_consistent(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        b = model.new_component("b")
+        a.add_port("p")
+        b.add_port("p")
+        model.connect(a.port_ref("p"), b.port_ref("p"), gamma=2)
+        model.connect(b.port_ref("p"), a.port_ref("p"), gamma=Fraction(1, 2))
+        assert compute_rate_structure(model).consistent
+
+    def test_fixed_rate_conflict(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        b = model.new_component("b")
+        a.add_port("p", fixed_rate=10)
+        b.add_port("p", fixed_rate=30)
+        model.connect(a.port_ref("p"), b.port_ref("p"), gamma=2)  # implies 20 != 30
+        structure = compute_rate_structure(model)
+        assert not structure.consistent
+        assert any(c.kind == "fixed" for c in structure.conflicts)
+
+    def test_fixed_rate_exceeding_cap(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        b = model.new_component("b")
+        a.add_port("p", fixed_rate=10)
+        b.add_port("p", max_rate=3)
+        model.connect(a.port_ref("p"), b.port_ref("p"), gamma=1)
+        structure = compute_rate_structure(model)
+        assert not structure.consistent
+
+    def test_unknown_port_in_connection(self):
+        model = CTAModel("m")
+        a = model.new_component("a")
+        a.add_port("p")
+        model.connect(a.port_ref("p"), ("m", "ghost", "p"))
+        try:
+            compute_rate_structure(model)
+            assert False, "expected ValueError"
+        except ValueError as error:
+            assert "unknown port" in str(error)

@@ -1,0 +1,162 @@
+"""Tests for the DSP kernels (filters, resamplers, mixer, PAL signal)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    Decimator,
+    Mixer,
+    PALSignalConfig,
+    PALSignalGenerator,
+    RationalResampler,
+    StreamingFIR,
+    band_power,
+    block_convolve,
+    design_lowpass,
+    dominant_frequency,
+    synthesize_composite,
+    synthesize_composite_at,
+    tone,
+)
+
+
+class TestFilterDesign:
+    def test_unit_dc_gain(self):
+        taps = design_lowpass(0.1, 63)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_passband_and_stopband(self):
+        taps = design_lowpass(0.1, 127)
+        fir = StreamingFIR(taps)
+        n = 4096
+        low = tone(0.02, n)
+        high = tone(0.4, n)
+        out_low = np.asarray(fir.process(list(low)))
+        fir.reset()
+        out_high = np.asarray(fir.process(list(high)))
+        assert np.std(out_low[200:]) > 0.5 * np.std(low)
+        assert np.std(out_high[200:]) < 0.05 * np.std(high)
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            design_lowpass(0.7)
+        with pytest.raises(ValueError):
+            design_lowpass(0.1, 0)
+
+
+class TestStreamingFIR:
+    def test_matches_block_convolution(self):
+        taps = design_lowpass(0.2, 21)
+        rng = np.random.default_rng(7)
+        signal = rng.standard_normal(300)
+        fir = StreamingFIR(taps)
+        streamed = []
+        for start in range(0, 300, 17):
+            streamed.extend(fir.process(list(signal[start : start + 17])))
+        reference = block_convolve(taps, signal)
+        assert np.allclose(streamed, reference)
+
+    def test_scalar_input(self):
+        fir = StreamingFIR([1.0])
+        assert fir.process(2.5) == [2.5]
+
+    def test_reset_clears_history(self):
+        fir = StreamingFIR([0.5, 0.5])
+        fir.process([1.0, 1.0])
+        fir.reset()
+        assert fir.process([0.0]) == [0.0]
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingFIR([])
+
+
+class TestResampling:
+    def test_decimator_block_counts(self):
+        dec = Decimator(25)
+        out = dec.process([1.0] * 25)
+        assert len(out) == 1
+
+    def test_rational_resampler_block_counts(self):
+        resampler = RationalResampler(10, 16)
+        for _ in range(5):
+            out = resampler.process([0.5] * 16)
+            assert len(out) == 10
+
+    def test_resampler_preserves_tone_frequency(self):
+        resampler = RationalResampler(10, 16, num_taps=127)
+        signal = tone(0.02, 16 * 200)
+        output = []
+        for start in range(0, signal.size, 16):
+            output.extend(resampler.process(list(signal[start : start + 16])))
+        measured = dominant_frequency(output[300:])
+        assert measured == pytest.approx(0.02 * 16 / 10, rel=0.05)
+
+    def test_decimator_removes_aliases(self):
+        dec = Decimator(4, num_taps=127)
+        # A tone above the post-decimation Nyquist must be attenuated.
+        signal = tone(0.2, 4 * 500)
+        output = []
+        for start in range(0, signal.size, 4):
+            output.extend(dec.process(list(signal[start : start + 4])))
+        assert np.std(output[100:]) < 0.1
+
+    def test_invalid_factors(self):
+        with pytest.raises(ValueError):
+            RationalResampler(0, 4)
+        with pytest.raises(ValueError):
+            Decimator(0)
+
+
+class TestMixer:
+    def test_shifts_carrier_to_baseband(self):
+        carrier = 0.3
+        modulation = 0.01
+        n = 4096
+        samples = (1 + 0.5 * tone(modulation, n)) * tone(carrier, n)
+        mixer = Mixer(carrier)
+        mixed = mixer.process(list(samples))
+        fir = StreamingFIR(design_lowpass(0.05, 127))
+        baseband = fir.process(mixed)
+        assert dominant_frequency(baseband[300:]) == pytest.approx(modulation, rel=0.1)
+
+    def test_phase_continuity_across_blocks(self):
+        mixer_a = Mixer(0.123)
+        mixer_b = Mixer(0.123)
+        signal = list(tone(0.05, 64))
+        whole = mixer_a.process(signal)
+        parts = mixer_b.process(signal[:20]) + mixer_b.process(signal[20:])
+        assert np.allclose(whole, parts)
+
+    def test_band_power(self):
+        signal = tone(0.1, 2048)
+        assert band_power(signal, 0.08, 0.12) > 0.9
+        assert band_power(signal, 0.3, 0.5) < 0.05
+
+
+class TestPALSignal:
+    def test_contains_video_and_audio_bands(self):
+        config = PALSignalConfig(noise_amplitude=0.0)
+        signal = synthesize_composite(config, 8192)
+        assert band_power(signal, 0.0, 0.1) > 0.3          # video band
+        assert band_power(signal, 0.3, 0.4) > 0.1          # audio carrier band
+
+    def test_generator_matches_batch_synthesis(self):
+        config = PALSignalConfig(noise_amplitude=0.0)
+        generator = PALSignalGenerator(config, block=64)
+        streamed = [next(generator) for _ in range(256)]
+        batch = synthesize_composite(config, 256)
+        assert np.allclose(streamed, batch)
+
+    def test_synthesize_at_is_phase_continuous(self):
+        config = PALSignalConfig(noise_amplitude=0.0)
+        whole = synthesize_composite(config, 200)
+        parts = np.concatenate(
+            [synthesize_composite_at(config, 0, 120), synthesize_composite_at(config, 120, 80)]
+        )
+        assert np.allclose(whole, parts)
+
+    def test_dominant_frequency_detects_tone(self):
+        assert dominant_frequency(tone(0.07, 2048)) == pytest.approx(0.07, abs=0.002)

@@ -1,0 +1,279 @@
+"""Tests for task-graph extraction and circular buffers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    CircularBuffer,
+    extract_task_graph,
+    schedule_length,
+    static_order_schedule,
+    task_graph_to_sdf,
+)
+from repro.lang import parse_module, parse_program
+
+
+def module_from(source):
+    return parse_module(source)
+
+
+class TestExtractionBasics:
+    def test_one_task_per_statement(self):
+        graph = extract_task_graph(
+            module_from(
+                "mod seq M(sample i, out sample o){ loop{ a(i, out o); } while(1); }"
+            )
+        )
+        assert len(graph.tasks) == 1
+        assert len(graph.loops) == 1
+        task = graph.tasks["t_a"]
+        assert task.loop == "loop0"
+        assert task.reads_from("i") == 1
+        assert task.writes_to("o") == 1
+
+    def test_guarded_if_else_tasks(self):
+        graph = extract_task_graph(
+            module_from(
+                """
+                mod seq M(out int x, int s){
+                  int y;
+                  loop{
+                    if (s > 0) { y = g(); } else { y = h(); }
+                    k(y, out x:2);
+                  } while(1);
+                }
+                """
+            )
+        )
+        assert len(graph.tasks) == 3
+        guarded = [t for t in graph.tasks.values() if t.guard is not None]
+        assert len(guarded) == 2
+        # The guarded tasks read the guard variable s (the condition input).
+        for task in guarded:
+            assert task.reads_from("s") == 1
+        buffer_y = graph.buffers["y"]
+        assert len(buffer_y.producers) == 2
+        assert len(buffer_y.consumers) == 1
+
+    def test_switch_guards(self):
+        graph = extract_task_graph(
+            module_from(
+                """
+                mod seq M(int s, out int o){
+                  loop{
+                    switch(s) case 0 { o = a(); } case 1 { o = b(); } default { o = c(); }
+                  } while(1);
+                }
+                """
+            )
+        )
+        assert len(graph.tasks) == 3
+        assert all(t.guard is not None for t in graph.tasks.values())
+
+    def test_init_statements_become_initial_tokens(self):
+        graph = extract_task_graph(
+            module_from(
+                "mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }"
+            )
+        )
+        assert graph.buffers["c"].initial_tokens == 4
+        assert graph.streams["c"].initial_values == 4
+        init_tasks = graph.initialization_tasks()
+        assert len(init_tasks) == 1 and init_tasks[0].loop is None
+
+    def test_two_loops(self):
+        graph = extract_task_graph(
+            module_from(
+                """
+                mod seq Two(int x, out int z){
+                  int y;
+                  loop{ y = f(x); z = p(y); } while(x > 0);
+                  loop{ g(x, y, out z); } while(1);
+                }
+                """
+            )
+        )
+        assert set(graph.loops) == {"loop0", "loop1"}
+        assert len(graph.tasks_in_loop("loop0")) == 2
+        assert len(graph.tasks_in_loop("loop1")) == 1
+
+    def test_multi_rate_counts(self):
+        graph = extract_task_graph(
+            module_from(
+                "mod seq SRC_V(sample si, out sample so){ loop{ resamp(si:16, out so:10); } while(1); }"
+            )
+        )
+        task = graph.tasks["t_resamp"]
+        assert task.reads_from("si") == 16
+        assert task.writes_to("so") == 10
+        assert graph.streams["si"].per_loop_counts == {"loop0": 16}
+        assert graph.streams["so"].per_loop_counts == {"loop0": 10}
+
+    def test_repeated_reads_use_max(self):
+        graph = extract_task_graph(
+            module_from(
+                "mod seq M(int s, out int o){ loop{ if (s > 0) { o = f(s); } else { o = g(); } } while(1); }"
+            )
+        )
+        # f reads s both through the guard and as argument: still one value.
+        task = graph.tasks["t_o"]
+        assert task.reads_from("s") == 1
+
+    def test_multiple_writers_only_last_visible(self):
+        graph = extract_task_graph(
+            module_from(
+                "mod seq M(int s, out int o){ loop{ if (s>0) { o = f(); } else { o = g(); } } while(1); }"
+            )
+        )
+        assert graph.streams["o"].per_loop_counts == {"loop0": 1}
+
+    def test_firing_durations_assigned(self):
+        graph = extract_task_graph(
+            module_from("mod seq M(int i, out int o){ loop{ work(i, out o); } while(1); }")
+        )
+        graph.set_firing_durations({"work": "0.001"})
+        assert graph.tasks["t_work"].firing_duration == pytest.approx(0.001)
+
+    def test_nested_loop_in_if_rejected(self):
+        module = module_from(
+            "mod seq M(int i, out int o){ loop{ if (i>0) { loop{ o = f(); } while(1); } o = g(); } while(1); }"
+        )
+        with pytest.raises(Exception):
+            extract_task_graph(module)
+
+
+class TestSDFView:
+    def test_single_loop_module_view(self):
+        program = parse_program(
+            "mod seq B(out int c, int d){ init(out c:4); loop{ g(out c:2, d:2); } while(1); }"
+        )
+        graph = extract_task_graph(program.module("B"))
+        sdf = task_graph_to_sdf(graph)
+        assert "t_g" in sdf.actors
+        # initial tokens carried onto the data edge towards the environment
+        data_edges = [e for e in sdf.edges.values() if e.buffer_name == "c"]
+        assert any(e.initial_tokens == 4 for e in data_edges)
+        assert schedule_length(sdf) >= 1
+        assert static_order_schedule(sdf)
+
+    def test_guarded_module_view_is_consistent(self):
+        program = parse_program(
+            """
+            mod seq M(out int x, int s){
+              int y;
+              loop{
+                if (s > 0) { y = g(); } else { y = h(); }
+                k(y, out x:2);
+              } while(1);
+            }
+            """
+        )
+        graph = extract_task_graph(program.module("M"))
+        sdf = task_graph_to_sdf(graph)
+        schedule = static_order_schedule(sdf)
+        assert set(schedule) >= {"t_y", "t_y_2", "t_k"}
+
+
+class TestCircularBuffer:
+    def test_fifo_order_single_producer_consumer(self):
+        buffer = CircularBuffer("b", 4)
+        buffer.register_producer("p")
+        buffer.register_consumer("c")
+        buffer.produce("p", [1, 2], 2)
+        assert buffer.consume("c", 2) == [1, 2]
+
+    def test_overflow_protection(self):
+        buffer = CircularBuffer("b", 2)
+        buffer.register_producer("p")
+        buffer.register_consumer("c")
+        buffer.produce("p", [1, 2], 2)
+        assert not buffer.can_produce("p", 1)
+        with pytest.raises(ValueError):
+            buffer.produce("p", [3], 1)
+
+    def test_underflow_protection(self):
+        buffer = CircularBuffer("b", 2)
+        buffer.register_producer("p")
+        buffer.register_consumer("c")
+        assert not buffer.can_consume("c", 1)
+        with pytest.raises(ValueError):
+            buffer.consume("c", 1)
+
+    def test_initial_values(self):
+        buffer = CircularBuffer("b", 4, initial_values=[7, 8])
+        buffer.register_consumer("c")
+        assert buffer.consume("c", 2) == [7, 8]
+
+    def test_multiple_consumers_see_all_values(self):
+        buffer = CircularBuffer("b", 4)
+        buffer.register_producer("p")
+        buffer.register_consumer("c1")
+        buffer.register_consumer("c2")
+        buffer.produce("p", [5], 1)
+        assert buffer.consume("c1", 1) == [5]
+        # space is only released once the slowest consumer is done
+        assert buffer.space_available == 3
+        assert buffer.consume("c2", 1) == [5]
+        assert buffer.space_available == 4
+
+    def test_overlapping_guarded_producers(self):
+        # Two producers of the same variable (if/else writers): the one whose
+        # guard is false releases without writing, the value of the other wins.
+        buffer = CircularBuffer("y", 2)
+        buffer.register_producer("t_g")
+        buffer.register_producer("t_h")
+        buffer.register_consumer("t_k")
+        buffer.produce("t_g", [42], 1)       # guard true: writes
+        assert not buffer.can_consume("t_k", 1)  # t_h has not released yet
+        buffer.produce("t_h", None, 1)       # guard false: release only
+        assert buffer.consume("t_k", 1) == [42]
+
+    def test_inactive_producer_ignored(self):
+        buffer = CircularBuffer("b", 4)
+        buffer.register_producer("mode_a")
+        buffer.register_producer("mode_b")
+        buffer.register_consumer("c")
+        buffer.set_producer_active("mode_b", False)
+        buffer.produce("mode_a", [1], 1)
+        assert buffer.can_consume("c", 1)
+        # Reactivate mode_b at the frontier: it continues seamlessly.
+        buffer.advance_producer_to("mode_b", buffer.producer_position("mode_a"))
+        buffer.set_producer_active("mode_b", True)
+        buffer.set_producer_active("mode_a", False)
+        buffer.produce("mode_b", [2], 1)
+        assert buffer.consume("c", 2) == [1, 2]
+
+    def test_peek_does_not_consume(self):
+        buffer = CircularBuffer("b", 2, initial_values=[3])
+        buffer.register_consumer("c")
+        assert buffer.peek("c", 1) == [3]
+        assert buffer.consume("c", 1) == [3]
+
+    def test_capacity_required_positive(self):
+        with pytest.raises(ValueError):
+            CircularBuffer("b", 0)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=60), st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_circular_buffer_preserves_fifo_order(values, chunk):
+    """Whatever the chunking, a single producer/consumer pair observes the
+    exact input sequence (FIFO property of the circular buffer)."""
+    buffer = CircularBuffer("b", max(chunk * 2, 4))
+    buffer.register_producer("p")
+    buffer.register_consumer("c")
+    received = []
+    pending = list(values)
+    while pending or buffer.tokens_available:
+        wrote = False
+        if pending:
+            n = min(chunk, len(pending))
+            if buffer.can_produce("p", n):
+                buffer.produce("p", pending[:n], n)
+                pending = pending[n:]
+                wrote = True
+        if buffer.can_consume("c", 1):
+            received.extend(buffer.consume("c", 1))
+        elif not wrote and not pending:
+            break
+    assert received == values

@@ -1,0 +1,206 @@
+"""Tests for the OIL lexer and parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import OilSyntaxError, parse_module, parse_program, tokenize
+from repro.lang import ast
+from repro.lang.tokens import TokenType
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("mod seq Foo")
+        assert [t.type for t in tokens[:3]] == [TokenType.KW_MOD, TokenType.KW_SEQ, TokenType.IDENT]
+
+    def test_parallel_bars_ascii_and_unicode(self):
+        for text in ("A() || B()", "A() ‖ B()"):
+            tokens = tokenize(text)
+            assert any(t.type is TokenType.PARALLEL for t in tokens)
+
+    def test_numbers(self):
+        tokens = tokenize("6.4 25 0")
+        assert tokens[0].value == pytest.approx(6.4)
+        assert tokens[1].value == 25
+        assert tokens[2].value == 0
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// line comment\nx /* block */ = 1;")
+        types = [t.type for t in tokens]
+        assert TokenType.IDENT in types and TokenType.NUMBER in types
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(OilSyntaxError):
+            tokenize("/* never closed")
+
+    def test_operators(self):
+        tokens = tokenize("== != <= >= < > && !")
+        expected = [
+            TokenType.EQ,
+            TokenType.NEQ,
+            TokenType.LE,
+            TokenType.GE,
+            TokenType.LT,
+            TokenType.GT,
+            TokenType.AND,
+            TokenType.NOT,
+        ]
+        assert [t.type for t in tokens[: len(expected)]] == expected
+
+    def test_unexpected_character(self):
+        with pytest.raises(OilSyntaxError):
+            tokenize("x = $;")
+
+    def test_locations(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+
+class TestParserModules:
+    def test_sequential_module(self):
+        module = parse_module(
+            """
+            mod seq M(out int x, int s){
+              int y;
+              if (s > 0) { y = g(); } else { y = h(); }
+              k(y, out x:2);
+            }
+            """
+        )
+        assert isinstance(module, ast.SequentialModule)
+        assert module.name == "M"
+        assert [p.name for p in module.params] == ["x", "s"]
+        assert module.params[0].is_output and not module.params[1].is_output
+        assert [v.name for v in module.variables] == ["y"]
+        assert isinstance(module.body[0], ast.IfStatement)
+        call = module.body[1]
+        assert isinstance(call, ast.FunctionCall)
+        assert isinstance(call.arguments[1], ast.OutArgument)
+        assert call.arguments[1].count == 2
+
+    def test_parallel_module_with_declarations(self):
+        module = parse_module(
+            """
+            mod par Top(){
+              fifo sample a, b;
+              source sample s = src() @ 6.4 MHz;
+              sink sample k = snk() @ 32 kHz;
+              start k 5 ms before s;
+              P(out a) || Q(a, out b) || R(b, out k, s)
+            }
+            """
+        )
+        assert isinstance(module, ast.ParallelModule)
+        assert [f.name for f in module.fifos] == ["a", "b"]
+        assert module.sources[0].frequency_hz == 6_400_000
+        assert module.sinks[0].frequency_hz == 32_000
+        constraint = module.latency_constraints[0]
+        assert constraint.amount_seconds == Fraction(1, 200)
+        assert constraint.relation == "before"
+        assert [c.module for c in module.calls] == ["P", "Q", "R"]
+
+    def test_anonymous_main(self):
+        program = parse_program(
+            """
+            mod seq S(int x){ loop{ f(x); } while(1); }
+            mod par { source int q = gen() @ 1 kHz; S(q) }
+            """
+        )
+        assert program.main is not None
+        assert program.main.name == "main"
+
+    def test_main_inferred_from_uninstantiated_module(self):
+        program = parse_program(
+            """
+            mod seq S(int x){ loop{ f(x); } while(1); }
+            mod par Top(){ fifo int q; G(out q) || S(q) }
+            """
+        )
+        assert program.main.name == "Top"
+
+    def test_module_lookup(self):
+        program = parse_program("mod seq S(int x){ f(x); }")
+        assert program.module("S").name == "S"
+        with pytest.raises(KeyError):
+            program.module("missing")
+
+
+class TestParserStatements:
+    def parse_body(self, body):
+        module = parse_module(f"mod seq M(int a, out int b){{ {body} }}")
+        return module.body
+
+    def test_loop_while(self):
+        (loop,) = self.parse_body("loop{ f(a, out b); } while(1);")
+        assert isinstance(loop, ast.LoopStatement)
+        assert isinstance(loop.condition, ast.NumberLiteral)
+
+    def test_switch(self):
+        (switch,) = self.parse_body(
+            "switch(a) case 0 { b = h(); } case 1 { b = g(); } default { b = k(); }"
+        )
+        assert isinstance(switch, ast.SwitchStatement)
+        assert [c.value for c in switch.cases] == [0, 1]
+        assert len(switch.default) == 1
+
+    def test_switch_requires_default(self):
+        with pytest.raises(OilSyntaxError):
+            self.parse_body("switch(a) case 0 { b = h(); }")
+
+    def test_else_if_chain(self):
+        (stmt,) = self.parse_body("if (a > 1) { b = f(); } else if (a > 0) { b = g(); } else { b = h(); }")
+        assert isinstance(stmt, ast.IfStatement)
+        assert isinstance(stmt.else_body[0], ast.IfStatement)
+
+    def test_expression_precedence(self):
+        (assign,) = self.parse_body("b = 1 + 2 * a - 3;")
+        assert isinstance(assign.expression, ast.BinaryOp)
+        assert assign.expression.op == "-"
+        assert assign.expression.left.op == "+"
+        assert assign.expression.left.right.op == "*"
+
+    def test_stream_read_colon(self):
+        (call,) = self.parse_body("f(a:25, out b);")
+        read = call.arguments[0].expression
+        assert isinstance(read, ast.StreamRead)
+        assert read.count == 25
+
+    def test_zero_colon_count_rejected(self):
+        with pytest.raises(OilSyntaxError):
+            self.parse_body("f(a:0, out b);")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(OilSyntaxError):
+            self.parse_body("b = f()")
+
+    def test_unknown_statement(self):
+        with pytest.raises(OilSyntaxError):
+            self.parse_body("loop { f(a, out b); }")  # missing while
+
+    def test_comparison_and_logic(self):
+        (stmt,) = self.parse_body("if (a >= 2 and a < 9) { b = f(); } else { b = g(); }")
+        assert stmt.condition.op == "and"
+
+
+class TestParserErrors:
+    def test_bad_frequency_unit(self):
+        with pytest.raises(OilSyntaxError):
+            parse_program("mod par { source int x = f() @ 3 lightyears; }")
+
+    def test_bad_latency_relation(self):
+        with pytest.raises(OilSyntaxError):
+            parse_program(
+                "mod par { source int x = f() @ 1 kHz; sink int y = g() @ 1 kHz;"
+                " start x 3 ms near y; }"
+            )
+
+    def test_parse_module_requires_single_module(self):
+        with pytest.raises(OilSyntaxError):
+            parse_module("mod seq A(int x){ f(x); } mod seq B(int x){ f(x); }")
+
+    def test_expected_par_or_seq(self):
+        with pytest.raises(OilSyntaxError):
+            parse_program("mod serial A(){ }")

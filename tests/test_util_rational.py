@@ -1,0 +1,122 @@
+"""Tests for exact rational arithmetic helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rational import (
+    as_rational,
+    is_integral,
+    rational_gcd,
+    rational_lcm,
+    rational_str,
+    scale_to_integers,
+)
+
+
+class TestAsRational:
+    def test_int(self):
+        assert as_rational(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(3, 8)
+        assert as_rational(f) is f
+
+    def test_string_fraction(self):
+        assert as_rational("3/4") == Fraction(3, 4)
+
+    def test_string_decimal(self):
+        assert as_rational("0.25") == Fraction(1, 4)
+
+    def test_float_decimal_semantics(self):
+        # 0.1 converts via its decimal spelling, not its binary expansion.
+        assert as_rational(0.1) == Fraction(1, 10)
+
+    def test_float_64(self):
+        assert as_rational(6.4) == Fraction(32, 5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_rational(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_rational(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_rational(float("inf"))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            as_rational([1, 2])
+
+
+class TestGcdLcm:
+    def test_gcd_integers(self):
+        assert rational_gcd([4, 6]) == 2
+
+    def test_gcd_fractions(self):
+        assert rational_gcd([Fraction(1, 4), Fraction(1, 6)]) == Fraction(1, 12)
+
+    def test_lcm_integers(self):
+        assert rational_lcm([4, 6]) == 12
+
+    def test_lcm_fractions(self):
+        assert rational_lcm([Fraction(1, 4), Fraction(1, 6)]) == Fraction(1, 2)
+
+    def test_gcd_empty(self):
+        with pytest.raises(ValueError):
+            rational_gcd([])
+
+    def test_lcm_zero(self):
+        with pytest.raises(ValueError):
+            rational_lcm([0, 1])
+
+
+class TestScaleToIntegers:
+    def test_simple(self):
+        assert scale_to_integers([Fraction(1), Fraction(3, 2)]) == [2, 3]
+
+    def test_already_integers_reduced(self):
+        assert scale_to_integers([4, 6]) == [2, 3]
+
+    def test_empty(self):
+        assert scale_to_integers([]) == []
+
+    def test_single(self):
+        assert scale_to_integers([Fraction(5, 3)]) == [1]
+
+
+class TestMisc:
+    def test_is_integral(self):
+        assert is_integral(4)
+        assert not is_integral(Fraction(1, 3))
+
+    def test_rational_str(self):
+        assert rational_str(Fraction(3, 4)) == "3/4"
+        assert rational_str(5) == "5"
+
+
+@given(st.integers(1, 1000), st.integers(1, 1000))
+def test_gcd_divides_both(a, b):
+    g = rational_gcd([a, b])
+    assert (Fraction(a) / g).denominator == 1
+    assert (Fraction(b) / g).denominator == 1
+
+
+@given(
+    st.lists(
+        st.fractions(min_value=Fraction(1, 50), max_value=50).filter(lambda f: f > 0),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_scale_to_integers_preserves_ratios(values):
+    ints = scale_to_integers(values)
+    assert all(i > 0 for i in ints)
+    # All pairwise ratios are preserved exactly.
+    for i in range(len(values)):
+        for j in range(len(values)):
+            assert Fraction(ints[i], ints[j]) == Fraction(values[i]) / Fraction(values[j])

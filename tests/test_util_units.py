@@ -1,0 +1,82 @@
+"""Tests for frequency/time unit handling."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.util.units import (
+    Frequency,
+    TimeValue,
+    hz,
+    khz,
+    mhz,
+    ms,
+    parse_frequency,
+    parse_time,
+    seconds,
+    us,
+)
+
+
+class TestFrequency:
+    def test_constructors(self):
+        assert hz(100).hertz == 100
+        assert khz(32).hertz == 32000
+        assert mhz(Fraction(32, 5)).hertz == 6_400_000
+
+    def test_period(self):
+        assert khz(1).period.seconds == Fraction(1, 1000)
+
+    def test_ratio_of_frequencies(self):
+        assert mhz(4) / mhz(Fraction(32, 5)) == Fraction(10, 16)
+
+    def test_scale(self):
+        assert (khz(1) * 2).hertz == 2000
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            Frequency(Fraction(0))
+
+    def test_ordering(self):
+        assert khz(1) < mhz(1)
+
+
+class TestTimeValue:
+    def test_constructors(self):
+        assert ms(5).seconds == Fraction(5, 1000)
+        assert us(250).seconds == Fraction(1, 4000)
+        assert seconds(2).seconds == 2
+
+    def test_arithmetic(self):
+        assert (ms(5) + ms(3)).seconds == Fraction(8, 1000)
+        assert (ms(5) - ms(3)).seconds == Fraction(2, 1000)
+        assert (-ms(5)).seconds == Fraction(-5, 1000)
+
+    def test_negative_allowed(self):
+        assert TimeValue(Fraction(-1, 100)).seconds < 0
+
+    def test_division_by_time(self):
+        assert ms(10) / ms(5) == 2
+
+    def test_to_ms(self):
+        assert ms(5).to_ms() == pytest.approx(5.0)
+
+
+class TestParsing:
+    def test_parse_frequency_mhz(self):
+        assert parse_frequency("6.4 MHz").hertz == 6_400_000
+
+    def test_parse_frequency_khz_nospace(self):
+        assert parse_frequency("32kHz").hertz == 32000
+
+    def test_parse_frequency_invalid(self):
+        with pytest.raises(ValueError):
+            parse_frequency("12 parsec")
+
+    def test_parse_time(self):
+        assert parse_time("5 ms").seconds == Fraction(1, 200)
+        assert parse_time("0.5s").seconds == Fraction(1, 2)
+
+    def test_parse_time_invalid(self):
+        with pytest.raises(ValueError):
+            parse_time("three days")

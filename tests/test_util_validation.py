@@ -1,0 +1,66 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_identifier,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_type,
+    require,
+)
+
+
+def test_require_passes():
+    require(True, "never shown")
+
+
+def test_require_raises():
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_type_ok():
+    assert check_type(3, int, "x") == 3
+
+
+def test_check_type_tuple():
+    assert check_type(3.5, (int, float), "x") == 3.5
+
+
+def test_check_type_fails():
+    with pytest.raises(TypeError, match="x must be int"):
+        check_type("3", int, "x")
+
+
+def test_check_positive():
+    assert check_positive(2, "n") == 2
+    with pytest.raises(ValueError):
+        check_positive(0, "n")
+
+
+def test_check_non_negative():
+    assert check_non_negative(0, "n") == 0
+    with pytest.raises(ValueError):
+        check_non_negative(-1, "n")
+
+
+def test_check_in():
+    assert check_in("a", {"a", "b"}, "choice") == "a"
+    with pytest.raises(ValueError):
+        check_in("c", {"a", "b"}, "choice")
+
+
+def test_check_identifier_ok():
+    assert check_identifier("task#3.buffer[x]", "name") == "task#3.buffer[x]"
+
+
+def test_check_identifier_empty():
+    with pytest.raises(ValueError):
+        check_identifier("", "name")
+
+
+def test_check_identifier_bad_chars():
+    with pytest.raises(ValueError):
+        check_identifier("spaces not allowed", "name")
