@@ -5,10 +5,17 @@ calls ``k(y, out x:2)``.  The extraction creates one task per statement; the
 guarded statements become unconditionally executing tasks whose bodies stay
 guarded, and the variable ``y`` becomes a circular buffer with two producers
 and one consumer (Fig. 4b).
+
+The second experiment quantifies what the parallelization is *for*: the
+extracted parallelism executed on a bounded number of processors.  The
+scheduler engine's ``BoundedProcessors(n)`` policy list-schedules a wide
+fork/join workload on n processors and the measured makespans yield the
+speedup-vs-cores curve of the Fig. 4 scenario axis.
 """
 
 from _reporting import print_table
 
+from repro.engine import BoundedProcessors, fork_join_program, run_tasks
 from repro.graph import extract_task_graph, task_graph_to_sdf, static_order_schedule
 from repro.lang import parse_module
 
@@ -52,3 +59,37 @@ def test_fig4_task_graph_extraction(benchmark):
     sdf = task_graph_to_sdf(graph)
     schedule = static_order_schedule(sdf)
     print(f"\nvalid static-order schedule of the extracted task graph: {schedule}")
+
+
+def test_fig4_bounded_processor_speedup(benchmark):
+    """Speedup of the extracted parallelism on n processors (n = 1, 2, 4, 8)."""
+    width = 8
+    rounds = 25
+    firings = rounds * (width + 2)  # split + workers + join per round
+
+    def makespan(processors: int):
+        run = run_tasks(
+            fork_join_program(width),
+            policy=BoundedProcessors(processors),
+            stop_after_firings=firings,
+        )
+        assert run.engine.completed_firings == firings
+        return run.makespan
+
+    makespans = {n: makespan(n) for n in (1, 2, 4)}
+    makespans[8] = benchmark(makespan, 8)
+
+    base = makespans[1]
+    rows = [
+        [n, f"{float(m):.3f} s", f"{float(base / m):.2f}x"]
+        for n, m in sorted(makespans.items())
+    ]
+    print_table(
+        f"Fig. 4 scenario axis: {width}-wide fork/join, {rounds} rounds, list scheduling",
+        ["processors", "makespan", "speedup"],
+        rows,
+    )
+
+    # The speedup curve must be monotone and approach the width.
+    assert makespans[1] >= makespans[2] >= makespans[4] >= makespans[8]
+    assert base / makespans[8] > 4

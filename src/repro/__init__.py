@@ -17,6 +17,7 @@ Sub-packages
 ``repro.dataflow``  SDF substrate and exact baselines
 ``repro.cta``       CTA model and polynomial analyses
 ``repro.core``      the OIL -> CTA compiler (the paper's contribution)
+``repro.engine``    pluggable scheduler engine with indexed ready-set dispatch
 ``repro.runtime``   discrete-event execution of OIL applications
 ``repro.dsp``       signal-processing kernels for the PAL case study
 ``repro.apps``      ready-made OIL applications (PAL decoder, rate converter,
@@ -33,6 +34,7 @@ __all__ = [
     "dataflow",
     "cta",
     "core",
+    "engine",
     "runtime",
     "dsp",
     "apps",

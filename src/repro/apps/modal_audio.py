@@ -167,6 +167,9 @@ def simulate_two_mode(
     signal: Optional[Sequence[float]] = None,
     result: Optional[CompilationResult] = None,
     sizing: Optional[BufferSizingResult] = None,
+    scheduler=None,
+    dispatcher: str = "ready-set",
+    trace_level: str = "full",
 ) -> Tuple[Simulation, TraceRecorder]:
     """Run the two-mode application under an explicit mode schedule
     (alternating iteration quotas for the calibration and processing loops)."""
@@ -182,6 +185,9 @@ def simulate_two_mode(
         source_signals={"adc": list(signal)},
         capacities=sizing.capacities,
         mode_schedules={"TwoMode": list(mode_schedule)},
+        scheduler=scheduler,
+        dispatcher=dispatcher,
+        trace_level=trace_level,
     )
     trace = simulation.run(duration)
     return simulation, trace

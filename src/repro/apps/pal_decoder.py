@@ -267,9 +267,18 @@ class PalDecoderApp:
         result: Optional[CompilationResult] = None,
         sizing: Optional[BufferSizingResult] = None,
         registry: Optional[FunctionRegistry] = None,
+        scheduler=None,
+        dispatcher: str = "ready-set",
+        trace_level: str = "full",
     ) -> Tuple[Simulation, TraceRecorder]:
         """Run the decoder on the synthetic RF signal for *duration* seconds
-        of simulated time, using the analysis-derived buffer capacities."""
+        of simulated time, using the analysis-derived buffer capacities.
+
+        ``scheduler`` / ``dispatcher`` / ``trace_level`` select the execution
+        engine configuration (see :class:`~repro.runtime.simulator.Simulation`);
+        the synthetic RF signal is deterministic, so two simulations with the
+        same configuration produce identical traces.
+        """
         if result is None or sizing is None:
             result, sizing = self.analyze()
         simulation = Simulation(
@@ -277,6 +286,9 @@ class PalDecoderApp:
             registry or self.registry(),
             source_signals={"rf": PALSignalGenerator(self.signal)},
             capacities=sizing.capacities,
+            scheduler=scheduler,
+            dispatcher=dispatcher,
+            trace_level=trace_level,
         )
         trace = simulation.run(duration)
         return simulation, trace

@@ -64,6 +64,9 @@ def simulate_quickstart(
     signal: Optional[Sequence[float]] = None,
     result: Optional[CompilationResult] = None,
     sizing: Optional[BufferSizingResult] = None,
+    scheduler=None,
+    dispatcher: str = "ready-set",
+    trace_level: str = "full",
 ) -> Tuple[Simulation, TraceRecorder]:
     if result is None:
         result = compile_quickstart()
@@ -76,6 +79,9 @@ def simulate_quickstart(
         quickstart_registry(),
         source_signals={"samples": list(signal)},
         capacities=sizing.capacities,
+        scheduler=scheduler,
+        dispatcher=dispatcher,
+        trace_level=trace_level,
     )
     trace = simulation.run(duration)
     return simulation, trace

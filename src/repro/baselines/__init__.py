@@ -14,6 +14,7 @@ from repro.baselines.sequential_schedule import (
     generate_sequential_program,
     rate_conversion_graph,
     schedule_growth,
+    static_order_policy,
 )
 from repro.baselines.sdf_exact import (
     ExactAnalysisReport,
@@ -34,6 +35,7 @@ __all__ = [
     "generate_sequential_program",
     "rate_conversion_graph",
     "schedule_growth",
+    "static_order_policy",
     "ExactAnalysisReport",
     "exact_analysis",
     "multirate_chain",

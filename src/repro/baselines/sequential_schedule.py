@@ -11,6 +11,13 @@ it produces the explicit sequential program (the schedule with array-index
 bookkeeping) and reports its size, so the benchmark can sweep rate pairs and
 show how the sequential specification grows while the OIL specification stays
 constant (one call per task).
+
+The baseline is also *executable*: :func:`static_order_policy` turns the same
+schedule into a :class:`~repro.engine.policies.StaticOrder` scheduling policy
+of the execution engine, so "run the program the sequential way" is a policy
+choice rather than a separate simulator code path -- the engine's
+static-order firing sequence and the generated program's statement order are
+one and the same schedule (the equivalence tests assert exactly this).
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.dataflow.analysis import check_deadlock, repetition_vector
 from repro.dataflow.sdf import SDFGraph
+from repro.engine.policies import StaticOrder
 
 
 @dataclass
@@ -94,6 +102,23 @@ def generate_sequential_program(graph: SDFGraph) -> SequentialProgram:
         statement_count=statement_count,
         array_declarations=declarations,
     )
+
+
+def static_order_policy(graph: SDFGraph, *, cyclic: bool = True) -> StaticOrder:
+    """The explicit sequential schedule of *graph* as a scheduler policy.
+
+    Executing the graph's tasks under the returned
+    :class:`~repro.engine.policies.StaticOrder` policy (see
+    :func:`repro.engine.synthetic.tasks_from_sdf` and
+    :func:`repro.engine.dispatcher.run_tasks`) reproduces firing for firing
+    the program :func:`generate_sequential_program` renders -- the Fig. 2b
+    baseline as a plug-in of the engine instead of a parallel code path.
+    Raises ``ValueError`` when the graph deadlocks (no schedule exists).
+    """
+    deadlock = check_deadlock(graph)
+    if not deadlock.deadlock_free:
+        raise ValueError(f"graph {graph.name!r} deadlocks; no static-order policy exists")
+    return StaticOrder(deadlock.schedule, cyclic=cyclic)
 
 
 def rate_conversion_graph(produce: int, consume: int, *, initial_factor: int = 2) -> SDFGraph:

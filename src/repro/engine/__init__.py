@@ -1,0 +1,42 @@
+"""Pluggable scheduler engine with indexed ready-set dispatch.
+
+The execution layer of the reproduction: buffers report availability changes
+through a reverse dependency index, a pass-structured ready set dispatches
+exactly the tasks those changes may have enabled, and a pluggable
+:class:`~repro.engine.policies.SchedulerPolicy` decides which eligible task
+occupies a processor when.
+
+* :mod:`repro.engine.policies` -- the policy protocol and the three built-in
+  platforms (self-timed unbounded, bounded processors, static order),
+* :mod:`repro.engine.dispatcher` -- the ready-set dispatch core, the polling
+  reference it is verified against, and a standalone task runner,
+* :mod:`repro.engine.synthetic` -- synthetic task programs (ring, fork/join,
+  SDF-derived) for scheduler experiments and benchmarks.
+
+The simulator (:mod:`repro.runtime.simulator`) instantiates compiled OIL
+programs on top of this engine; benchmarks and scheduler tests drive it
+directly.  See ARCHITECTURE.md for the full pipeline.
+"""
+
+from repro.engine.dispatcher import EngineRun, ExecutionEngine, ReadySet, run_tasks
+from repro.engine.policies import (
+    BoundedProcessors,
+    SchedulerPolicy,
+    SelfTimedUnbounded,
+    StaticOrder,
+)
+from repro.engine.synthetic import fork_join_program, ring_program, tasks_from_sdf
+
+__all__ = [
+    "EngineRun",
+    "ExecutionEngine",
+    "ReadySet",
+    "run_tasks",
+    "BoundedProcessors",
+    "SchedulerPolicy",
+    "SelfTimedUnbounded",
+    "StaticOrder",
+    "fork_join_program",
+    "ring_program",
+    "tasks_from_sdf",
+]

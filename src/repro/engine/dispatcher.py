@@ -1,0 +1,342 @@
+"""Event-driven ready-set dispatch of runtime tasks.
+
+The seed simulator validated the paper's claims with an O(all-tasks) polling
+dispatcher: every buffer change scheduled a dispatch event that re-scanned the
+whole task fleet (repeatedly, until a fixpoint).  That is fine for the paper's
+small figures and fatal for large programs.  The :class:`ExecutionEngine`
+replaces it with dependency-indexed dispatch:
+
+* every :class:`~repro.graph.circular_buffer.CircularBuffer` carries a reverse
+  index of the tasks reading and writing it (wired by :meth:`wire_buffers`);
+  when the buffer's produced floor moves its *readers* are pushed onto the
+  ready set, when its consumed floor moves its *writers* are -- nothing else
+  is ever re-examined,
+* the ready set (:class:`ReadySet`) is *pass-structured*: it hands out tasks
+  in static (registration) order and defers tasks woken at-or-before the
+  cursor to the next pass, which reproduces the exact fixpoint iteration
+  order of the polling dispatcher -- self-timed traces are bit-identical to
+  the seed implementation,
+* a pluggable :class:`~repro.engine.policies.SchedulerPolicy` gates starts,
+  so the same dispatch core executes unbounded self-timed, bounded-processor
+  and static-order schedules.
+
+The polling dispatcher survives as ``mode="polling"`` -- the brute-force
+reference the equivalence tests and the dispatch microbenchmark compare
+against.
+
+Starting a task only *consumes* tokens (outputs are released at completion),
+and consuming can only enable other tasks -- a producer gains space, no
+consumer loses tokens (windows are private).  Eligibility is therefore
+monotone within a dispatch, which is what makes the ready-set fixpoint equal
+to the polling fixpoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.engine.policies import SchedulerPolicy, SelfTimedUnbounded
+from repro.graph.circular_buffer import CircularBuffer
+from repro.util.validation import check_in
+
+if TYPE_CHECKING:  # imports only for annotations: runtime.simulator imports us
+    from repro.runtime.events import EventQueue
+    from repro.runtime.tasks import RuntimeTask
+    from repro.runtime.trace import TraceRecorder
+
+
+class ReadySet:
+    """An ordered ready set that replays the polling dispatcher's pass order.
+
+    The polling reference repeatedly scans all tasks in registration order
+    until a whole pass starts nothing.  Its ordering rule, restated per task:
+    a task woken at an index *greater* than the scan cursor is reached later
+    in the same pass; a task woken at-or-before the cursor has to wait for
+    the next pass.  :meth:`push`/:meth:`pop` implement exactly that rule over
+    only the woken tasks, so the dispatch order (and with it the trace) is
+    identical while the work per dispatch shrinks from O(all tasks) to
+    O(woken tasks).
+    """
+
+    def __init__(self) -> None:
+        self._current: List[int] = []  # min-heap of indices > cursor (this pass)
+        self._deferred: List[int] = []  # indices <= cursor (next pass)
+        self._queued: set = set()
+        self._cursor = -1
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def push(self, index: int) -> None:
+        if index in self._queued:
+            return
+        self._queued.add(index)
+        if index > self._cursor:
+            heapq.heappush(self._current, index)
+        else:
+            self._deferred.append(index)
+
+    def pop(self) -> Optional[int]:
+        """Next index in pass order; ``None`` (and cursor reset) when empty."""
+        if not self._current:
+            if not self._deferred:
+                self._cursor = -1
+                return None
+            self._current = self._deferred
+            heapq.heapify(self._current)
+            self._deferred = []
+            self._cursor = -1
+        index = heapq.heappop(self._current)
+        self._queued.discard(index)
+        self._cursor = index
+        return index
+
+
+class ExecutionEngine:
+    """Dispatches runtime tasks over an event queue under a scheduling policy.
+
+    The engine owns the hot path of a simulation: deciding which task starts
+    when.  It is independent of the OIL module hierarchy --
+    :class:`~repro.runtime.simulator.Simulation` instantiates that hierarchy
+    and registers the resulting tasks here; benchmarks and scheduler tests
+    drive the engine directly on synthetic task sets
+    (:mod:`repro.engine.synthetic`).
+
+    Parameters
+    ----------
+    queue, trace:
+        The discrete-event queue and trace recorder shared with the drivers.
+    policy:
+        A :class:`~repro.engine.policies.SchedulerPolicy`; default
+        :class:`~repro.engine.policies.SelfTimedUnbounded`.
+    mode:
+        ``"ready-set"`` (indexed dispatch, the default) or ``"polling"``
+        (the brute-force whole-fleet reference).
+    """
+
+    MODES = ("ready-set", "polling")
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        trace: TraceRecorder,
+        *,
+        policy: Optional[SchedulerPolicy] = None,
+        mode: str = "ready-set",
+    ) -> None:
+        check_in(mode, self.MODES, "mode")
+        self.queue = queue
+        self.trace = trace
+        self.policy: SchedulerPolicy = policy if policy is not None else SelfTimedUnbounded()
+        self.mode = mode
+        self.tasks: List[RuntimeTask] = []
+        self._index: Dict[RuntimeTask, int] = {}
+        self._ready = ReadySet()
+        self._dispatch_pending = False
+        self._in_dispatch = False
+        self.started_firings = 0
+        self.completed_firings = 0
+        #: completion time of the last finished firing (exact rational);
+        #: maintained independently of the trace so makespans survive
+        #: ``trace_level="off"``
+        self.last_completion_time = Fraction(0)
+        # A fresh engine is a fresh execution: drop any processor accounting
+        # a previous (possibly mid-flight-stopped) run left in the policy.
+        reset = getattr(self.policy, "reset", None)
+        if reset is not None:
+            reset()
+        #: optional hook run at the end of every completion (the simulator
+        #: advances mode-schedule phases and notifies waiting sinks here)
+        self.on_complete: Optional[Callable[[RuntimeTask], None]] = None
+
+    # ------------------------------------------------------------------ build
+    def register_task(self, task: RuntimeTask) -> None:
+        """Add *task* to the fleet; registration order is the static priority
+        order (it matches the extraction order the seed dispatcher scanned)."""
+        self._index[task] = len(self.tasks)
+        self.tasks.append(task)
+
+    def wire_buffers(self) -> None:
+        """Build the reverse dependency index: subscribe one waker per buffer
+        so that a moved produced floor wakes the buffer's readers and a moved
+        consumed floor wakes its writers.  Call once, after all tasks are
+        registered (no-op in polling mode, which re-scans everything)."""
+        if self.mode == "polling":
+            return
+        readers: Dict[CircularBuffer, List[RuntimeTask]] = {}
+        writers: Dict[CircularBuffer, List[RuntimeTask]] = {}
+        for task in self.tasks:
+            for access in task.task.reads:
+                dependents = readers.setdefault(task.buffers[access.buffer], [])
+                if task not in dependents:
+                    dependents.append(task)
+            for access in task.task.writes:
+                dependents = writers.setdefault(task.buffers[access.buffer], [])
+                if task not in dependents:
+                    dependents.append(task)
+        for buffer, dependents in readers.items():
+            buffer.watch_tokens(self._waker(dependents))
+        for buffer, dependents in writers.items():
+            buffer.watch_space(self._waker(dependents))
+
+    def _waker(self, dependents: Sequence[RuntimeTask]) -> Callable[[], None]:
+        def wake() -> None:
+            for task in dependents:
+                self.wake_task(task)
+
+        return wake
+
+    # ------------------------------------------------------------------ wakes
+    def wake_task(self, task: RuntimeTask) -> None:
+        """Mark *task* for (re-)examination at the next dispatch."""
+        if task.busy or (task.one_shot and task.fired_once):
+            return
+        if self.mode == "ready-set":
+            self._ready.push(self._index[task])
+        if not self._in_dispatch:
+            self.schedule_dispatch()
+
+    def wake_tasks(self, tasks: Iterable[RuntimeTask]) -> None:
+        for task in tasks:
+            self.wake_task(task)
+
+    def wake_all(self) -> None:
+        """Queue the whole fleet (start-up, or after an external change)."""
+        self.wake_tasks(self.tasks)
+
+    # -------------------------------------------------------------- dispatch
+    def schedule_dispatch(self) -> None:
+        if self._dispatch_pending:
+            return
+        self._dispatch_pending = True
+        self.queue.schedule(self.queue.now, self._dispatch, label="dispatch")
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        self._in_dispatch = True
+        try:
+            if self.mode == "polling":
+                self._dispatch_polling()
+            else:
+                self._dispatch_ready_set()
+        finally:
+            self._in_dispatch = False
+
+    def _dispatch_polling(self) -> None:
+        """The seed's dispatcher: rescan the whole fleet until a fixpoint."""
+        progress = True
+        while progress:
+            progress = False
+            for task in self.tasks:
+                if task.can_fire() and self.policy.allow_start(task):
+                    self._start_task(task)
+                    progress = True
+
+    def _dispatch_ready_set(self) -> None:
+        """Examine only woken tasks, in the polling dispatcher's pass order.
+
+        Tasks that are eligible but denied by the policy (all processors
+        busy, not next in the static order) are kept queued for the next
+        dispatch, which the policy's releasing completion always schedules.
+        """
+        stalled: List[int] = []
+        while True:
+            index = self._ready.pop()
+            if index is None:
+                break
+            task = self.tasks[index]
+            if not task.can_fire():
+                continue  # re-queued by the next relevant buffer change
+            if not self.policy.allow_start(task):
+                stalled.append(index)
+                continue
+            self._start_task(task)
+        for index in stalled:
+            self._ready.push(index)
+
+    # -------------------------------------------------------------- execution
+    def _start_task(self, task: RuntimeTask) -> None:
+        start = self.queue.now
+        values = task.start_firing()
+        self.policy.on_start(task)
+        self.started_firings += 1
+
+        def complete() -> None:
+            executed = task.finish_firing(values)
+            self.completed_firings += 1
+            self.last_completion_time = self.queue.now
+            trace = self.trace
+            if trace.firings_enabled:
+                trace.record_firing(task.producer_key(), start, self.queue.now, executed)
+            if trace.occupancy_enabled:
+                for access in task.task.writes:
+                    buffer = task.buffers[access.buffer]
+                    trace.record_occupancy(buffer.name, buffer.occupancy())
+            self.policy.on_complete(task)
+            if self.on_complete is not None:
+                self.on_complete(task)
+            self.wake_task(task)
+            self.schedule_dispatch()
+
+        self.queue.schedule(start + task.wcet, complete, label=f"complete:{task.name}")
+
+
+@dataclass
+class EngineRun:
+    """Outcome of a standalone engine execution (no module hierarchy)."""
+
+    engine: ExecutionEngine
+    queue: EventQueue
+    trace: TraceRecorder
+
+    @property
+    def makespan(self):
+        """Completion time of the last finished firing (engine-tracked, so
+        it is correct at every trace level, including ``"off"``)."""
+        return self.engine.last_completion_time
+
+    def firing_sequence(self) -> List[str]:
+        """Task names in completion order (with one-processor policies this
+        equals the start order, i.e. the executed schedule).  Requires the
+        default ``"full"`` trace level -- the sequence is read off the
+        recorded firings."""
+        return [firing.task.rsplit(":", 1)[-1] for firing in self.trace.firings]
+
+
+def run_tasks(
+    tasks: Sequence[RuntimeTask],
+    *,
+    policy: Optional[SchedulerPolicy] = None,
+    mode: str = "ready-set",
+    stop_after_firings: Optional[int] = None,
+    horizon=Fraction(10**9),
+    trace: Optional[TraceRecorder] = None,
+) -> EngineRun:
+    """Execute *tasks* data-driven on a fresh event queue.
+
+    Runs until the queue drains, *horizon* is reached, or (when
+    *stop_after_firings* is given) at least that many firings completed --
+    whichever comes first.  This is the entry point for scheduler experiments
+    and benchmarks that need the execution layer without compiling an OIL
+    program.
+    """
+    from repro.runtime.events import EventQueue
+    from repro.runtime.trace import TraceRecorder
+
+    queue = EventQueue()
+    trace = trace if trace is not None else TraceRecorder()
+    engine = ExecutionEngine(queue, trace, policy=policy, mode=mode)
+    for task in tasks:
+        engine.register_task(task)
+    engine.wire_buffers()
+    engine.wake_all()
+    engine.schedule_dispatch()
+    if stop_after_firings is None:
+        queue.run_until(horizon)
+    else:
+        target = stop_after_firings
+        queue.run_until(horizon, stop=lambda: engine.completed_firings >= target)
+    return EngineRun(engine=engine, queue=queue, trace=trace)

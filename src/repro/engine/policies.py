@@ -1,0 +1,175 @@
+"""Pluggable scheduling policies of the execution engine.
+
+The dispatcher (:mod:`repro.engine.dispatcher`) decides *when* a task is
+eligible -- enough tokens on every read buffer, enough space on every write
+buffer, loop active, no firing in flight.  A :class:`SchedulerPolicy` decides
+*whether* an eligible task may start *now*, which is where platform models
+plug in:
+
+* :class:`SelfTimedUnbounded` -- every eligible task starts immediately: one
+  processor per task, the virtual unbounded-parallel hardware the paper's CTA
+  analysis bounds.  This is the default and reproduces the seed simulator's
+  semantics exactly.
+* :class:`BoundedProcessors` -- list scheduling on ``n`` identical
+  processors: at most ``n`` firings are in flight at any instant, eligible
+  tasks are started in static (extraction) order as processors free up.  This
+  expresses the Fig. 4 speedup-vs-cores scenario axis.
+* :class:`StaticOrder` -- a single processor executing a fixed (cyclic)
+  firing sequence, the schedule a sequential language forces the programmer
+  to spell out (Sec. III-A / Fig. 2b).  This absorbs the
+  :mod:`repro.baselines.sequential_schedule` baseline into the engine: the
+  baseline's generated schedule *is* the policy's firing order.
+
+A policy never decides eligibility -- it only gates starts -- so every policy
+observes the same data-driven semantics and the same produced values; policies
+only reshape the timing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.util.validation import check_positive, require
+
+if TYPE_CHECKING:  # import only for annotations: runtime.simulator imports us
+    from repro.runtime.tasks import RuntimeTask
+
+
+@runtime_checkable
+class SchedulerPolicy(Protocol):
+    """Start-gating protocol implemented by all scheduling policies."""
+
+    def allow_start(self, task: RuntimeTask) -> bool:
+        """May this *eligible* task start a firing right now?"""
+        ...
+
+    def on_start(self, task: RuntimeTask) -> None:
+        """A firing of *task* started (account the processor it occupies)."""
+        ...
+
+    def on_complete(self, task: RuntimeTask) -> None:
+        """The in-flight firing of *task* completed (release its processor)."""
+        ...
+
+    def reset(self) -> None:
+        """Drop run-scoped state.  The engine calls this when it is
+        constructed, so one policy object can be reused across runs (a run
+        stopped mid-flight would otherwise leak busy-processor accounting
+        into the next one)."""
+        ...
+
+
+class SelfTimedUnbounded:
+    """Self-timed execution on virtually unbounded parallel hardware.
+
+    Every task owns its own processor, so an eligible task always starts
+    immediately -- the execution model the CTA analysis bounds and the
+    semantics of the seed dispatcher.
+    """
+
+    def allow_start(self, task: RuntimeTask) -> bool:
+        return True
+
+    def on_start(self, task: RuntimeTask) -> None:
+        pass
+
+    def on_complete(self, task: RuntimeTask) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SelfTimedUnbounded()"
+
+
+class BoundedProcessors:
+    """List scheduling on *processors* identical processors.
+
+    At most *processors* firings are in flight simultaneously; the dispatcher
+    offers eligible tasks in static order, so ties are broken by extraction
+    order (the classical list-scheduling priority).  With ``processors=1``
+    the execution is fully serialised; as the count grows the makespan
+    approaches the self-timed (unbounded) execution, which is exactly the
+    Fig. 4 speedup experiment.
+    """
+
+    def __init__(self, processors: int) -> None:
+        check_positive(processors, "processors")
+        self.processors = processors
+        self.busy = 0
+
+    def allow_start(self, task: RuntimeTask) -> bool:
+        return self.busy < self.processors
+
+    def on_start(self, task: RuntimeTask) -> None:
+        self.busy += 1
+
+    def on_complete(self, task: RuntimeTask) -> None:
+        self.busy -= 1
+
+    def reset(self) -> None:
+        self.busy = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundedProcessors({self.processors})"
+
+
+class StaticOrder:
+    """A single processor executing a fixed firing sequence.
+
+    *order* lists one entry per firing; when *cyclic* (the default) the
+    sequence repeats indefinitely, which is the ``loop{...} while(1)``
+    wrapper of the generated sequential program.  One-shot (initialisation)
+    tasks are outside the steady-state schedule and are always admitted.
+
+    Schedule entries are matched against ``key(task)`` -- bare ``task.name``
+    by default, which is unambiguous for SDF-derived and synthetic task sets
+    (one task per actor).  For compiled OIL programs, where distinct module
+    instances may contain same-named tasks, pass ``key=lambda t:
+    t.producer_key()`` and spell the schedule in ``"instance:name"`` form.
+
+    Use :func:`repro.baselines.sequential_schedule.static_order_policy` to
+    build this policy directly from an SDF graph's deadlock-free schedule.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[str],
+        *,
+        cyclic: bool = True,
+        key: Optional[Callable[[RuntimeTask], str]] = None,
+    ) -> None:
+        require(len(order) > 0, "a static-order schedule needs at least one entry")
+        self.order: List[str] = list(order)
+        self.cyclic = cyclic
+        self.position = 0
+        self._in_flight = False
+        self._key = key if key is not None else lambda task: task.name
+
+    def current(self) -> Optional[str]:
+        """Schedule entry the policy admits next (None when exhausted)."""
+        if not self.cyclic and self.position >= len(self.order):
+            return None
+        return self.order[self.position % len(self.order)]
+
+    def allow_start(self, task: RuntimeTask) -> bool:
+        if task.one_shot:
+            return True
+        return not self._in_flight and self._key(task) == self.current()
+
+    def on_start(self, task: RuntimeTask) -> None:
+        if not task.one_shot:
+            self._in_flight = True
+
+    def on_complete(self, task: RuntimeTask) -> None:
+        if not task.one_shot:
+            self._in_flight = False
+            self.position += 1
+
+    def reset(self) -> None:
+        self.position = 0
+        self._in_flight = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticOrder({len(self.order)} firings, cyclic={self.cyclic})"

@@ -1,0 +1,254 @@
+"""Synthetic task programs for scheduler experiments and benchmarks.
+
+Builders that produce fleets of :class:`~repro.runtime.tasks.RuntimeTask`
+wired through circular buffers *without* compiling an OIL program, so the
+execution engine can be measured and tested in isolation:
+
+* :func:`ring_program` -- N tasks in a cycle with K circulating tokens; the
+  dispatch microbenchmark workload (every firing is one event, the polling
+  dispatcher pays O(N) per event while ready-set dispatch pays O(K)),
+* :func:`fork_join_program` -- a split / W parallel workers / join diamond
+  iterated round by round; the Fig. 4 speedup-vs-processors workload,
+* :func:`tasks_from_sdf` -- one runtime task per actor of an SDF graph, so a
+  static-order schedule computed by the analysis can be *executed* and its
+  firing sequence compared against the generated sequential program.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.analysis import repetition_vector
+from repro.dataflow.sdf import SDFGraph
+from repro.graph.circular_buffer import CircularBuffer
+from repro.graph.taskgraph import Access, Task
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.tasks import RuntimeTask
+from repro.util.rational import Rat, as_rational
+from repro.util.validation import check_positive, require
+
+
+def _make_task(
+    name: str,
+    function: str,
+    reads: Sequence[Tuple[CircularBuffer, int]],
+    writes: Sequence[Tuple[CircularBuffer, int]],
+    registry: FunctionRegistry,
+    wcet: Rat,
+    instance: str,
+) -> RuntimeTask:
+    """One black-box style runtime task bound directly to its buffers."""
+    task = Task(name=name, kind="call", function=function, firing_duration=wcet)
+    task.reads = [Access(buffer.name, count) for buffer, count in reads]
+    task.writes = [Access(buffer.name, count) for buffer, count in writes]
+    buffers = {buffer.name: buffer for buffer, _ in (*reads, *writes)}
+    runtime_task = RuntimeTask(
+        name=name,
+        task=task,
+        instance=instance,
+        registry=registry,
+        buffers=buffers,
+        wcet=as_rational(wcet),
+    )
+    key = runtime_task.producer_key()
+    for buffer, _ in reads:
+        buffer.register_consumer(key)
+    for buffer, _ in writes:
+        buffer.register_producer(key)
+    return runtime_task
+
+
+def ring_program(
+    task_count: int = 200,
+    *,
+    tokens: int = 8,
+    wcet: Rat = Fraction(1, 1000),
+    capacity: int = 2,
+    stagger: int = 1,
+    buffer_factory=CircularBuffer,
+) -> List[RuntimeTask]:
+    """A cycle of *task_count* tasks with *tokens* values circulating.
+
+    Task ``i`` consumes one value from buffer ``i`` and produces one into
+    buffer ``(i+1) % task_count``; the initial values are spread evenly over
+    the ring, so about *tokens* tasks are eligible at any instant.  Token
+    count is conserved, hence the program runs forever -- callers bound the
+    execution by firing count or horizon.
+
+    With ``stagger > 1`` task ``i`` gets response time ``wcet * (1 + i %
+    stagger)``, desynchronising completions so that (almost) every firing
+    triggers its own dispatch round -- the dispatch-bound regime the
+    microbenchmark measures.  ``buffer_factory`` lets benchmarks substitute
+    an instrumented or reference buffer implementation.
+    """
+    check_positive(task_count, "task_count")
+    check_positive(tokens, "tokens")
+    check_positive(stagger, "stagger")
+    require(tokens < task_count, "the ring needs fewer tokens than tasks")
+    require(capacity >= 2, "ring buffers need capacity >= 2 (one in flight + one initial)")
+
+    seeded = {(i * task_count) // tokens for i in range(tokens)}
+    buffers = [
+        buffer_factory(
+            f"ring/b{i}", capacity, initial_values=[float(i)] if i in seeded else []
+        )
+        for i in range(task_count)
+    ]
+    registry = FunctionRegistry()
+    registry.register("step", lambda value: value + 1.0, description="pass the token on")
+    return [
+        _make_task(
+            f"t{i}",
+            "step",
+            reads=[(buffers[i], 1)],
+            writes=[(buffers[(i + 1) % task_count], 1)],
+            registry=registry,
+            wcet=as_rational(wcet) * (1 + i % stagger),
+            instance="ring",
+        )
+        for i in range(task_count)
+    ]
+
+
+def fork_join_program(
+    width: int = 8,
+    *,
+    worker_wcet: Rat = Fraction(1),
+    overhead_wcet: Rat = Fraction(1, 1000),
+) -> List[RuntimeTask]:
+    """A split → *width* parallel workers → join diamond, iterated in rounds.
+
+    A single token on the feedback buffer lets ``split`` hand one value to
+    every worker; ``join`` collects all results and returns the token.  With
+    ``BoundedProcessors(n)`` each round takes about ``ceil(width / n)`` worker
+    durations, so the makespan over a fixed number of rounds yields the
+    Fig. 4-style speedup curve.
+    """
+    check_positive(width, "width")
+    feedback = CircularBuffer("forkjoin/feedback", 2, initial_values=[0.0])
+    inputs = [CircularBuffer(f"forkjoin/in{i}", 2) for i in range(width)]
+    outputs = [CircularBuffer(f"forkjoin/out{i}", 2) for i in range(width)]
+
+    registry = FunctionRegistry()
+    registry.register(
+        "split", lambda value: tuple(value for _ in range(width)) if width > 1 else value,
+        description="hand the round value to every worker",
+    )
+    registry.register("work", lambda value: value + 1.0, description="one unit of work")
+    registry.register(
+        "join",
+        lambda *values: sum(values) / len(values),
+        description="combine the round results",
+    )
+
+    tasks = [
+        _make_task(
+            "split",
+            "split",
+            reads=[(feedback, 1)],
+            writes=[(buffer, 1) for buffer in inputs],
+            registry=registry,
+            wcet=overhead_wcet,
+            instance="forkjoin",
+        )
+    ]
+    for i in range(width):
+        tasks.append(
+            _make_task(
+                f"w{i}",
+                "work",
+                reads=[(inputs[i], 1)],
+                writes=[(outputs[i], 1)],
+                registry=registry,
+                wcet=worker_wcet,
+                instance="forkjoin",
+            )
+        )
+    tasks.append(
+        _make_task(
+            "join",
+            "join",
+            reads=[(buffer, 1) for buffer in outputs],
+            writes=[(feedback, 1)],
+            registry=registry,
+            wcet=overhead_wcet,
+            instance="forkjoin",
+        )
+    )
+    return tasks
+
+
+def tasks_from_sdf(
+    graph: SDFGraph,
+    *,
+    iterations: int = 1,
+    registry: Optional[FunctionRegistry] = None,
+) -> List[RuntimeTask]:
+    """One runtime task per actor of *graph*, buffers per edge.
+
+    Edge buffers are sized for *iterations* complete graph iterations plus
+    the initial tokens, so capacity never throttles the execution within that
+    budget -- the policy alone shapes the schedule.  Actor functions default
+    to trivial value shufflers when no *registry* is supplied.
+    """
+    check_positive(iterations, "iterations")
+    q = repetition_vector(graph)
+    buffers: Dict[str, CircularBuffer] = {}
+    for name, edge in graph.edges.items():
+        capacity = q[edge.producer] * edge.production * iterations + max(edge.initial_tokens, 1)
+        buffers[name] = CircularBuffer(
+            f"{graph.name}/{name}", capacity, initial_values=[0.0] * edge.initial_tokens
+        )
+
+    if registry is None:
+        registry = FunctionRegistry()
+
+    tasks: List[RuntimeTask] = []
+    for actor_name in graph.actors:
+        reads = [(buffers[e.name], e.consumption) for e in graph.in_edges(actor_name)]
+        writes = [(buffers[e.name], e.production) for e in graph.out_edges(actor_name)]
+        if actor_name not in registry:
+            registry.register(
+                actor_name,
+                _actor_function(
+                    [count for _, count in reads], [count for _, count in writes]
+                ),
+                description=f"synthetic body of SDF actor {actor_name!r}",
+            )
+        tasks.append(
+            _make_task(
+                actor_name,
+                actor_name,
+                reads=reads,
+                writes=writes,
+                registry=registry,
+                wcet=graph.actors[actor_name].firing_duration,
+                instance=graph.name,
+            )
+        )
+    return tasks
+
+
+def _actor_function(read_counts: Sequence[int], write_counts: Sequence[int]):
+    """A trivial actor body with the right input/output shape: averages its
+    inputs and replicates the average on every output."""
+
+    def body(*inputs):
+        flat: List[float] = []
+        for value in inputs:
+            if isinstance(value, list):
+                flat.extend(float(v) for v in value)
+            else:
+                flat.append(float(value))
+        value = sum(flat) / len(flat) if flat else 0.0
+        produced = [
+            [value] * count if count > 1 else value for count in write_counts
+        ]
+        if not produced:
+            return None
+        if len(produced) == 1:
+            return produced[0]
+        return tuple(produced)
+
+    return body

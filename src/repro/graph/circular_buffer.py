@@ -24,12 +24,23 @@ The implementation below is sequential (it is driven by the discrete-event
 simulator in :mod:`repro.runtime`, not by threads): ``can_acquire`` /
 ``acquire`` / ``release`` never block, they simply report whether the
 operation is possible so the scheduler can decide whether a task may fire.
+
+Eligibility checks (``can_produce`` / ``can_consume``) greatly outnumber
+buffer mutations during a simulation, so the three window aggregates they
+depend on -- the released floor of the active producers, the released floor
+of the active consumers and the acquired ceiling of all producers -- are
+cached and only invalidated when a window actually moves or changes
+activation.  The buffer also keeps a reverse index of dependents: the
+execution engine subscribes per-buffer callbacks via :meth:`watch_tokens` /
+:meth:`watch_space` and is notified exactly when one of the two
+dispatch-relevant floors changed, which is what makes event-driven ready-set
+dispatch possible without re-polling every task.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.util.validation import check_positive, require
 
@@ -77,17 +88,43 @@ class CircularBuffer:
         self._initial = len(initial_values)
         for index, value in enumerate(initial_values):
             self._storage[index % capacity] = value
+        # Cached window aggregates (None = dirty, recomputed lazily).
+        self._producer_floor_cache: Optional[int] = None
+        self._consumer_floor_cache: Optional[int] = None
+        self._producer_ceiling_cache: Optional[int] = None
+        # Reverse index of dependents: callbacks fired when the produced floor
+        # (token availability) or the consumed floor (space availability)
+        # actually moved.
+        self._token_watchers: List[Callable[[], None]] = []
+        self._space_watchers: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ setup
     def register_producer(self, name: str) -> None:
         require(name not in self._producers, f"duplicate producer window {name!r}")
+        old_floor = self._producer_floor()
         self._producers[name] = WindowState(name, released=self._initial, acquired=self._initial)
+        self._producers_moved(old_floor)
 
     def register_consumer(self, name: str) -> None:
         require(name not in self._consumers, f"duplicate consumer window {name!r}")
+        old_floor = self._consumer_floor()
         self._consumers[name] = WindowState(name)
+        self._consumers_moved(old_floor)
 
-    # ------------------------------------------------------ window management
+    # -------------------------------------------------------------- watchers
+    def watch_tokens(self, callback: Callable[[], None]) -> None:
+        """Subscribe to changes of the produced floor: *callback* runs
+        whenever the number of tokens visible to consumers may have changed
+        (a producer released, was (de)activated or repositioned)."""
+        self._token_watchers.append(callback)
+
+    def watch_space(self, callback: Callable[[], None]) -> None:
+        """Subscribe to changes of the consumed floor: *callback* runs
+        whenever the space visible to producers may have changed (a consumer
+        released, was (de)activated or repositioned)."""
+        self._space_watchers.append(callback)
+
+    # ------------------------------------------------------ window aggregates
     def _active_producers(self) -> List[WindowState]:
         active = [w for w in self._producers.values() if w.active]
         return active if active else list(self._producers.values())
@@ -96,6 +133,51 @@ class CircularBuffer:
         active = [w for w in self._consumers.values() if w.active]
         return active if active else list(self._consumers.values())
 
+    def _producer_floor(self) -> int:
+        """Released position every (active) producer has passed; tokens up to
+        this index are available to consumers."""
+        if self._producer_floor_cache is None:
+            if not self._producers:
+                self._producer_floor_cache = self._initial
+            else:
+                self._producer_floor_cache = min(w.released for w in self._active_producers())
+        return self._producer_floor_cache
+
+    def _consumer_floor(self) -> Optional[int]:
+        """Released position every (active) consumer has passed (``None`` when
+        no consumer is registered); locations below it are free space."""
+        if not self._consumers:
+            return None
+        if self._consumer_floor_cache is None:
+            self._consumer_floor_cache = min(w.released for w in self._active_consumers())
+        return self._consumer_floor_cache
+
+    def _producer_ceiling(self) -> int:
+        """Highest acquired position of any producer (active or not)."""
+        if self._producer_ceiling_cache is None:
+            self._producer_ceiling_cache = max(
+                (w.acquired for w in self._producers.values()), default=self._initial
+            )
+        return self._producer_ceiling_cache
+
+    def _producers_moved(self, old_floor: int) -> None:
+        """Invalidate the producer-side caches after a producer window moved
+        or changed activation; *old_floor* is the pre-mutation floor, so token
+        watchers fire exactly when the floor actually changed."""
+        self._producer_floor_cache = None
+        self._producer_ceiling_cache = None
+        if self._token_watchers and self._producer_floor() != old_floor:
+            for callback in self._token_watchers:
+                callback()
+
+    def _consumers_moved(self, old_floor: Optional[int]) -> None:
+        """Invalidate the consumer-side cache after a consumer window moved or
+        changed activation; notify space watchers when the floor changed."""
+        self._consumer_floor_cache = None
+        if self._space_watchers and self._consumer_floor() != old_floor:
+            for callback in self._space_watchers:
+                callback()
+
     def set_producer_active(self, name: str, active: bool) -> None:
         """(De)activate a producer window.
 
@@ -103,11 +185,19 @@ class CircularBuffer:
         while-loop that is not executing); they are excluded from the
         availability computations so an idle mode never blocks the active one.
         """
-        self._producers[name].active = active
+        window = self._producers[name]
+        if window.active != active:
+            old_floor = self._producer_floor()
+            window.active = active
+            self._producers_moved(old_floor)
 
     def set_consumer_active(self, name: str, active: bool) -> None:
         """(De)activate a consumer window (see :meth:`set_producer_active`)."""
-        self._consumers[name].active = active
+        window = self._consumers[name]
+        if window.active != active:
+            old_floor = self._consumer_floor()
+            window.active = active
+            self._consumers_moved(old_floor)
 
     def producer_position(self, name: str) -> int:
         return self._producers[name].released
@@ -122,8 +212,10 @@ class CircularBuffer:
         window = self._producers[name]
         require(window.held == 0, f"cannot reposition producer {name!r} mid-firing")
         if position > window.released:
+            old_floor = self._producer_floor()
             window.released = position
             window.acquired = position
+            self._producers_moved(old_floor)
 
     def advance_consumer_to(self, name: str, position: int) -> None:
         """Move an idle consumer window forward to *position* (see
@@ -131,44 +223,38 @@ class CircularBuffer:
         window = self._consumers[name]
         require(window.held == 0, f"cannot reposition consumer {name!r} mid-firing")
         if position > window.released:
+            old_floor = self._consumer_floor()
             window.released = position
             window.acquired = position
+            self._consumers_moved(old_floor)
 
     # ------------------------------------------------------------- occupancy
     @property
     def tokens_available(self) -> int:
         """Number of tokens every (active) producer has released and no
         (active) consumer has consumed yet."""
-        if not self._producers:
-            produced = self._initial
-        else:
-            produced = min(w.released for w in self._active_producers())
-        consumed = min((w.released for w in self._active_consumers()), default=0) if self._consumers else 0
-        return produced - consumed
+        consumer_floor = self._consumer_floor()
+        return self._producer_floor() - (consumer_floor if consumer_floor is not None else 0)
 
     @property
     def space_available(self) -> int:
         """Free locations from the point of view of the slowest producer."""
-        consumed = min((w.released for w in self._active_consumers()), default=None) if self._consumers else None
-        produced = max((w.acquired for w in self._producers.values()), default=self._initial)
-        if consumed is None:
-            return self.capacity - produced
-        return self.capacity - (produced - consumed)
+        consumer_floor = self._consumer_floor()
+        occupied = self._producer_ceiling() - (consumer_floor if consumer_floor is not None else 0)
+        return self.capacity - occupied
 
     def occupancy(self) -> int:
         """Tokens currently stored (acquired-but-unconsumed locations included)."""
-        consumed = min((w.released for w in self._active_consumers()), default=0) if self._consumers else 0
-        produced = max((w.acquired for w in self._producers.values()), default=self._initial)
-        return produced - consumed
+        consumer_floor = self._consumer_floor()
+        return self._producer_ceiling() - (consumer_floor if consumer_floor is not None else 0)
 
     # ------------------------------------------------------------- producers
     def can_produce(self, producer: str, count: int) -> bool:
         """True when *producer* can acquire *count* locations."""
         window = self._producers[producer]
-        consumed = min((w.released for w in self._active_consumers()), default=None) if self._consumers else None
-        if consumed is None:
-            return window.acquired + count - 0 <= self.capacity
-        return window.acquired + count - consumed <= self.capacity
+        consumer_floor = self._consumer_floor()
+        freed = consumer_floor if consumer_floor is not None else 0
+        return window.acquired + count - freed <= self.capacity
 
     def produce(self, producer: str, values: Optional[Sequence[Any]], count: int) -> None:
         """Acquire *count* locations, write *values* (or keep the previous
@@ -185,18 +271,16 @@ class CircularBuffer:
             )
             for offset in range(count):
                 self._storage[(window.acquired + offset) % self.capacity] = values[offset]
+        old_floor = self._producer_floor()
         window.acquired += count
         window.released += count
+        self._producers_moved(old_floor)
 
     # ------------------------------------------------------------- consumers
     def can_consume(self, consumer: str, count: int) -> bool:
         """True when *consumer* can acquire *count* full locations."""
         window = self._consumers[consumer]
-        if self._producers:
-            produced = min(w.released for w in self._active_producers())
-        else:
-            produced = self._initial
-        return window.acquired + count <= produced
+        return window.acquired + count <= self._producer_floor()
 
     def consume(self, consumer: str, count: int) -> List[Any]:
         """Acquire, read and release *count* tokens; returns the values."""
@@ -205,8 +289,10 @@ class CircularBuffer:
         values = [
             self._storage[(window.acquired + offset) % self.capacity] for offset in range(count)
         ]
+        old_floor = self._consumer_floor()
         window.acquired += count
         window.released += count
+        self._consumers_moved(old_floor)
         return values
 
     def peek(self, consumer: str, count: int) -> List[Any]:

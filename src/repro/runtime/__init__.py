@@ -7,8 +7,10 @@
 * :mod:`repro.runtime.sources` -- time-triggered sources and sinks with
   deadline-violation detection,
 * :mod:`repro.runtime.fifo` -- inter-module FIFO channels,
-* :mod:`repro.runtime.trace` -- execution traces and measurements,
-* :mod:`repro.runtime.simulator` -- the simulation engine.
+* :mod:`repro.runtime.trace` -- execution traces and measurements with
+  configurable recording levels,
+* :mod:`repro.runtime.simulator` -- instantiation of compiled programs on
+  top of the pluggable scheduler engine (:mod:`repro.engine`).
 """
 
 from repro.runtime.functions import FunctionRegistry, FunctionSpec, default_registry
@@ -16,10 +18,17 @@ from repro.runtime.events import Event, EventQueue
 from repro.runtime.tasks import OilRuntimeError, RuntimeTask, evaluate_expression
 from repro.runtime.sources import SinkDriver, SourceDriver
 from repro.runtime.fifo import Fifo, make_fifo
-from repro.runtime.trace import DeadlineViolation, EndpointEvent, Firing, TraceRecorder
+from repro.runtime.trace import (
+    TRACE_LEVELS,
+    DeadlineViolation,
+    EndpointEvent,
+    Firing,
+    TraceRecorder,
+)
 from repro.runtime.simulator import ModeSchedule, SequentialInstance, Simulation
 
 __all__ = [
+    "TRACE_LEVELS",
     "FunctionRegistry",
     "FunctionSpec",
     "default_registry",

@@ -58,9 +58,25 @@ class EventQueue:
     def empty(self) -> bool:
         return not any(not e.cancelled for e in self._heap)
 
-    def run_until(self, end_time: Rat, *, max_events: Optional[int] = None) -> Rat:
-        """Process events up to (and including) *end_time*; returns the final time."""
+    def run_until(
+        self,
+        end_time: Rat,
+        *,
+        max_events: Optional[int] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> Rat:
+        """Process events up to (and including) *end_time*; returns the final time.
+
+        ``max_events`` bounds the *total* processed count (a safety valve for
+        runaway simulations); ``stop`` is re-evaluated after every event and
+        ends the run early when it returns true (used to run "until N firings
+        completed").  Only an exhausted run -- queue drained or next event
+        beyond *end_time* -- fast-forwards the clock to *end_time*; a run cut
+        short by ``max_events`` or ``stop`` leaves ``now`` at the last
+        processed event so execution can resume seamlessly.
+        """
         end_time = as_rational(end_time)
+        cut_short = False
         while self._heap:
             event = self._heap[0]
             if event.time > end_time:
@@ -72,8 +88,12 @@ class EventQueue:
             event.callback()
             self.processed += 1
             if max_events is not None and self.processed >= max_events:
+                cut_short = True
                 break
-        if self.now < end_time:
+            if stop is not None and stop():
+                cut_short = True
+                break
+        if not cut_short and self.now < end_time:
             self.now = end_time
         return self.now
 

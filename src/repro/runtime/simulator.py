@@ -28,6 +28,8 @@ from fractions import Fraction
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.compiler import CompilationResult
+from repro.engine.dispatcher import ExecutionEngine
+from repro.engine.policies import SchedulerPolicy
 from repro.graph.circular_buffer import CircularBuffer
 from repro.graph.taskgraph import Access, Task, TaskGraph
 from repro.lang import ast
@@ -152,7 +154,29 @@ class SequentialInstance:
 
 
 class Simulation:
-    """A runnable instantiation of a compiled OIL program."""
+    """A runnable instantiation of a compiled OIL program.
+
+    Execution is delegated to the pluggable scheduler engine
+    (:mod:`repro.engine`): this class instantiates the module hierarchy --
+    buffers, drivers, runtime tasks, mode schedules -- and registers the
+    resulting task fleet with an :class:`~repro.engine.dispatcher.ExecutionEngine`
+    that performs indexed ready-set dispatch.
+
+    Parameters (scheduling)
+    -----------------------
+    scheduler:
+        A :class:`~repro.engine.policies.SchedulerPolicy` deciding which
+        eligible task may occupy a processor; default
+        :class:`~repro.engine.policies.SelfTimedUnbounded` (one processor per
+        task, the execution model the CTA analysis bounds).
+    dispatcher:
+        ``"ready-set"`` (default) or ``"polling"`` -- the brute-force
+        whole-fleet reference dispatcher kept for equivalence testing and
+        benchmarking.  Both produce bit-identical self-timed traces.
+    trace_level:
+        Granularity of the :class:`~repro.runtime.trace.TraceRecorder`
+        (``"full"``, ``"endpoints"`` or ``"off"``).
+    """
 
     def __init__(
         self,
@@ -165,11 +189,16 @@ class Simulation:
         mode_schedules: Optional[ModeSchedule] = None,
         sink_start_times: Optional[Mapping[str, Rat]] = None,
         top: Optional[str] = None,
+        scheduler: Optional[SchedulerPolicy] = None,
+        dispatcher: str = "ready-set",
+        trace_level: str = "full",
     ) -> None:
         self.result = result
         self.registry = registry
         self.queue = EventQueue()
-        self.trace = TraceRecorder()
+        self.trace = TraceRecorder(level=trace_level)
+        self.engine = ExecutionEngine(self.queue, self.trace, policy=scheduler, mode=dispatcher)
+        self.engine.on_complete = self._after_firing
         self.default_capacity = default_capacity
         self.mode_schedules = dict(mode_schedules or {})
         self.sink_start_times = {k: as_rational(v) for k, v in (sink_start_times or {}).items()}
@@ -184,8 +213,10 @@ class Simulation:
         self.sources: Dict[str, SourceDriver] = {}
         self.sinks: Dict[str, SinkDriver] = {}
         self.instances: List[SequentialInstance] = []
-        self.tasks: List[RuntimeTask] = []
-        self._dispatch_pending = False
+        #: O(1) task -> owning instance lookup (replaces the seed's linear
+        #: scan over all instances on every firing completion)
+        self._instance_of: Dict[RuntimeTask, SequentialInstance] = {}
+        self._wired = False
 
         top_name = top or self._default_top()
         top_module = result.program.module(top_name)
@@ -424,7 +455,7 @@ class Simulation:
             for access in task.writes:
                 buffers[access.buffer].register_producer(key)
             instance.tasks.append(runtime_task)
-            self.tasks.append(runtime_task)
+            self._register_task(runtime_task, instance)
 
         # Mode schedule (multiple top-level loops).
         top_loops = graph.top_level_loops()
@@ -458,60 +489,73 @@ class Simulation:
             bindings[access.buffer].register_consumer(key)
         for access in task.writes:
             bindings[access.buffer].register_producer(key)
-        self.tasks.append(runtime_task)
         instance = SequentialInstance(path=path, graph=TaskGraph(box.name))
         instance.tasks.append(runtime_task)
         self.instances.append(instance)
+        self._register_task(runtime_task, instance)
 
     # -------------------------------------------------------------- scheduling
+    @property
+    def tasks(self) -> List[RuntimeTask]:
+        """The task fleet, in registration (static priority) order.  The
+        engine owns the list; this is a read-only view."""
+        return self.engine.tasks
+
+    def _register_task(self, task: RuntimeTask, instance: SequentialInstance) -> None:
+        self._instance_of[task] = instance
+        self.engine.register_task(task)
+
     def _schedule_dispatch(self) -> None:
-        if self._dispatch_pending:
-            return
-        self._dispatch_pending = True
-        self.queue.schedule(self.queue.now, self._dispatch, label="dispatch")
+        """Driver change callback: ask the engine for a dispatch round."""
+        self.engine.schedule_dispatch()
 
-    def _dispatch(self) -> None:
-        self._dispatch_pending = False
-        progress = True
-        while progress:
-            progress = False
-            for task in self.tasks:
-                if task.can_fire():
-                    self._start_task(task)
-                    progress = True
+    def _after_firing(self, task: RuntimeTask) -> None:
+        """Engine completion hook: advance mode schedules and wake sinks.
 
-    def _start_task(self, task: RuntimeTask) -> None:
-        start = self.queue.now
-        values = task.start_firing()
-
-        def complete() -> None:
-            executed = task.finish_firing(values)
-            self.trace.record_firing(f"{task.instance}:{task.name}", start, self.queue.now, executed)
-            for access in task.task.writes:
-                buffer = task.buffers[access.buffer]
-                self.trace.record_occupancy(buffer.name, buffer.occupancy())
-            for instance in self.instances:
-                if task in instance.tasks:
-                    instance.maybe_advance_phase()
-                    break
-            self._notify_sinks()
-            self._schedule_dispatch()
-
-        self.queue.schedule(start + task.wcet, complete, label=f"complete:{task.name}")
+        A phase switch (de)activates whole loops; besides the buffer-floor
+        notifications that already woke dependents, every task of the
+        instance is re-queued because activation alone can change
+        eligibility without moving any floor.
+        """
+        instance = self._instance_of.get(task)
+        if instance is not None and instance.maybe_advance_phase():
+            self.engine.wake_tasks(instance.tasks)
+        self._notify_sinks()
 
     def _notify_sinks(self) -> None:
         for driver in self.sinks.values():
             driver.notify_data_available()
 
     # ------------------------------------------------------------------- run
-    def run(self, duration: Rat) -> TraceRecorder:
-        """Run the simulation for *duration* seconds of simulated time."""
-        duration = as_rational(duration)
+    def _start_drivers(self) -> None:
+        """Launch sources and sinks (idempotently) and queue the task fleet.
+
+        Driver windows must exist before the engine's buffer index is wired,
+        so wiring happens on the first call -- after which buffer-floor
+        notifications drive all dispatching.  Calling a run method again
+        neither re-registers windows nor duplicates the periodic tick chains
+        (the drivers' ``start`` is idempotent); it only re-queues the fleet.
+        """
         for driver in self.sources.values():
             driver.start()
         for driver in self.sinks.values():
             driver.start()
-        self._schedule_dispatch()
+        if not self._wired:
+            self._wired = True
+            self.engine.wire_buffers()
+        self.engine.wake_all()
+        self.engine.schedule_dispatch()
+
+    def run(self, duration: Rat) -> TraceRecorder:
+        """Run the simulation until the absolute simulated time *duration*.
+
+        *duration* is an end time measured from simulation start (t = 0),
+        not an increment: a repeated call resumes where the previous one
+        stopped and runs up to the new end time, so ``run(1); run(2)``
+        simulates two seconds in total and a second ``run(1)`` is a no-op.
+        """
+        duration = as_rational(duration)
+        self._start_drivers()
         self.queue.run_until(duration)
         return self.trace
 
@@ -520,11 +564,7 @@ class Simulation:
     ) -> TraceRecorder:
         """Run until *sink* consumed *count* values (or *max_time* elapsed)."""
         max_time = as_rational(max_time)
-        for driver in self.sources.values():
-            driver.start()
-        for driver in self.sinks.values():
-            driver.start()
-        self._schedule_dispatch()
+        self._start_drivers()
         target = self.sinks[sink]
         step = max_time / 64
         while self.queue.now < max_time and len(target.consumed) < count:

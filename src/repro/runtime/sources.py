@@ -44,8 +44,20 @@ class SourceDriver:
     dropped: int = 0
     #: callback invoked whenever the buffer content changed (wakes the scheduler)
     on_change: Optional[Callable[[], None]] = None
+    #: True once the periodic tick chain has been scheduled
+    launched: bool = False
 
     def start(self) -> None:
+        """Register the producer window and schedule the periodic ticks.
+
+        Idempotent: each simulation run method calls it, and starting twice
+        must not register a second window or schedule a duplicate tick chain
+        (every tick re-schedules itself, so a duplicate would double the
+        produced rate forever).
+        """
+        if self.launched:
+            return
+        self.launched = True
         self.buffer.register_producer(self.name)
         self.queue.schedule(self.start_offset, self._tick, label=f"source:{self.name}")
 
@@ -59,7 +71,8 @@ class SourceDriver:
             self.buffer.produce(self.name, [value], 1)
             self.produced += 1
             self.trace.record_endpoint(self.name, "source", time, value)
-            self.trace.record_occupancy(self.buffer.name, self.buffer.occupancy())
+            if self.trace.occupancy_enabled:
+                self.trace.record_occupancy(self.buffer.name, self.buffer.occupancy())
             if self.on_change is not None:
                 self.on_change()
         else:
@@ -88,8 +101,16 @@ class SinkDriver:
     consumed: List[Any] = field(default_factory=list)
     misses: int = 0
     on_change: Optional[Callable[[], None]] = None
+    #: True once the consumer window is registered (distinct from ``started``,
+    #: which records that periodic consumption has begun)
+    launched: bool = False
 
     def start(self) -> None:
+        """Register the consumer window and, for explicitly timed sinks,
+        schedule the tick chain.  Idempotent (see :meth:`SourceDriver.start`)."""
+        if self.launched:
+            return
+        self.launched = True
         self.buffer.register_consumer(self.name)
         if self.start_time is not None:
             self.started = True

@@ -124,9 +124,14 @@ def evaluate_expression(
 # Runtime task
 # --------------------------------------------------------------------------
 
-@dataclass
+@dataclass(eq=False)
 class RuntimeTask:
-    """One executable task instance bound to its buffers."""
+    """One executable task instance bound to its buffers.
+
+    ``eq=False`` keeps identity semantics (and hashability): a runtime task
+    is a unique piece of simulation state, and the execution engine indexes
+    tasks in dictionaries for O(1) task -> instance / priority lookups.
+    """
 
     name: str
     task: Task

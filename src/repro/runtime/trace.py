@@ -13,6 +13,20 @@ From these it derives the measured quantities the experiments compare against
 the analysis: sustained throughput per source/sink, end-to-end latency, and
 maximal observed buffer occupancy (which must never exceed the capacities the
 CTA buffer-sizing algorithm computed).
+
+Recording granularity is configurable via ``level`` so throughput benchmarks
+do not pay for bookkeeping they never read:
+
+* ``"full"`` (default) -- everything: firings, endpoint events, violations
+  and buffer occupancy high-water marks,
+* ``"endpoints"`` -- only endpoint events and deadline violations (the
+  signals the real-time claims are judged by); the high-volume per-firing
+  records are skipped,
+* ``"off"`` -- record nothing.
+
+The ``*_enabled`` properties let hot paths skip computing a measurement (for
+example a buffer occupancy) before handing it to a recorder that would drop
+it anyway.
 """
 
 from __future__ import annotations
@@ -22,6 +36,10 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.rational import Rat
+from repro.util.validation import check_in
+
+#: Recognised trace levels, coarsest first.
+TRACE_LEVELS = ("off", "endpoints", "full")
 
 
 @dataclass
@@ -56,18 +74,44 @@ class TraceRecorder:
     endpoint_events: List[EndpointEvent] = field(default_factory=list)
     violations: List[DeadlineViolation] = field(default_factory=list)
     buffer_high_water: Dict[str, int] = field(default_factory=dict)
+    level: str = "full"
+
+    def __post_init__(self) -> None:
+        check_in(self.level, TRACE_LEVELS, "trace level")
+
+    # ----------------------------------------------------------------- levels
+    @property
+    def firings_enabled(self) -> bool:
+        return self.level == "full"
+
+    @property
+    def occupancy_enabled(self) -> bool:
+        return self.level == "full"
+
+    @property
+    def endpoints_enabled(self) -> bool:
+        return self.level != "off"
+
+    @property
+    def violations_enabled(self) -> bool:
+        return self.level != "off"
 
     # ------------------------------------------------------------- recording
     def record_firing(self, task: str, start: Rat, end: Rat, executed_body: bool) -> None:
-        self.firings.append(Firing(task, start, end, executed_body))
+        if self.firings_enabled:
+            self.firings.append(Firing(task, start, end, executed_body))
 
     def record_endpoint(self, name: str, kind: str, time: Rat, value: object) -> None:
-        self.endpoint_events.append(EndpointEvent(name, kind, time, value))
+        if self.endpoints_enabled:
+            self.endpoint_events.append(EndpointEvent(name, kind, time, value))
 
     def record_violation(self, name: str, kind: str, time: Rat, detail: str = "") -> None:
-        self.violations.append(DeadlineViolation(name, kind, time, detail))
+        if self.violations_enabled:
+            self.violations.append(DeadlineViolation(name, kind, time, detail))
 
     def record_occupancy(self, buffer: str, occupancy: int) -> None:
+        if not self.occupancy_enabled:
+            return
         current = self.buffer_high_water.get(buffer, 0)
         if occupancy > current:
             self.buffer_high_water[buffer] = occupancy
