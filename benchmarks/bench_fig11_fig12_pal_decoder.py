@@ -11,6 +11,7 @@ from fractions import Fraction
 
 from _reporting import print_table
 
+from repro.api import Analysis
 from repro.apps.pal_decoder import (
     AUDIO_DECIMATION,
     AUDIO_FINAL_DECIMATION,
@@ -64,13 +65,15 @@ def test_fig12_analysis(benchmark, pal_app, pal_compiled):
 
 def test_fig11_pal_execution(benchmark, pal_app, pal_sized):
     result, sizing = pal_sized
+    analysis = Analysis(pal_app.program(), result, sizing=sizing)
 
     def run():
-        return pal_app.simulate(Fraction(1), result=result, sizing=sizing)
+        return analysis.run(Fraction(1))
 
-    simulation, trace = benchmark.pedantic(run, rounds=1, iterations=1)
-    audio = simulation.sinks["speakers"].consumed
-    video = simulation.sinks["screen"].consumed
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    simulation, trace = outcome.simulation, outcome.trace
+    audio = outcome.sink("speakers")
+    video = outcome.sink("screen")
     expected_audio = pal_app.signal.audio_tone * AUDIO_DECIMATION * AUDIO_FINAL_DECIMATION
     rows = [
         ["deadline violations", trace.deadline_miss_count()],

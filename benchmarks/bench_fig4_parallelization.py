@@ -9,12 +9,15 @@ and one consumer (Fig. 4b).
 The second experiment quantifies what the parallelization is *for*: the
 extracted parallelism executed on a bounded number of processors.  The
 scheduler engine's ``BoundedProcessors(n)`` policy list-schedules a wide
-fork/join workload on n processors and the measured makespans yield the
-speedup-vs-cores curve of the Fig. 4 scenario axis.
+fork/join workload on n processors; the processor-count grid runs through
+the facade's sweep machinery (``repro.api.Sweep.from_callable``) and the
+aggregated makespans yield the speedup-vs-cores curve of the Fig. 4
+scenario axis.
 """
 
 from _reporting import print_table
 
+from repro.api import Sweep
 from repro.engine import BoundedProcessors, fork_join_program, run_tasks
 from repro.graph import extract_task_graph, task_graph_to_sdf, static_order_schedule
 from repro.lang import parse_module
@@ -62,7 +65,8 @@ def test_fig4_task_graph_extraction(benchmark):
 
 
 def test_fig4_bounded_processor_speedup(benchmark):
-    """Speedup of the extracted parallelism on n processors (n = 1, 2, 4, 8)."""
+    """Speedup of the extracted parallelism on n processors (n = 1, 2, 4, 8),
+    swept over the processor grid through the facade's sweep machinery."""
     width = 8
     rounds = 25
     firings = rounds * (width + 2)  # split + workers + join per round
@@ -76,13 +80,23 @@ def test_fig4_bounded_processor_speedup(benchmark):
         assert run.engine.completed_firings == firings
         return run.makespan
 
-    makespans = {n: makespan(n) for n in (1, 2, 4)}
-    makespans[8] = benchmark(makespan, 8)
+    def point(processors: int):
+        return {"makespan": float(makespan(processors))}
 
-    base = makespans[1]
+    report = (
+        Sweep.from_callable(point, name="fig4 fork/join speedup")
+        .add_axis("processors", [1, 2, 4, 8])
+        .run(workers=2)
+    )
+    benchmark(makespan, 8)
+
+    speedup = {
+        row["processors"]: row["speedup"] for row in report.speedup_table("makespan")
+    }
+    makespans = dict(zip(report.column("processors"), report.column("makespan")))
     rows = [
-        [n, f"{float(m):.3f} s", f"{float(base / m):.2f}x"]
-        for n, m in sorted(makespans.items())
+        [n, f"{makespans[n]:.3f} s", f"{speedup[n]:.2f}x"]
+        for n in sorted(makespans)
     ]
     print_table(
         f"Fig. 4 scenario axis: {width}-wide fork/join, {rounds} rounds, list scheduling",
@@ -91,5 +105,6 @@ def test_fig4_bounded_processor_speedup(benchmark):
     )
 
     # The speedup curve must be monotone and approach the width.
+    assert report.ok
     assert makespans[1] >= makespans[2] >= makespans[4] >= makespans[8]
-    assert base / makespans[8] > 4
+    assert speedup[8] > 4

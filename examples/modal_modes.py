@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Modal multi-rate applications: control behaviour inside the analysis.
+"""Modal multi-rate applications, through the repro.api facade.
 
 Two applications demonstrate the paper's central point -- that modes
 (data-dependent control behaviour) can be expressed in the sequential part of
@@ -10,66 +10,64 @@ an OIL program while the derived CTA model remains analysable:
    pattern: guarded statements become unconditionally executing tasks),
 2. the *two-mode* pipeline: a calibration loop and a processing loop in
    sequence (the Fig. 3 / Fig. 9 pattern: each while-loop becomes its own CTA
-   component and both access the source and sink, so the periodic constraints
-   hold regardless of the mode sequence).
+   component, so the periodic constraints hold regardless of the mode
+   sequence).
 
-For both, the example derives the CTA model, sizes the buffers and then runs
-adversarial mode sequences in the simulator, showing that the analysis
-results (rates, buffer capacities) are never violated no matter which mode is
-active.
+For both, the example derives the analysis once and runs adversarial mode
+sequences -- the two-mode schedules as a mode-schedule Sweep -- showing that
+the analysis results (rates, buffer capacities) are never violated no matter
+which mode is active.
 
 Run with:  python examples/modal_modes.py
 """
 
 from fractions import Fraction
 
-from repro.apps.modal_audio import (
-    MUTE_OIL_SOURCE,
-    TWO_MODE_OIL_SOURCE,
-    compile_mute,
-    compile_two_mode,
-    simulate_mute,
-    simulate_two_mode,
-)
-from repro.core import buffer_report
+from repro.api import Program, Sweep
 
 
 def run_mute() -> None:
     print("=== Mute pipeline (if/else mode inside one loop) ===")
-    print(MUTE_OIL_SOURCE.strip())
-    result = compile_mute()
-    sizing = result.size_buffers()
-    print(buffer_report(sizing.capacities))
+    program = Program.from_app(
+        "modal_mute", signal=([1.0] * 160 + [-1.0] * 160) * 50
+    )
+    print(program.source.strip())
+    analysis = program.analyze()
+    print(analysis.report())
 
-    # A signal that alternates between good reception (positive level) and bad
-    # reception (negative level) every 20 ms.
-    block = [1.0] * 160 + [-1.0] * 160
-    simulation, trace = simulate_mute(Fraction(1, 5), block * 50, result=result, sizing=sizing)
-    speaker = simulation.sinks["speaker"].consumed
-    print(f"deadline violations: {trace.deadline_miss_count()}")
-    print(f"speaker rate: {float(trace.measured_rate('speaker')):.1f} Hz (declared 2000 Hz)")
+    run = analysis.run(Fraction(1, 5))
+    speaker = run.sink("speaker")
     muted = sum(1 for v in speaker if v == 0.0)
+    print(f"deadline violations: {run.deadline_misses}")
+    print(f"speaker rate: {float(run.measured_rates['speaker']):.1f} Hz (declared 2000 Hz)")
     print(f"speaker samples: {len(speaker)} ({muted} muted, {len(speaker) - muted} active)\n")
 
 
 def run_two_mode() -> None:
     print("=== Two-mode pipeline (two while-loops) ===")
-    print(TWO_MODE_OIL_SOURCE.strip())
-    result = compile_two_mode()
-    sizing = result.size_buffers()
-    print(buffer_report(sizing.capacities))
+    program = Program.from_app("modal_two_mode")
+    print(program.source.strip())
+    analysis = program.analyze()
+    print(analysis.report())
 
-    for schedule in [(("loop0", 1), ("loop1", 1)), (("loop0", 3), ("loop1", 5)), (("loop0", 7), ("loop1", 2))]:
-        simulation, trace = simulate_two_mode(
-            Fraction(1, 10), mode_schedule=schedule, result=result, sizing=sizing
-        )
-        dac = simulation.sinks["dac"].consumed
+    schedules = [
+        (("loop0", 1), ("loop1", 1)),
+        (("loop0", 3), ("loop1", 5)),
+        (("loop0", 7), ("loop1", 2)),
+    ]
+    report = (
+        Sweep(program=program, duration=Fraction(1, 10), name="two-mode schedules")
+        .add_axis("mode_schedules", [{"TwoMode": list(s)} for s in schedules])
+        .run(workers=2)
+    )
+    print(report.table(columns=[
+        "mode_schedules", "deadline_misses", "rate[dac]", "occupancy_ok",
+    ]))
+    for result in report:
+        dac = result.run.sink("dac")
         calibration = sum(1 for v in dac if v >= 50.0)
-        print(
-            f"mode schedule {schedule}: {trace.deadline_miss_count()} violations, "
-            f"dac rate {float(trace.measured_rate('dac')):.1f} Hz, "
-            f"{calibration}/{len(dac)} calibration-mode samples"
-        )
+        print(f"  {result.params['mode_schedules']['TwoMode']}: "
+              f"{calibration}/{len(dac)} calibration-mode samples")
 
 
 def main() -> None:

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""The PAL video decoder case study (Sec. VI, Figs. 11 and 12).
+"""The PAL video decoder case study (Sec. VI, Figs. 11 and 12), through the
+repro.api facade -- including a bounded-processor scenario sweep.
 
 Compiles the Fig. 11 OIL program, derives the Fig. 12 CTA model, verifies
 rates (6.4 MS/s RF input, 4 MS/s video output, 32 kHz audio output), sizes
-the buffers, checks the audio/video synchronisation constraint and finally
-decodes a synthetic RF signal in the discrete-event runtime, reporting the
-recovered audio tone and the measured sink rates.
+the buffers, checks the audio/video synchronisation constraint and decodes a
+synthetic RF signal in the discrete-event runtime, reporting the recovered
+audio tone and the measured sink rates.  A :class:`repro.api.Sweep` then
+re-runs the decoder on 1..4 processors (Fig. 4 scenario axis) with parallel
+workers and aggregated reporting.
 
-All declared frequencies are divided by ``SCALE`` so the functional simulation
-finishes in seconds of wall-clock time; the rate *ratios* (25, 10/16, 8) and
-hence the structure of the derived CTA model are identical to the full-rate
+All declared frequencies are divided by ``SCALE`` so the functional
+simulation finishes in seconds of wall-clock time; the rate *ratios* (25,
+10/16, 8) and hence the derived CTA model are identical to the full-rate
 decoder.
 
 Run with:  python examples/pal_decoder.py
@@ -17,10 +20,10 @@ Run with:  python examples/pal_decoder.py
 
 from fractions import Fraction
 
-from repro.apps.pal_decoder import PalDecoderApp
-from repro.core import buffer_report, latency_report
+from repro.api import Program, Sweep
 from repro.dsp import dominant_frequency
-from repro.util.units import Frequency
+from repro.dsp.pal import PALSignalConfig
+from repro.engine import BoundedProcessors
 
 #: All rates divided by this factor for the functional simulation.
 SCALE = 1000
@@ -29,51 +32,45 @@ DURATION = Fraction(2)
 
 
 def main() -> None:
-    app = PalDecoderApp(scale=SCALE)
+    program = Program.from_app("pal_decoder", scale=SCALE)
     print("=== OIL program (Fig. 11, scaled) ===")
-    print(app.source_text().strip())
+    print(program.source.strip())
 
-    result = app.compile()
-    print("\n=== Derived CTA model (Fig. 12) ===")
-    print(result.model.summary())
-
-    consistency = result.check_consistency(assume_infinite_unsized=True)
-    print("\n=== Rates ===")
-    print(f"consistent: {consistency.consistent}")
-    for name, port in result.source_ports.items():
-        print(f"  source {name}: {Frequency(consistency.port_rates[port])}")
-    for name, port in result.sink_ports.items():
-        print(f"  sink   {name}: {Frequency(consistency.port_rates[port])}")
-
-    sizing = result.size_buffers()
-    print("\n=== Buffer sizing ===")
-    print(buffer_report(sizing.capacities))
-
-    checks = result.verify_latency(sizing.consistency)
-    print("\n=== Audio/video synchronisation ===")
-    print(latency_report(checks))
+    analysis = program.analyze()
+    print("\n" + analysis.report())
 
     print(f"\n=== Simulation ({float(DURATION)} s of scaled time) ===")
-    simulation, trace = app.simulate(DURATION, result=result, sizing=sizing)
-    print(trace.summary())
-    print(f"deadline violations: {trace.deadline_miss_count()}")
+    run = analysis.run(DURATION)
+    print(run.summary())
 
-    audio = simulation.sinks["speakers"].consumed
-    video = simulation.sinks["screen"].consumed
+    signal = PALSignalConfig()
+    audio = run.sink("speakers")
+    video = run.sink("screen")
     if len(audio) > 16:
         recovered = dominant_frequency(audio[8:])
-        expected = app.signal.audio_tone * 25 * 8  # decimation by 200 overall
+        expected = signal.audio_tone * 25 * 8  # decimation by 200 overall
         print(f"recovered audio tone: {recovered:.4f} of the audio rate "
               f"(expected {expected:.4f})")
     if len(video) > 128:
         recovered = dominant_frequency(video[64:])
-        expected = app.signal.video_tones[0] * 16 / 10
+        expected = signal.video_tones[0] * 16 / 10
         print(f"dominant video tone:  {recovered:.4f} of the video rate "
               f"(expected {expected:.4f})")
-    print(f"buffer high-water marks vs capacities:")
-    for name, mark in sorted(trace.buffer_high_water.items()):
-        capacity = simulation.buffers[name].capacity
-        print(f"  {name}: {mark} / {capacity}")
+    print("buffer high-water marks vs capacities:")
+    for name, mark in sorted(run.trace.buffer_high_water.items()):
+        print(f"  {name}: {mark} / {run.simulation.buffers[name].capacity}")
+
+    print("\n=== Scenario sweep: decoding on 1..4 processors (Fig. 4 axis) ===")
+    report = (
+        Sweep(program=program, duration=Fraction(1, 4))
+        .add_axis("scheduler", [BoundedProcessors(n) for n in (1, 2, 3, 4)])
+        .run(workers=2)
+    )
+    print(report.table(columns=[
+        "scheduler", "deadline_misses", "completed_firings", "occupancy_ok",
+    ]))
+    speedups = [row["speedup"] for row in report.speedup_table()]
+    print(f"throughput speedup vs 1 processor: {speedups}")
 
 
 if __name__ == "__main__":

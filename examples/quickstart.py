@@ -1,69 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: compile, analyse and execute a small multi-rate OIL program.
+"""Quickstart: the complete OIL pipeline through the repro.api facade.
 
-The application is a 2:1 downsampling pipeline: a 2 kHz sensor source feeds a
-sequential module that averages pairs of samples and writes the result to a
-1 kHz logging sink, with a 10 ms end-to-end latency constraint.
-
-The script walks through the complete pipeline of the paper:
-
-1. parse + validate the OIL program,
-2. derive the CTA model,
-3. check consistency (rates achievable?) and compute sufficient buffer sizes,
-4. verify the latency constraints,
-5. execute the program in the discrete-event runtime and check that the
-   measured behaviour respects the analysis results.
+A 2 kHz sensor feeds a pair-averaging module writing a 1 kHz log sink with a
+10 ms latency constraint.  Program -> Analysis (consistency, rates, buffer
+sizes, latency) -> RunResult (trace, deadline misses, sink samples).
 
 Run with:  python examples/quickstart.py
 """
 
 from fractions import Fraction
 
-from repro.apps.producer_consumer import (
-    QUICKSTART_OIL_SOURCE,
-    compile_quickstart,
-    quickstart_registry,
-    simulate_quickstart,
-)
-from repro.core import buffer_report, latency_report
-from repro.util.units import Frequency
+from repro.api import Program
 
+program = Program.from_app("quickstart")
+print(program.source.strip())
 
-def main() -> None:
-    print("=== OIL program ===")
-    print(QUICKSTART_OIL_SOURCE.strip())
+analysis = program.analyze()
+print("\n" + analysis.report())
 
-    # 1-2. Parse, validate and derive the CTA model.
-    result = compile_quickstart()
-    print("\n=== Derived CTA model ===")
-    print(result.model.summary())
-
-    # 3. Consistency: are the declared source/sink rates achievable?
-    consistency = result.check_consistency(assume_infinite_unsized=True)
-    print("\n=== Consistency (unbounded buffers) ===")
-    print(f"consistent: {consistency.consistent}")
-    for name, port in result.source_ports.items():
-        print(f"  source {name}: {Frequency(consistency.port_rates[port])}")
-    for name, port in result.sink_ports.items():
-        print(f"  sink   {name}: {Frequency(consistency.port_rates[port])}")
-
-    # Buffer sizing: smallest capacities for which the model stays consistent.
-    sizing = result.size_buffers()
-    print("\n=== Buffer sizing ===")
-    print(buffer_report(sizing.capacities))
-
-    # 4. Latency constraints.
-    checks = result.verify_latency(sizing.consistency)
-    print("\n=== Latency constraints ===")
-    print(latency_report(checks))
-
-    # 5. Execute the program for one second of simulated time.
-    simulation, trace = simulate_quickstart(Fraction(1), result=result, sizing=sizing)
-    print("\n=== Simulation (1 s) ===")
-    print(trace.summary())
-    print(f"deadline violations: {trace.deadline_miss_count()}")
-    print(f"first five logged averages: {simulation.sinks['averages'].consumed[:5]}")
-
-
-if __name__ == "__main__":
-    main()
+run = analysis.run(Fraction(1))
+print("\n" + run.summary())
+print(f"first five logged averages: {run.sink('averages')[:5]}")

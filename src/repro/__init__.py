@@ -10,8 +10,17 @@ that executes OIL applications, the DSP kernels and the PAL video decoder case
 study used in the paper's evaluation, and the exact (exponential) dataflow
 baselines the paper argues against.
 
+The front door is :mod:`repro.api`: ``Program.from_source(...)`` /
+``Program.from_app(...)`` -> ``.analyze()`` -> ``.run(duration)``, plus the
+``Sweep`` subsystem for batched parameter-grid scenario studies.
+:class:`Program` and :class:`Sweep` are re-exported here::
+
+    from repro import Program, Sweep
+
 Sub-packages
 ------------
+``repro.api``       the unified facade (Program -> Analysis -> RunResult)
+                    and the batched Sweep runner
 ``repro.lang``      OIL frontend (lexer, parser, AST, semantics, printer)
 ``repro.graph``     task-graph extraction and circular buffers
 ``repro.dataflow``  SDF substrate and exact baselines
@@ -26,9 +35,10 @@ Sub-packages
 ``repro.util``      rational arithmetic, units, constraint-graph algorithms
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "lang",
     "graph",
     "dataflow",
@@ -40,4 +50,18 @@ __all__ = [
     "apps",
     "baselines",
     "util",
+    "Program",
+    "Sweep",
 ]
+
+#: Facade classes re-exported lazily (PEP 562) so that ``import repro`` stays
+#: cheap -- the api package pulls the compiler stack only when first used.
+_API_EXPORTS = ("Program", "Sweep", "Analysis", "RunResult", "SweepReport")
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,131 @@
+"""Catalogue of the packaged applications, exposed through the facade.
+
+Every application the reproduction ships (:mod:`repro.apps`) registers a
+builder here, so ``Program.from_app(name, **params)`` is the single front
+door to all of them:
+
+========================  ==================================================
+name (aliases)            application
+========================  ==================================================
+``quickstart``            2:1 downsampling pipeline (the examples' hello
+(``producer_consumer``)   world): 2 kHz sensor -> averager -> 1 kHz log
+``pal_decoder``           the PAL video decoder case study (Sec. VI,
+                          Figs. 11/12)
+``rate_converter``        the Fig. 2 cyclic rate converter (init prefix +
+(``fig2``)                3:2 rate-converting loop tasks)
+``modal_mute``            audio pipeline with an if/else mute mode inside
+                          one loop (Fig. 4 pattern)
+``modal_two_mode``        calibration/processing while-loop modes
+                          (Fig. 3 / Fig. 9 pattern)
+========================  ==================================================
+
+Builders live in the application modules themselves (``*_program``
+functions) and are imported lazily, so ``import repro.api`` stays cheap and
+adding an application is a one-line :func:`register_app` call.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.api.program import Program
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One packaged application: where its builder lives and what it takes."""
+
+    name: str
+    #: ``"module:function"`` of the builder returning a :class:`Program`
+    builder: str
+    description: str
+    #: accepted keyword parameters (documentation + early error messages)
+    params: Tuple[str, ...] = ()
+    aliases: Tuple[str, ...] = ()
+
+    def build(self, **params: Any) -> Program:
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            raise TypeError(
+                f"app {self.name!r} does not accept parameter(s) {unknown}; "
+                f"accepted: {sorted(self.params)}"
+            )
+        module_name, function_name = self.builder.split(":")
+        builder = getattr(importlib.import_module(module_name), function_name)
+        return builder(**params)
+
+
+_REGISTRY: Dict[str, AppSpec] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_app(spec: AppSpec) -> AppSpec:
+    """Register *spec* (and its aliases) in the catalogue."""
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def available_apps() -> List[AppSpec]:
+    """The registered applications, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def app_spec(name: str) -> AppSpec:
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _REGISTRY:
+        known = sorted(set(_REGISTRY) | set(_ALIASES))
+        raise KeyError(f"unknown app {name!r}; available: {known}")
+    return _REGISTRY[canonical]
+
+
+def build_app(name: str, **params: Any) -> Program:
+    """Build the named application's :class:`Program` (``Program.from_app``)."""
+    return app_spec(name).build(**params)
+
+
+register_app(
+    AppSpec(
+        name="quickstart",
+        builder="repro.apps.producer_consumer:quickstart_program",
+        description="2:1 downsampling pipeline: 2 kHz sensor -> averager -> 1 kHz log",
+        params=("utilisation", "signal"),
+        aliases=("producer_consumer",),
+    )
+)
+register_app(
+    AppSpec(
+        name="pal_decoder",
+        builder="repro.apps.pal_decoder:pal_program",
+        description="PAL video decoder case study (Sec. VI, Figs. 11/12)",
+        params=("scale", "utilisation", "signal", "mute_threshold"),
+    )
+)
+register_app(
+    AppSpec(
+        name="rate_converter",
+        builder="repro.apps.rate_converter:fig2_program",
+        description="Fig. 2 cyclic rate converter (init prefix + 3:2 loop tasks)",
+        params=("initial_tokens", "f_wcet", "g_wcet"),
+        aliases=("fig2",),
+    )
+)
+register_app(
+    AppSpec(
+        name="modal_mute",
+        builder="repro.apps.modal_audio:mute_program",
+        description="audio pipeline with an if/else mute mode (Fig. 4 pattern)",
+        params=("utilisation", "signal"),
+    )
+)
+register_app(
+    AppSpec(
+        name="modal_two_mode",
+        builder="repro.apps.modal_audio:two_mode_program",
+        description="calibration/processing while-loop modes (Fig. 3 / Fig. 9 pattern)",
+        params=("utilisation", "signal", "mode_schedule"),
+    )
+)

@@ -1,0 +1,480 @@
+"""The layered facade over the OIL pipeline: Program -> Analysis -> RunResult.
+
+Every stage of the reproduction -- parsing, CTA derivation, consistency,
+buffer sizing, latency verification, discrete-event execution -- has a
+dedicated module, and before this facade every application re-implemented the
+same glue (``compile_*`` / ``size_buffers`` / ``simulate_*``).  The three
+classes here are that glue, written once:
+
+* :class:`Program` -- an OIL program plus everything needed to analyse and
+  execute it (response times, black boxes, a function-registry factory, a
+  stimulus factory).  Build one with :meth:`Program.from_source` or
+  :meth:`Program.from_app` (the packaged applications).
+* :class:`Analysis` -- the structured result of ``program.analyze()``:
+  consistency / achievable rates, buffer capacities, latency checks, all
+  computed lazily and exactly once.
+* :class:`RunResult` -- the structured result of ``analysis.run(duration)``:
+  the trace, deadline misses, sink samples, measured rates and the
+  occupancy-vs-capacity validation the paper's claims rest on.
+
+The canonical three lines::
+
+    from repro.api import Program
+    analysis = Program.from_app("pal_decoder", scale=1000).analyze()
+    result = analysis.run(Fraction(2))
+
+Factories, not instances
+------------------------
+Coordinated functions may be stateful (filter delay lines, oscillator
+phases), so a :class:`Program` stores a registry *factory* and a stimulus
+*factory*: every run gets fresh state and two runs of the same program --
+also concurrent ones inside a :class:`~repro.api.sweep.Sweep` -- never share
+mutable state.  Passing a ready-made
+:class:`~repro.runtime.functions.FunctionRegistry` instance is still allowed
+for stateless registries; it is then shared by all runs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.compiler import CompilationResult, compile_program
+from repro.cta.buffer_sizing import BufferSizingResult
+from repro.cta.consistency import ConsistencyResult
+from repro.cta.latency import LatencyCheck
+from repro.engine.policies import SchedulerPolicy
+from repro.lang.semantics import BlackBoxModule
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.simulator import ModeSchedule, Simulation
+from repro.runtime.trace import TraceRecorder
+from repro.util.rational import Rat, RationalLike, as_rational
+
+#: A registry argument: a ready instance (shared) or a zero-argument factory.
+RegistryLike = Union[FunctionRegistry, Callable[[], FunctionRegistry]]
+#: A stimulus argument: a name -> signal mapping or a factory producing one.
+SignalsLike = Union[Mapping[str, Any], Callable[[], Dict[str, Any]]]
+
+
+def _registry_factory(registry: Optional[RegistryLike]) -> Callable[[], FunctionRegistry]:
+    if registry is None:
+        return FunctionRegistry
+    if isinstance(registry, FunctionRegistry):
+        return lambda: registry
+    return registry
+
+
+def _signals_factory(signals: Optional[SignalsLike]) -> Callable[[], Dict[str, Any]]:
+    if signals is None:
+        return dict
+    if callable(signals) and not isinstance(signals, Mapping):
+        return signals  # type: ignore[return-value]
+    fixed = dict(signals)
+    return lambda: dict(fixed)
+
+
+class Program:
+    """An analysable, executable OIL program -- the facade's entry point.
+
+    Use the constructors: :meth:`from_source` for arbitrary OIL text,
+    :meth:`from_app` for the packaged applications (PAL decoder, Fig. 2 rate
+    converter, modal pipelines, quickstart).  Compilation is cached; the
+    object is immutable apart from that cache, so one :class:`Program` can
+    back arbitrarily many (concurrent) runs.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        name: str = "program",
+        function_wcets: Optional[Mapping[str, RationalLike]] = None,
+        black_boxes: Sequence[BlackBoxModule] = (),
+        default_wcet: RationalLike = 0,
+        top: Optional[str] = None,
+        registry: Optional[RegistryLike] = None,
+        signals: Optional[SignalsLike] = None,
+        mode_schedules: Optional[ModeSchedule] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.function_wcets = dict(function_wcets or {})
+        self.black_boxes = tuple(black_boxes)
+        self.default_wcet = default_wcet
+        self.top = top
+        self.make_registry = _registry_factory(registry)
+        self.make_signals = _signals_factory(signals)
+        self.mode_schedules: Optional[ModeSchedule] = mode_schedules
+        #: the parameters this program was built from (``from_app`` records
+        #: them; sweeps and reports echo them back)
+        self.params: Dict[str, Any] = dict(params or {})
+        self._compilation: Optional[CompilationResult] = None
+        self._analysis: Optional["Analysis"] = None
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        *,
+        name: str = "program",
+        function_wcets: Optional[Mapping[str, RationalLike]] = None,
+        black_boxes: Sequence[BlackBoxModule] = (),
+        default_wcet: RationalLike = 0,
+        top: Optional[str] = None,
+        registry: Optional[RegistryLike] = None,
+        signals: Optional[SignalsLike] = None,
+        mode_schedules: Optional[ModeSchedule] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "Program":
+        """A program from OIL source text plus its execution environment."""
+        return cls(
+            source,
+            name=name,
+            function_wcets=function_wcets,
+            black_boxes=black_boxes,
+            default_wcet=default_wcet,
+            top=top,
+            registry=registry,
+            signals=signals,
+            mode_schedules=mode_schedules,
+            params=params,
+        )
+
+    @classmethod
+    def from_app(cls, app: str, **params: Any) -> "Program":
+        """One of the packaged applications, by name.
+
+        See :func:`repro.api.apps.available_apps` for the catalogue
+        (``"quickstart"``, ``"pal_decoder"``, ``"rate_converter"``,
+        ``"modal_mute"``, ``"modal_two_mode"`` and aliases).  ``params`` are
+        forwarded to the application's builder (frequency scale, utilisation,
+        initial tokens, signals, ...).
+        """
+        from repro.api.apps import build_app
+
+        return build_app(app, **params)
+
+    # ----------------------------------------------------------------- stages
+    def compile(self) -> CompilationResult:
+        """Parse, validate and derive the CTA model (cached)."""
+        if self._compilation is None:
+            self._compilation = compile_program(
+                self.source,
+                function_wcets=self.function_wcets,
+                black_boxes=self.black_boxes,
+                default_wcet=self.default_wcet,
+                top=self.top,
+            )
+        return self._compilation
+
+    def analyze(self) -> "Analysis":
+        """All analyses of the paper as one structured (lazy) object."""
+        if self._analysis is None:
+            self._analysis = Analysis(self, self.compile())
+        return self._analysis
+
+    def run(self, duration: RationalLike, **kwargs: Any) -> "RunResult":
+        """Shortcut for ``self.analyze().run(duration, ...)``."""
+        return self.analyze().run(duration, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"Program({self.name!r}{', ' + rendered if rendered else ''})"
+
+
+class Analysis:
+    """Structured analysis results of one program.
+
+    Consistency, buffer sizing and latency verification are computed lazily
+    and cached, so an :class:`Analysis` can back many runs while paying for
+    each analysis exactly once.  Use :meth:`Analysis.from_parts` to wrap
+    results that were computed through the lower-level APIs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        compilation: CompilationResult,
+        *,
+        sizing: Optional[BufferSizingResult] = None,
+        consistency: Optional[ConsistencyResult] = None,
+    ) -> None:
+        self.program = program
+        self.compilation = compilation
+        self._sizing = sizing
+        self._consistency = consistency
+        self._latency: Optional[List[LatencyCheck]] = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        compilation: CompilationResult,
+        sizing: Optional[BufferSizingResult] = None,
+        *,
+        program: Optional[Program] = None,
+        registry: Optional[RegistryLike] = None,
+        signals: Optional[SignalsLike] = None,
+    ) -> "Analysis":
+        """Wrap pre-computed lower-level results in the facade (used by the
+        deprecated per-app helpers, which accept ``result``/``sizing``)."""
+        if program is None:
+            program = Program("", name="precompiled", registry=registry, signals=signals)
+            program._compilation = compilation
+        return cls(program, compilation, sizing=sizing)
+
+    # -------------------------------------------------------------- analyses
+    @property
+    def consistency(self) -> ConsistencyResult:
+        """Consistency / maximal achievable rates (unbounded buffers)."""
+        if self._consistency is None:
+            self._consistency = self.compilation.check_consistency(
+                assume_infinite_unsized=True
+            )
+        return self._consistency
+
+    @property
+    def sizing(self) -> BufferSizingResult:
+        """Sufficient buffer capacities (and the consistency proof at them)."""
+        if self._sizing is None:
+            self._sizing = self.compilation.size_buffers()
+        return self._sizing
+
+    @property
+    def latency(self) -> List[LatencyCheck]:
+        """The program's latency constraints checked against the offsets."""
+        if self._latency is None:
+            self._latency = self.compilation.verify_latency(self.sizing.consistency)
+        return self._latency
+
+    # ------------------------------------------------------------- shortcuts
+    @property
+    def consistent(self) -> bool:
+        return self.consistency.consistent
+
+    @property
+    def capacities(self) -> Dict[str, int]:
+        return self.sizing.capacities
+
+    @property
+    def total_capacity(self) -> int:
+        return self.sizing.total_capacity
+
+    @property
+    def latency_ok(self) -> bool:
+        return all(check.satisfied for check in self.latency)
+
+    def _port_rates(self, ports: Mapping[str, Any]) -> Dict[str, Rat]:
+        rates = self.consistency.port_rates
+        return {name: rates[port] for name, port in ports.items() if port in rates}
+
+    @property
+    def source_rates(self) -> Dict[str, Rat]:
+        """Achievable rate (Hz) per declared source."""
+        return self._port_rates(self.compilation.source_ports)
+
+    @property
+    def sink_rates(self) -> Dict[str, Rat]:
+        """Achievable rate (Hz) per declared sink."""
+        return self._port_rates(self.compilation.sink_ports)
+
+    def report(self) -> str:
+        """The full human-readable analysis report."""
+        from repro.core.report import buffer_report, latency_report
+
+        lines = [
+            f"=== {self.program.name}: derived CTA model ===",
+            self.compilation.model.summary(),
+            "",
+            f"=== consistency (unbounded buffers): {self.consistent} ===",
+        ]
+        for name, rate in self.source_rates.items():
+            lines.append(f"  source {name}: {float(rate):g} Hz")
+        for name, rate in self.sink_rates.items():
+            lines.append(f"  sink   {name}: {float(rate):g} Hz")
+        lines += ["", "=== buffer sizing ===", buffer_report(self.capacities)]
+        if self.compilation.latency_constraints:
+            lines += ["", "=== latency constraints ===", latency_report(self.latency)]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- execution
+    def simulation(
+        self,
+        *,
+        scheduler: Optional[SchedulerPolicy] = None,
+        dispatcher: str = "ready-set",
+        trace: str = "full",
+        mode_schedules: Optional[ModeSchedule] = None,
+        registry: Optional[RegistryLike] = None,
+        signals: Optional[SignalsLike] = None,
+        sink_start_times: Optional[Mapping[str, RationalLike]] = None,
+        capacities: Optional[Mapping[str, Optional[int]]] = None,
+    ) -> Simulation:
+        """A fresh :class:`~repro.runtime.simulator.Simulation` of the program
+        with the analysis-derived buffer capacities."""
+        program = self.program
+        if registry is None:
+            built_registry = program.make_registry()
+        else:
+            built_registry = _registry_factory(registry)()
+        if signals is None:
+            built_signals = program.make_signals()
+        else:
+            built_signals = _signals_factory(signals)()
+        return Simulation(
+            self.compilation,
+            built_registry,
+            source_signals=built_signals,
+            capacities=capacities if capacities is not None else self.sizing.capacities,
+            mode_schedules=mode_schedules if mode_schedules is not None else program.mode_schedules,
+            sink_start_times=sink_start_times,
+            scheduler=scheduler,
+            dispatcher=dispatcher,
+            trace_level=trace,
+        )
+
+    def run(
+        self,
+        duration: RationalLike,
+        *,
+        scheduler: Optional[SchedulerPolicy] = None,
+        dispatcher: str = "ready-set",
+        trace: str = "full",
+        mode_schedules: Optional[ModeSchedule] = None,
+        registry: Optional[RegistryLike] = None,
+        signals: Optional[SignalsLike] = None,
+        sink_start_times: Optional[Mapping[str, RationalLike]] = None,
+        capacities: Optional[Mapping[str, Optional[int]]] = None,
+    ) -> "RunResult":
+        """Execute the program for *duration* seconds of simulated time.
+
+        ``scheduler`` selects the platform model
+        (:class:`~repro.engine.policies.SelfTimedUnbounded` by default,
+        :class:`~repro.engine.policies.BoundedProcessors`,
+        :class:`~repro.engine.policies.StaticOrder`); ``trace`` the recording
+        granularity (``"full"``, ``"endpoints"``, ``"off"``).
+        """
+        simulation = self.simulation(
+            scheduler=scheduler,
+            dispatcher=dispatcher,
+            trace=trace,
+            mode_schedules=mode_schedules,
+            registry=registry,
+            signals=signals,
+            sink_start_times=sink_start_times,
+            capacities=capacities,
+        )
+        duration = as_rational(duration)
+        recorder = simulation.run(duration)
+        return RunResult(self, simulation, recorder, duration, scheduler=scheduler)
+
+
+class RunResult:
+    """Structured outcome of one simulated execution."""
+
+    def __init__(
+        self,
+        analysis: Analysis,
+        simulation: Simulation,
+        trace: TraceRecorder,
+        duration: Rat,
+        *,
+        scheduler: Optional[SchedulerPolicy] = None,
+    ) -> None:
+        self.analysis = analysis
+        self.simulation = simulation
+        self.trace = trace
+        self.duration = duration
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------ measurements
+    @property
+    def deadline_misses(self) -> int:
+        """Source overflows + sink underflows (the real-time failures the
+        buffer-sizing analysis must exclude)."""
+        return self.trace.deadline_miss_count()
+
+    @property
+    def completed_firings(self) -> int:
+        return self.simulation.engine.completed_firings
+
+    @property
+    def makespan(self) -> Rat:
+        """Completion time of the last finished firing (exact rational;
+        correct at every trace level)."""
+        return self.simulation.engine.last_completion_time
+
+    def sink(self, name: str) -> List[Any]:
+        """The values the named sink consumed, in order."""
+        return self.simulation.sinks[name].consumed
+
+    @property
+    def sink_counts(self) -> Dict[str, int]:
+        return {name: len(driver.consumed) for name, driver in self.simulation.sinks.items()}
+
+    @property
+    def measured_rates(self) -> Dict[str, Optional[Rat]]:
+        """Measured average rate (Hz) per source and sink."""
+        names = list(self.simulation.sources) + list(self.simulation.sinks)
+        return {name: self.trace.measured_rate(name) for name in names}
+
+    # ------------------------------------------------------------- validation
+    def occupancy_violations(self) -> List[str]:
+        """Buffers whose observed occupancy exceeded the analysed capacity.
+
+        The central validation of the reproduction: with the capacities the
+        CTA buffer-sizing computed, the list must be empty.  Occupancy is
+        recorded only at ``trace="full"``; at coarser levels the check is
+        vacuously empty.
+        """
+        violations = []
+        for name, mark in sorted(self.trace.buffer_high_water.items()):
+            capacity = self.simulation.buffers[name].capacity
+            if mark > capacity:
+                violations.append(f"{name}: occupancy {mark} > capacity {capacity}")
+        return violations
+
+    @property
+    def occupancy_ok(self) -> bool:
+        return not self.occupancy_violations()
+
+    # -------------------------------------------------------------- reporting
+    def metrics(self) -> Dict[str, Any]:
+        """The flat metric row sweeps aggregate (JSON-friendly values)."""
+        row: Dict[str, Any] = {
+            "deadline_misses": self.deadline_misses,
+            "completed_firings": self.completed_firings,
+            "makespan": float(self.makespan),
+            "occupancy_ok": self.occupancy_ok,
+        }
+        for name, count in sorted(self.sink_counts.items()):
+            row[f"sink_count[{name}]"] = count
+        for name, rate in sorted(self.measured_rates.items()):
+            row[f"rate[{name}]"] = None if rate is None else float(rate)
+        return row
+
+    def summary(self) -> str:
+        lines = [
+            f"=== run: {self.program.name}, {float(self.duration):g} s simulated, "
+            f"scheduler {self.scheduler if self.scheduler is not None else 'SelfTimedUnbounded()'} ===",
+            self.trace.summary(),
+            f"deadline violations: {self.deadline_misses}",
+        ]
+        violations = self.occupancy_violations()
+        if violations:
+            lines.append("occupancy EXCEEDED analysed capacities:")
+            lines.extend(f"  {entry}" for entry in violations)
+        elif self.trace.buffer_high_water:
+            lines.append("occupancy within analysed capacities for all traced buffers")
+        return "\n".join(lines)
+
+    @property
+    def program(self) -> Program:
+        return self.analysis.program
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult({self.program.name!r}, duration={float(self.duration):g}, "
+            f"misses={self.deadline_misses}, firings={self.completed_firings})"
+        )

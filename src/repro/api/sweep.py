@@ -1,0 +1,408 @@
+"""Batched parameter-grid sweeps over programs and engine scenarios.
+
+The ROADMAP's "scenario sweeps at scale" item: run many simulations over a
+parameter grid -- frequency scales, processor counts, rates, mode schedules
+-- with shared compilation, optional parallel workers and aggregated
+reporting.  The three pieces:
+
+* :class:`Sweep` -- declares the grid.  Axes are split automatically:
+  *run axes* (``scheduler``, ``duration``, ``dispatcher``, ``trace``,
+  ``mode_schedules``, ``sink_start_times``) only affect execution, every
+  other axis is a *program axis* that is forwarded to
+  :meth:`~repro.api.program.Program.from_app`.  Each **distinct** program
+  parameter combination is compiled and analysed exactly once, no matter how
+  many run-axis points fan out from it.
+* :class:`SweepResult` -- one executed grid point: the parameters, the
+  analysis summary and the run metrics (deadline misses, firings, makespan,
+  measured rates, occupancy validation), or the recorded error when the
+  point failed.
+* :class:`SweepReport` -- the aggregation: tabular rendering
+  (:meth:`~SweepReport.table`), JSON export (:meth:`~SweepReport.to_json`)
+  and normalised comparisons (:meth:`~SweepReport.speedup_table`) such as
+  the Fig. 4 speedup-vs-processors curve.
+
+Execution order is the grid's cartesian-product order and results are
+aggregated by point index, so serial execution and parallel workers produce
+the *same* report.  Workers are threads (`concurrent.futures`): points share
+the compiled program read-only, while every run builds its own simulation
+state (buffers, tasks, registries via the program's factories) and stateful
+scheduler policies are deep-copied per point.
+
+Engine-level scenarios that have no OIL program (synthetic task fleets,
+scheduler experiments) use :meth:`Sweep.from_callable`, which runs an
+arbitrary ``params -> metrics-mapping`` function over the same grid
+machinery -- the Fig. 4 benchmark sweeps ``fork_join_program`` this way.
+
+Example::
+
+    from repro.api import Sweep
+    from repro.engine import BoundedProcessors
+
+    report = (
+        Sweep("pal_decoder", duration=Fraction(1, 10))
+        .add_axis("scheduler", [BoundedProcessors(n) for n in (1, 2, 3, 4)])
+        .run(workers=2)
+    )
+    print(report.table())
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.program import Analysis, Program, RunResult
+from repro.util.rational import RationalLike, as_rational
+from repro.util.validation import check_positive
+
+#: Axes that configure the *run*, not the program (no recompilation needed).
+RUN_AXES = ("scheduler", "duration", "dispatcher", "trace", "mode_schedules", "sink_start_times")
+
+
+def _program_key(program_params: Mapping[str, Any]) -> Tuple:
+    """A value-based dedup key for one program-parameter combination.
+
+    ``repr`` is not safe here: types with truncating or identity-based reprs
+    (numpy arrays, default ``object`` repr) would collapse distinct
+    parameter values into one compiled program.  Pickle bytes compare by
+    value for all picklable types; unpicklable values fall back to identity,
+    which can only split points that might have shared (a recompilation,
+    never a wrong program).
+    """
+    parts = []
+    for name, value in sorted(program_params.items()):
+        try:
+            rendered: object = pickle.dumps(value)
+        except Exception:
+            rendered = ("unpicklable", id(value))
+        parts.append((name, rendered))
+    return tuple(parts)
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce *value* into something ``json.dumps`` accepts, readably."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+@dataclass
+class SweepResult:
+    """One executed grid point."""
+
+    index: int
+    params: Dict[str, Any]
+    ok: bool = True
+    error: Optional[str] = None
+    #: flat metric row (analysis summary + run metrics); empty on failure
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: the full result objects (None for callable sweeps / failed points)
+    run: Optional[RunResult] = None
+
+    def row(self) -> Dict[str, Any]:
+        """Parameters and metrics flattened into one JSON-safe mapping."""
+        row: Dict[str, Any] = {"point": self.index}
+        row.update({k: _json_safe(v) for k, v in self.params.items()})
+        if self.ok:
+            row.update({k: _json_safe(v) for k, v in self.metrics.items()})
+        else:
+            row["error"] = self.error
+        return row
+
+
+class SweepReport:
+    """Aggregated results of one sweep, in grid order."""
+
+    def __init__(self, results: Sequence[SweepResult], *, name: str = "sweep") -> None:
+        self.name = name
+        self.results = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[SweepResult]:
+        return [result for result in self.results if not result.ok]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [result.row() for result in self.results]
+
+    def column(self, key: str) -> List[Any]:
+        """One metric/parameter across all points (None where missing)."""
+        return [result.row().get(key) for result in self.results]
+
+    # ------------------------------------------------------------- rendering
+    def table(self, columns: Optional[Sequence[str]] = None) -> str:
+        """A fixed-width table of all points (grid order)."""
+        rows = self.rows()
+        if not rows:
+            return f"{self.name}: empty sweep"
+        if columns is None:
+            seen: Dict[str, None] = {}
+            for row in rows:
+                for key in row:
+                    seen.setdefault(key)
+            columns = list(seen)
+        rendered = [[_render_cell(row.get(column)) for column in columns] for row in rows]
+        widths = [
+            max(len(str(column)), *(len(line[i]) for line in rendered))
+            for i, column in enumerate(columns)
+        ]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+        divider = "  ".join("-" * w for w in widths)
+        body = ["  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in rendered]
+        return "\n".join([f"=== {self.name} ({len(rows)} points) ===", header, divider, *body])
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The whole report as JSON (parameters + metrics per point)."""
+        return json.dumps({"name": self.name, "points": self.rows()}, indent=indent)
+
+    def speedup_table(
+        self,
+        metric: str = "completed_firings",
+        *,
+        baseline: int = 0,
+        lower_is_better: Optional[bool] = None,
+    ) -> List[Dict[str, Any]]:
+        """Each point's *metric* normalised against the *baseline* point.
+
+        For a sweep over ``BoundedProcessors(n)`` with ``completed_firings``
+        (throughput under a fixed simulated duration) or ``makespan``
+        (smaller is better) this is the Fig. 4 speedup curve.
+
+        ``lower_is_better`` states the metric's direction: when True the
+        speedup is ``baseline / value`` (a halved makespan is a 2x speedup),
+        when False it is ``value / baseline``.  The default infers True only
+        for the ``"makespan"`` metric; pass it explicitly for any other
+        time-like metric (latency, wall time, ...).
+        """
+        if lower_is_better is None:
+            lower_is_better = metric == "makespan"
+        values = self.column(metric)
+        base = values[baseline] if values else None
+        table: List[Dict[str, Any]] = []
+        for result, value in zip(self.results, values):
+            if not result.ok or value in (None, 0) or base in (None, 0):
+                speedup = None
+            elif lower_is_better:
+                speedup = float(base) / float(value)
+            else:
+                speedup = float(value) / float(base)
+            entry = {k: _json_safe(v) for k, v in result.params.items()}
+            entry[metric] = _json_safe(value)
+            entry["speedup"] = None if speedup is None else round(speedup, 6)
+            table.append(entry)
+        return table
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+class Sweep:
+    """A parameter-grid batch of simulations (or callable scenarios).
+
+    Parameters
+    ----------
+    app:
+        Name of a packaged application (``Program.from_app``).  Mutually
+        exclusive with *program*.
+    program:
+        A ready-made :class:`~repro.api.program.Program`; the grid may then
+        only contain run axes (there is nothing to recompile).
+    duration:
+        Default simulated duration per point (overridable via a
+        ``"duration"`` axis).
+    base:
+        Parameter values shared by every point (program or run parameters).
+    grid:
+        Initial axes, equivalent to calling :meth:`add_axis` per entry.
+    """
+
+    def __init__(
+        self,
+        app: Optional[str] = None,
+        *,
+        program: Optional[Program] = None,
+        duration: RationalLike = Fraction(1),
+        base: Optional[Mapping[str, Any]] = None,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if app is not None and program is not None:
+            raise ValueError("pass either app= or program=, not both")
+        self._app = app
+        self._program = program
+        self._runner: Optional[Callable[..., Mapping[str, Any]]] = None
+        self.duration = as_rational(duration)
+        self.base: Dict[str, Any] = dict(base or {})
+        self.axes: Dict[str, List[Any]] = {}
+        self.name = name or (app or (program.name if program else "sweep"))
+        for axis, values in (grid or {}).items():
+            self.add_axis(axis, values)
+
+    @classmethod
+    def from_callable(
+        cls,
+        runner: Callable[..., Mapping[str, Any]],
+        *,
+        base: Optional[Mapping[str, Any]] = None,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        name: str = "sweep",
+    ) -> "Sweep":
+        """A sweep whose points call ``runner(**params)`` and aggregate the
+        returned metric mapping -- for engine-level scenarios (synthetic task
+        fleets, scheduler experiments) that have no OIL program."""
+        sweep = cls(name=name, base=base, grid=grid)
+        sweep._runner = runner
+        return sweep
+
+    # ---------------------------------------------------------------- axes
+    def add_axis(self, name: str, values: Sequence[Any]) -> "Sweep":
+        """Add a grid axis (fluent).  Later axes vary fastest."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {name!r} needs at least one value")
+        self.axes[name] = values
+        return self
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The expanded grid in cartesian-product order (base + axes)."""
+        if not self.axes:
+            return [dict(self.base)]
+        names = list(self.axes)
+        combos = itertools.product(*(self.axes[name] for name in names))
+        return [{**self.base, **dict(zip(names, combo))} for combo in combos]
+
+    # ----------------------------------------------------------------- run
+    def _split(self, params: Mapping[str, Any]) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        program_params = {k: v for k, v in params.items() if k not in RUN_AXES}
+        run_params = {k: v for k, v in params.items() if k in RUN_AXES}
+        return program_params, run_params
+
+    def _analyses(self, points: Sequence[Mapping[str, Any]]) -> Dict[Tuple, Analysis]:
+        """Compile + analyse each distinct program exactly once (serially --
+        compilation is the shared part the workers must not repeat).
+
+        The lazy :class:`Analysis` caches are forced here, *before* the
+        fan-out: workers only read the shared analysis, they never race to
+        compute it (buffer sizing mutates the model's buffer parameters while
+        it searches, so it must not run concurrently on one model).
+        """
+        analyses: Dict[Tuple, Analysis] = {}
+        for params in points:
+            program_params, _ = self._split(params)
+            key = _program_key(program_params)
+            if key in analyses:
+                continue
+            if self._program is not None:
+                if program_params:
+                    raise ValueError(
+                        f"sweep over a ready-made program accepts only run axes "
+                        f"{RUN_AXES}; got program axes {sorted(program_params)}"
+                    )
+                analysis = self._program.analyze()
+            elif self._app is not None:
+                analysis = Program.from_app(self._app, **program_params).analyze()
+            else:
+                raise ValueError(
+                    "this sweep has no program: construct it with app=, "
+                    "program= or Sweep.from_callable(...)"
+                )
+            analysis.consistency, analysis.sizing, analysis.latency  # force caches
+            analyses[key] = analysis
+        return analyses
+
+    def _run_point(
+        self,
+        index: int,
+        params: Dict[str, Any],
+        analyses: Dict[Tuple, Analysis],
+        keep_runs: bool,
+    ) -> SweepResult:
+        try:
+            if self._runner is not None:
+                metrics = dict(self._runner(**params))
+                return SweepResult(index=index, params=params, metrics=metrics)
+            program_params, run_params = self._split(params)
+            analysis = analyses[_program_key(program_params)]
+            duration = as_rational(run_params.pop("duration", self.duration))
+            # Policies are stateful (busy counts, schedule positions): give
+            # every point its own copy so parallel points cannot interact.
+            if run_params.get("scheduler") is not None:
+                run_params["scheduler"] = copy.deepcopy(run_params["scheduler"])
+            run = analysis.run(duration, **run_params)
+            metrics = {
+                "consistent": analysis.consistent,
+                "total_capacity": analysis.total_capacity,
+                **run.metrics(),
+            }
+            return SweepResult(
+                index=index,
+                params=params,
+                metrics=metrics,
+                run=run if keep_runs else None,
+            )
+        except Exception as error:  # a failed point must not sink the batch
+            return SweepResult(
+                index=index,
+                params=params,
+                ok=False,
+                error=f"{type(error).__name__}: {error}",
+            )
+
+    def run(self, *, workers: int = 1, keep_runs: bool = True) -> SweepReport:
+        """Execute every grid point and aggregate a :class:`SweepReport`.
+
+        ``workers > 1`` fans the points out over a thread pool; results are
+        aggregated by point index, so the report is identical to a serial
+        run.
+
+        ``keep_runs=False`` drops each point's full :class:`RunResult`
+        (simulation state, complete trace, sink sample lists) once its flat
+        metric row is extracted -- use it for large grids, where retaining
+        every simulation for the report's lifetime multiplies memory by the
+        point count.  Tables, JSON and speedup curves only need the metrics.
+        """
+        check_positive(workers, "workers")
+        points = self.points()
+        analyses = self._analyses(points) if self._runner is None else {}
+        if workers == 1 or len(points) <= 1:
+            results = [
+                self._run_point(index, params, analyses, keep_runs)
+                for index, params in enumerate(points)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(
+                        lambda item: self._run_point(item[0], item[1], analyses, keep_runs),
+                        enumerate(points),
+                    )
+                )
+        return SweepReport(results, name=self.name)

@@ -6,6 +6,12 @@
 * :mod:`repro.apps.modal_audio` -- modal applications (if/else mute mode and
   a two-while-loop mode switcher),
 * :mod:`repro.apps.producer_consumer` -- the minimal quickstart pipeline.
+
+All applications are registered with the :mod:`repro.api` facade: build them
+with ``Program.from_app("pal_decoder" | "rate_converter" | "modal_mute" |
+"modal_two_mode" | "quickstart", **params)``.  The ``*_program`` builders
+exported here are those registry entries; the older ``compile_*`` /
+``simulate_*`` helpers are deprecated aliases kept for compatibility.
 """
 
 from repro.apps.pal_decoder import (
@@ -17,6 +23,7 @@ from repro.apps.pal_decoder import (
     VIDEO_RATE_HZ,
     VIDEO_UP,
     PalDecoderApp,
+    pal_program,
     pal_source_text,
 )
 from repro.apps.rate_converter import (
@@ -24,26 +31,31 @@ from repro.apps.rate_converter import (
     Fig2Comparison,
     compare_specifications,
     compile_fig2,
+    fig2_program,
     fig2_registry,
     fig2_task_graph,
     sequential_program_text,
     sequential_schedule,
 )
 from repro.apps.modal_audio import (
+    DEFAULT_TWO_MODE_SCHEDULE,
     MUTE_OIL_SOURCE,
     TWO_MODE_OIL_SOURCE,
     compile_mute,
     compile_two_mode,
+    mute_program,
     mute_registry,
     mute_wcets,
     simulate_mute,
     simulate_two_mode,
+    two_mode_program,
     two_mode_registry,
     two_mode_wcets,
 )
 from repro.apps.producer_consumer import (
     QUICKSTART_OIL_SOURCE,
     compile_quickstart,
+    quickstart_program,
     quickstart_registry,
     quickstart_wcets,
     simulate_quickstart,
@@ -58,8 +70,14 @@ __all__ = [
     "VIDEO_RATE_HZ",
     "VIDEO_UP",
     "PalDecoderApp",
+    "pal_program",
     "pal_source_text",
     "FIG2_OIL_SOURCE",
+    "fig2_program",
+    "DEFAULT_TWO_MODE_SCHEDULE",
+    "mute_program",
+    "two_mode_program",
+    "quickstart_program",
     "Fig2Comparison",
     "compare_specifications",
     "compile_fig2",

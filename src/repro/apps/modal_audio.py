@@ -31,7 +31,11 @@ from repro.cta.buffer_sizing import BufferSizingResult
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
 from repro.runtime.trace import TraceRecorder
+from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat
+
+#: Default mode schedule of the two-mode application (calibrate 3, process 5).
+DEFAULT_TWO_MODE_SCHEDULE: Tuple[Tuple[str, int], ...] = (("loop0", 3), ("loop1", 5))
 
 # --------------------------------------------------------------------------
 # Application 1: mute / emit modes inside one loop (Fig. 4 pattern)
@@ -83,6 +87,26 @@ def mute_registry() -> FunctionRegistry:
     return registry
 
 
+def default_mute_signal() -> List[float]:
+    """Default stimulus: good reception / bad reception alternating per 20 ms."""
+    return ([1.0] * 160 + [-1.0] * 160) * 100
+
+
+def mute_program(utilisation: float = 0.4, signal: Optional[Sequence[float]] = None):
+    """The mute pipeline as a :class:`repro.api.Program`."""
+    from repro.api.program import Program
+
+    fixed = list(signal) if signal is not None else None
+    return Program.from_source(
+        MUTE_OIL_SOURCE,
+        name="modal_mute",
+        function_wcets=mute_wcets(utilisation),
+        registry=mute_registry,
+        signals=lambda: {"mic": list(fixed) if fixed is not None else default_mute_signal()},
+        params={"utilisation": utilisation},
+    )
+
+
 def compile_mute() -> CompilationResult:
     return compile_program(MUTE_OIL_SOURCE, function_wcets=mute_wcets())
 
@@ -94,19 +118,19 @@ def simulate_mute(
     result: Optional[CompilationResult] = None,
     sizing: Optional[BufferSizingResult] = None,
 ) -> Tuple[Simulation, TraceRecorder]:
-    """Run the mute pipeline on *signal* for *duration* seconds."""
-    if result is None:
-        result = compile_mute()
-    if sizing is None:
-        sizing = result.size_buffers()
-    simulation = Simulation(
-        result,
-        mute_registry(),
-        source_signals={"mic": list(signal)},
-        capacities=sizing.capacities,
+    """Deprecated: use ``Program.from_app("modal_mute", signal=...)`` (facade)."""
+    from repro.api.program import Analysis
+
+    warn_deprecated(
+        "simulate_mute()", 'repro.api.Program.from_app("modal_mute").analyze().run(...)'
     )
-    trace = simulation.run(duration)
-    return simulation, trace
+    program = mute_program(signal=signal)
+    if result is not None:
+        analysis = Analysis(program, result, sizing=sizing)
+    else:
+        analysis = program.analyze()
+    run = analysis.run(duration)
+    return run.simulation, run.trace
 
 
 # --------------------------------------------------------------------------
@@ -156,6 +180,37 @@ def two_mode_registry() -> FunctionRegistry:
     return registry
 
 
+def default_two_mode_signal() -> List[float]:
+    """Default stimulus: a repeating 16-step ramp."""
+    return [float(i % 16) for i in range(100000)]
+
+
+def two_mode_program(
+    utilisation: float = 0.4,
+    signal: Optional[Sequence[float]] = None,
+    mode_schedule: Sequence[Tuple[str, int]] = DEFAULT_TWO_MODE_SCHEDULE,
+):
+    """The two-mode pipeline as a :class:`repro.api.Program`.
+
+    ``mode_schedule`` sets the *default* schedule; a run can override it via
+    ``run(..., mode_schedules={"TwoMode": [...]})`` without recompiling.
+    """
+    from repro.api.program import Program
+
+    fixed = list(signal) if signal is not None else None
+    return Program.from_source(
+        TWO_MODE_OIL_SOURCE,
+        name="modal_two_mode",
+        function_wcets=two_mode_wcets(utilisation),
+        registry=two_mode_registry,
+        signals=lambda: {
+            "adc": list(fixed) if fixed is not None else default_two_mode_signal()
+        },
+        mode_schedules={"TwoMode": list(mode_schedule)},
+        params={"utilisation": utilisation, "mode_schedule": tuple(mode_schedule)},
+    )
+
+
 def compile_two_mode() -> CompilationResult:
     return compile_program(TWO_MODE_OIL_SOURCE, function_wcets=two_mode_wcets())
 
@@ -163,7 +218,7 @@ def compile_two_mode() -> CompilationResult:
 def simulate_two_mode(
     duration: Rat,
     *,
-    mode_schedule: Sequence[Tuple[str, int]] = (("loop0", 3), ("loop1", 5)),
+    mode_schedule: Sequence[Tuple[str, int]] = DEFAULT_TWO_MODE_SCHEDULE,
     signal: Optional[Sequence[float]] = None,
     result: Optional[CompilationResult] = None,
     sizing: Optional[BufferSizingResult] = None,
@@ -171,23 +226,19 @@ def simulate_two_mode(
     dispatcher: str = "ready-set",
     trace_level: str = "full",
 ) -> Tuple[Simulation, TraceRecorder]:
-    """Run the two-mode application under an explicit mode schedule
-    (alternating iteration quotas for the calibration and processing loops)."""
-    if result is None:
-        result = compile_two_mode()
-    if sizing is None:
-        sizing = result.size_buffers()
-    if signal is None:
-        signal = [float(i % 16) for i in range(100000)]
-    simulation = Simulation(
-        result,
-        two_mode_registry(),
-        source_signals={"adc": list(signal)},
-        capacities=sizing.capacities,
-        mode_schedules={"TwoMode": list(mode_schedule)},
-        scheduler=scheduler,
-        dispatcher=dispatcher,
-        trace_level=trace_level,
+    """Deprecated: use ``Program.from_app("modal_two_mode", ...)`` (facade)."""
+    from repro.api.program import Analysis
+
+    warn_deprecated(
+        "simulate_two_mode()",
+        'repro.api.Program.from_app("modal_two_mode").analyze().run(...)',
     )
-    trace = simulation.run(duration)
-    return simulation, trace
+    program = two_mode_program(signal=signal, mode_schedule=mode_schedule)
+    if result is not None:
+        analysis = Analysis(program, result, sizing=sizing)
+    else:
+        analysis = program.analyze()
+    run = analysis.run(
+        duration, scheduler=scheduler, dispatcher=dispatcher, trace=trace_level
+    )
+    return run.simulation, run.trace

@@ -19,8 +19,10 @@ decoder with this reproduction:
   (:mod:`repro.dsp`), including the modal mute behaviour of the Audio module
   the paper mentions ("the audio module internally has control behaviour, for
   example to mute the audio output in case of a bad reception"),
-* helpers to run the complete pipeline: compile, size buffers, verify latency
-  and simulate on a synthetic RF signal.
+* the facade front: :meth:`PalDecoderApp.program` /
+  ``Program.from_app("pal_decoder", scale=..., utilisation=...)`` run the
+  complete pipeline -- compile, size buffers, verify latency, simulate on a
+  synthetic RF signal -- through :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -29,16 +31,17 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.compiler import CompilationResult, compile_program
+from repro.core.compiler import CompilationResult
 from repro.cta.buffer_sizing import BufferSizingResult
 from repro.dsp.filters import StreamingFIR, design_lowpass
 from repro.dsp.mixer import Mixer
-from repro.dsp.pal import PALSignalConfig, PALSignalGenerator
+from repro.dsp.pal import PALSignalConfig
 from repro.dsp.resample import Decimator, RationalResampler
 from repro.lang.semantics import BlackBoxModule, BlackBoxPort
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
 from repro.runtime.trace import TraceRecorder
+from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat
 
 #: Nominal rates of the paper's PAL decoder.
@@ -184,13 +187,28 @@ class PalDecoderApp:
         }
 
     # -------------------------------------------------------------- pipeline
-    def compile(self) -> CompilationResult:
-        """Parse, validate and derive the CTA model of the decoder."""
-        return compile_program(
+    def program(self):
+        """The decoder as a :class:`repro.api.Program` (the facade front)."""
+        from repro.api.program import Program
+        from repro.dsp.pal import PALSignalGenerator
+
+        return Program.from_source(
             self.source_text(),
+            name="pal_decoder",
             function_wcets=self.function_wcets(),
             black_boxes=self.black_boxes(),
+            registry=self.registry,
+            signals=lambda: {"rf": PALSignalGenerator(self.signal)},
+            params={
+                "scale": self.scale,
+                "utilisation": self.utilisation,
+                "mute_threshold": self.mute_threshold,
+            },
         )
+
+    def compile(self) -> CompilationResult:
+        """Parse, validate and derive the CTA model of the decoder."""
+        return self.program().compile()
 
     def registry(self) -> FunctionRegistry:
         """Executable implementations of all coordinated functions.
@@ -255,10 +273,12 @@ class PalDecoderApp:
         return registry
 
     def analyze(self) -> Tuple[CompilationResult, BufferSizingResult]:
-        """Compile and size the buffers of the decoder."""
-        result = self.compile()
-        sizing = result.size_buffers()
-        return result, sizing
+        """Deprecated: use ``self.program().analyze()`` (facade)."""
+        warn_deprecated(
+            "PalDecoderApp.analyze()", 'repro.api.Program.from_app("pal_decoder").analyze()'
+        )
+        analysis = self.program().analyze()
+        return analysis.compilation, analysis.sizing
 
     def simulate(
         self,
@@ -271,24 +291,43 @@ class PalDecoderApp:
         dispatcher: str = "ready-set",
         trace_level: str = "full",
     ) -> Tuple[Simulation, TraceRecorder]:
-        """Run the decoder on the synthetic RF signal for *duration* seconds
-        of simulated time, using the analysis-derived buffer capacities.
+        """Deprecated: use ``self.program().analyze().run(...)`` (facade).
 
-        ``scheduler`` / ``dispatcher`` / ``trace_level`` select the execution
-        engine configuration (see :class:`~repro.runtime.simulator.Simulation`);
-        the synthetic RF signal is deterministic, so two simulations with the
+        The synthetic RF signal is deterministic, so two simulations with the
         same configuration produce identical traces.
         """
-        if result is None or sizing is None:
-            result, sizing = self.analyze()
-        simulation = Simulation(
-            result,
-            registry or self.registry(),
-            source_signals={"rf": PALSignalGenerator(self.signal)},
-            capacities=sizing.capacities,
+        from repro.api.program import Analysis
+
+        warn_deprecated(
+            "PalDecoderApp.simulate()",
+            'repro.api.Program.from_app("pal_decoder").analyze().run(...)',
+        )
+        program = self.program()
+        if result is not None:
+            analysis = Analysis(program, result, sizing=sizing)
+        else:
+            analysis = program.analyze()
+        run = analysis.run(
+            duration,
             scheduler=scheduler,
             dispatcher=dispatcher,
-            trace_level=trace_level,
+            trace=trace_level,
+            registry=registry,
         )
-        trace = simulation.run(duration)
-        return simulation, trace
+        return run.simulation, run.trace
+
+
+def pal_program(
+    scale: int = 1000,
+    utilisation: float = 0.4,
+    signal: Optional[PALSignalConfig] = None,
+    mute_threshold: float = 0.0,
+):
+    """Builder behind ``Program.from_app("pal_decoder", ...)``."""
+    app = PalDecoderApp(
+        scale=scale,
+        utilisation=utilisation,
+        signal=signal if signal is not None else PALSignalConfig(),
+        mute_threshold=mute_threshold,
+    )
+    return app.program()

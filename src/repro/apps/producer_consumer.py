@@ -4,19 +4,24 @@ A 2 kHz sensor source feeds a sequential module that averages pairs of
 samples and writes the result to a 1 kHz logging sink -- the smallest
 meaningful multi-rate OIL program: one module, one loop, a 2:1 rate
 conversion, a source, a sink and a latency constraint.
+
+:func:`quickstart_program` packages the pipeline for the facade
+(``Program.from_app("quickstart")``); the ``compile_quickstart`` /
+``simulate_quickstart`` helpers predate :mod:`repro.api` and are kept as
+deprecated aliases.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.compiler import CompilationResult, compile_program
+from repro.core.compiler import CompilationResult
 from repro.cta.buffer_sizing import BufferSizingResult
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
 from repro.runtime.trace import TraceRecorder
+from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat
 
 QUICKSTART_OIL_SOURCE = """
@@ -54,8 +59,36 @@ def quickstart_registry() -> FunctionRegistry:
     return registry
 
 
+def default_signal() -> List[float]:
+    """The deterministic default stimulus: the integers, as floats."""
+    return [float(i) for i in range(1000000)]
+
+
+def quickstart_program(
+    utilisation: float = 0.3, signal: Optional[Sequence[float]] = None
+):
+    """The quickstart pipeline as a :class:`repro.api.Program`."""
+    from repro.api.program import Program
+
+    fixed = list(signal) if signal is not None else None
+    return Program.from_source(
+        QUICKSTART_OIL_SOURCE,
+        name="quickstart",
+        function_wcets=quickstart_wcets(utilisation),
+        registry=quickstart_registry,
+        signals=lambda: {"samples": list(fixed) if fixed is not None else default_signal()},
+        params={"utilisation": utilisation},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated pre-facade helpers
+# ---------------------------------------------------------------------------
+
 def compile_quickstart() -> CompilationResult:
-    return compile_program(QUICKSTART_OIL_SOURCE, function_wcets=quickstart_wcets())
+    """Deprecated: use ``Program.from_app("quickstart").compile()``."""
+    warn_deprecated("compile_quickstart()", 'repro.api.Program.from_app("quickstart")')
+    return quickstart_program().compile()
 
 
 def simulate_quickstart(
@@ -68,20 +101,18 @@ def simulate_quickstart(
     dispatcher: str = "ready-set",
     trace_level: str = "full",
 ) -> Tuple[Simulation, TraceRecorder]:
-    if result is None:
-        result = compile_quickstart()
-    if sizing is None:
-        sizing = result.size_buffers()
-    if signal is None:
-        signal = [float(i) for i in range(1000000)]
-    simulation = Simulation(
-        result,
-        quickstart_registry(),
-        source_signals={"samples": list(signal)},
-        capacities=sizing.capacities,
-        scheduler=scheduler,
-        dispatcher=dispatcher,
-        trace_level=trace_level,
+    """Deprecated: use ``Program.from_app("quickstart").analyze().run(...)``."""
+    from repro.api.program import Analysis
+
+    warn_deprecated(
+        "simulate_quickstart()", 'repro.api.Program.from_app("quickstart").analyze().run(...)'
     )
-    trace = simulation.run(duration)
-    return simulation, trace
+    program = quickstart_program(signal=signal)
+    if result is not None:
+        analysis = Analysis(program, result, sizing=sizing)
+    else:
+        analysis = program.analyze()
+    run = analysis.run(
+        duration, scheduler=scheduler, dispatcher=dispatcher, trace=trace_level
+    )
+    return run.simulation, run.trace

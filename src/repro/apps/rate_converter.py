@@ -14,6 +14,11 @@ The module provides:
   program text,
 * the *parallel* OIL formulation (Fig. 2c) plus the function registry needed
   to execute it,
+* the facade front: :func:`fig2_program` /
+  ``Program.from_app("rate_converter")`` compiles, sizes and *executes* the
+  cyclic program end-to-end (self-timed execution requires the runtime's
+  one-shot window retirement: the ``init`` prefix must become visible to
+  ``tf`` before ``tg`` ever produces),
 * comparison helpers used by the Fig. 2 benchmark (schedule length vs. number
   of statements in the OIL specification).
 """
@@ -154,6 +159,30 @@ def fig2_registry(initial_tokens: int = INITIAL_TOKENS) -> FunctionRegistry:
         description="per-pair smoothing",
     )
     return registry
+
+
+def fig2_program(
+    initial_tokens: Optional[int] = None,
+    f_wcet: Rat = Fraction(1, 1000),
+    g_wcet: Rat = Fraction(1, 1000),
+):
+    """The Fig. 2c program as a :class:`repro.api.Program`.
+
+    ``initial_tokens`` defaults to the smallest count the strictly periodic
+    CTA abstraction accepts (:func:`minimal_initial_tokens_for_cta`), so the
+    default program is both analysable *and* executable; pass the paper's 4
+    to study the conservativeness gap.
+    """
+    from repro.api.program import Program
+
+    tokens = minimal_initial_tokens_for_cta() if initial_tokens is None else initial_tokens
+    return Program.from_source(
+        fig2_oil_source(tokens),
+        name="rate_converter",
+        function_wcets={"f": f_wcet, "g": g_wcet, "init": 0},
+        registry=lambda: fig2_registry(tokens),
+        params={"initial_tokens": tokens, "f_wcet": f_wcet, "g_wcet": g_wcet},
+    )
 
 
 def compile_fig2(

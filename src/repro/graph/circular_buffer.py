@@ -199,6 +199,64 @@ class CircularBuffer:
             window.active = active
             self._consumers_moved(old_floor)
 
+    def retire_producer(self, name: str, *, scope: Optional[str] = None) -> None:
+        """Retire the window of a completed one-shot (initialisation) producer.
+
+        An ``init`` statement writes a finite prefix of a stream that a loop
+        task continues (Fig. 2: ``init(out c:4)`` before ``g(out c:2, ...)``).
+        Two things must happen when the one-shot producer completes, neither
+        of which the plain window rules provide:
+
+        * its window must stop participating in the produced-floor
+          computation -- a window that never moves again would pin the floor
+          at the end of the prefix forever, and
+        * every idle co-producer window still positioned *before* the end of
+          the prefix is released-without-writing up to it: the loop task's
+          first production continues after the initial values instead of
+          overwriting them, and -- crucially for cyclic programs -- the
+          prefix becomes visible to consumers *before* the loop task produces
+          anything (the loop task may well need those very values to fire).
+
+        The init-before-loop hand-over is a *sequential-module* semantics, so
+        *scope* (a window-name prefix, e.g. ``"C/B:"``) restricts which
+        co-windows are advanced: only tasks of the same module instance
+        continue the retired window's stream.  Windows outside the scope --
+        unrelated producers of a shared buffer -- keep their own positions.
+        """
+        window = self._producers[name]
+        old_floor = self._producer_floor()
+        window.active = False
+        target = window.released
+        for other in self._producers.values():
+            if other is window or other.held or other.released >= target:
+                continue
+            if scope is not None and not other.name.startswith(scope):
+                continue
+            other.released = target
+            other.acquired = target
+        self._producers_moved(old_floor)
+
+    def retire_consumer(self, name: str, *, scope: Optional[str] = None) -> None:
+        """Retire the window of a completed one-shot consumer: the window is
+        excluded from the consumed-floor (space) computation and idle
+        co-consumer windows *within the scope* skip the prefix it read (the
+        loop continues the stream where the initialisation left off).
+        Out-of-scope consumers -- sink drivers, other module instances --
+        observe every token and are never advanced; see
+        :meth:`retire_producer`."""
+        window = self._consumers[name]
+        old_floor = self._consumer_floor()
+        window.active = False
+        target = window.released
+        for other in self._consumers.values():
+            if other is window or other.held or other.released >= target:
+                continue
+            if scope is not None and not other.name.startswith(scope):
+                continue
+            other.released = target
+            other.acquired = target
+        self._consumers_moved(old_floor)
+
     def producer_position(self, name: str) -> int:
         return self._producers[name].released
 

@@ -131,6 +131,12 @@ class RuntimeTask:
     ``eq=False`` keeps identity semantics (and hashability): a runtime task
     is a unique piece of simulation state, and the execution engine indexes
     tasks in dictionaries for O(1) task -> instance / priority lookups.
+
+    The producer key and the (name, count, buffer) access bindings are
+    immutable for the lifetime of the task, so they are resolved once at
+    construction: ``can_fire`` / ``start_firing`` / ``finish_firing`` run on
+    every single firing of a simulation and must not rebuild strings or chase
+    two dictionary lookups per access.
     """
 
     name: str
@@ -151,8 +157,19 @@ class RuntimeTask:
     one_shot: bool = False
     fired_once: bool = False
 
+    def __post_init__(self) -> None:
+        self._key = f"{self.instance}:{self.name}"
+        self._reads = [
+            (access.buffer, access.count, self.buffers[access.buffer])
+            for access in self.task.reads
+        ]
+        self._writes = [
+            (access.buffer, access.count, self.buffers[access.buffer])
+            for access in self.task.writes
+        ]
+
     def producer_key(self) -> str:
-        return f"{self.instance}:{self.name}"
+        return self._key
 
     # ------------------------------------------------------------ eligibility
     def can_fire(self) -> bool:
@@ -160,23 +177,23 @@ class RuntimeTask:
             return False
         if self.one_shot and self.fired_once:
             return False
-        key = self.producer_key()
-        for access in self.task.reads:
-            if not self.buffers[access.buffer].can_consume(key, access.count):
+        key = self._key
+        for _, count, buffer in self._reads:
+            if not buffer.can_consume(key, count):
                 return False
-        for access in self.task.writes:
-            if not self.buffers[access.buffer].can_produce(key, access.count):
+        for _, count, buffer in self._writes:
+            if not buffer.can_produce(key, count):
                 return False
         return True
 
     # --------------------------------------------------------------- execution
     def start_firing(self) -> Dict[str, Any]:
         """Atomically consume the inputs and return the values read."""
-        key = self.producer_key()
+        key = self._key
         values: Dict[str, Any] = {}
-        for access in self.task.reads:
-            data = self.buffers[access.buffer].consume(key, access.count)
-            values[access.buffer] = data if access.count > 1 else data[0]
+        for name, count, buffer in self._reads:
+            data = buffer.consume(key, count)
+            values[name] = data if count > 1 else data[0]
         self.busy = True
         return values
 
@@ -185,31 +202,37 @@ class RuntimeTask:
 
         Returns True when the guarded body actually executed.
         """
-        key = self.producer_key()
+        key = self._key
         execute = True
         if self.task.guard is not None:
             execute = bool(evaluate_expression(self.task.guard, values, self.registry))
 
-        outputs: Dict[str, Optional[List[Any]]] = {
-            access.buffer: None for access in self.task.writes
-        }
-        if execute:
-            outputs.update(self._run_body(values))
+        outputs: Optional[Dict[str, List[Any]]] = self._run_body(values) if execute else None
 
-        for access in self.task.writes:
-            produced = outputs.get(access.buffer)
-            if produced is not None and len(produced) != access.count:
+        for name, count, buffer in self._writes:
+            produced = outputs.get(name) if outputs is not None else None
+            if produced is not None and len(produced) != count:
                 raise OilRuntimeError(
                     f"task {self.name!r}: function produced {len(produced)} values for "
-                    f"{access.buffer!r}, expected {access.count}"
+                    f"{name!r}, expected {count}"
                 )
-            self.buffers[access.buffer].produce(key, produced, access.count)
+            buffer.produce(key, produced, count)
 
         self.busy = False
         self.completed_firings += 1
         self.phase_firings += 1
         if self.one_shot:
             self.fired_once = True
+            # A completed initialisation retires its windows: the floors it
+            # would otherwise pin forever are handed over to the loop tasks
+            # of the same module instance, which continue the streams (see
+            # CircularBuffer.retire_producer); windows of other instances
+            # and of sink/source drivers are left untouched.
+            scope = f"{self.instance}:"
+            for _, _, buffer in self._writes:
+                buffer.retire_producer(key, scope=scope)
+            for _, _, buffer in self._reads:
+                buffer.retire_consumer(key, scope=scope)
         return execute
 
     def _run_body(self, values: Dict[str, Any]) -> Dict[str, List[Any]]:

@@ -1,0 +1,22 @@
+"""Deprecation warnings for the pre-facade helper functions.
+
+The per-app ``compile_*`` / ``simulate_*`` helpers predate :mod:`repro.api`
+and are kept as thin aliases so existing code keeps working; new code should
+go through the facade.  :func:`warn_deprecated` emits the standard
+``DeprecationWarning`` pointing at the replacement (visible under ``python
+-W default`` and in pytest runs, silent by default in applications -- the
+usual Python deprecation contract).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Warn that *old* is deprecated in favour of *replacement*."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

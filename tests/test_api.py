@@ -1,0 +1,307 @@
+"""Tests for the repro.api facade: Program -> Analysis -> RunResult, the app
+catalogue, the Sweep subsystem and the deprecated pre-facade aliases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.api import Analysis, Program, Sweep, available_apps, build_app
+from repro.apps.producer_consumer import (
+    QUICKSTART_OIL_SOURCE,
+    quickstart_registry,
+    quickstart_wcets,
+)
+from repro.core.compiler import compile_program
+from repro.engine import BoundedProcessors
+
+
+def quickstart_facade(**params):
+    return Program.from_app("quickstart", **params)
+
+
+class TestProgramFacade:
+    def test_catalogue_lists_all_apps(self):
+        names = [spec.name for spec in available_apps()]
+        assert names == [
+            "quickstart",
+            "pal_decoder",
+            "rate_converter",
+            "modal_mute",
+            "modal_two_mode",
+        ]
+
+    def test_unknown_app_and_unknown_param(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            Program.from_app("no_such_app")
+        with pytest.raises(TypeError, match="does not accept"):
+            Program.from_app("quickstart", bogus=1)
+
+    def test_aliases_resolve(self):
+        assert build_app("producer_consumer").name == "quickstart"
+        assert build_app("fig2").name == "rate_converter"
+
+    def test_compile_and_analysis_are_cached(self):
+        program = quickstart_facade()
+        assert program.compile() is program.compile()
+        assert program.analyze() is program.analyze()
+
+    def test_from_source_equals_from_app(self):
+        source = Program.from_source(
+            QUICKSTART_OIL_SOURCE,
+            function_wcets=quickstart_wcets(),
+            registry=quickstart_registry,
+            signals=lambda: {"samples": [float(i) for i in range(2000)]},
+        )
+        by_app = quickstart_facade()
+        assert source.analyze().capacities == by_app.analyze().capacities
+
+    @pytest.mark.parametrize(
+        "app,params,duration",
+        [
+            ("quickstart", {}, Fraction(1, 10)),
+            ("pal_decoder", {"scale": 1000}, Fraction(1, 50)),
+            ("rate_converter", {}, Fraction(1, 100)),
+            ("modal_mute", {}, Fraction(1, 20)),
+            ("modal_two_mode", {}, Fraction(1, 50)),
+        ],
+    )
+    def test_every_app_analyzes_and_runs(self, app, params, duration):
+        analysis = Program.from_app(app, **params).analyze()
+        assert analysis.consistent
+        assert analysis.latency_ok
+        assert all(value >= 1 for value in analysis.capacities.values())
+        run = analysis.run(duration)
+        assert run.completed_firings > 0
+        assert run.occupancy_ok
+        assert run.deadline_misses == 0
+
+
+class TestAnalysisParity:
+    """The facade must reproduce the pre-facade helper numbers identically."""
+
+    def test_quickstart_parity_with_direct_pipeline(self):
+        direct = compile_program(QUICKSTART_OIL_SOURCE, function_wcets=quickstart_wcets())
+        direct_consistency = direct.check_consistency(assume_infinite_unsized=True)
+        direct_sizing = direct.size_buffers()
+        direct_checks = direct.verify_latency(direct_sizing.consistency)
+
+        analysis = quickstart_facade().analyze()
+        assert analysis.consistent == direct_consistency.consistent
+        assert analysis.capacities == direct_sizing.capacities
+        assert analysis.total_capacity == direct_sizing.total_capacity
+        assert [c.satisfied for c in analysis.latency] == [
+            c.satisfied for c in direct_checks
+        ]
+        assert analysis.source_rates == {"samples": Fraction(2000)}
+        assert analysis.sink_rates == {"averages": Fraction(1000)}
+
+    def test_pal_parity_with_session_fixture(self, pal_sized):
+        result, sizing = pal_sized
+        analysis = Program.from_app("pal_decoder", scale=1000).analyze()
+        assert analysis.capacities == sizing.capacities
+        assert analysis.consistent
+        assert analysis.latency_ok
+
+    def test_quickstart_run_reproduces_simulation_numbers(self):
+        run = quickstart_facade().analyze().run(Fraction(1, 5))
+        assert run.deadline_misses == 0
+        assert run.sink("averages")[:4] == [0.5, 2.5, 4.5, 6.5]
+        assert run.measured_rates["averages"] == 1000
+        assert run.measured_rates["samples"] == 2000
+        assert run.occupancy_ok
+        metrics = run.metrics()
+        assert metrics["deadline_misses"] == 0
+        assert metrics["sink_count[averages]"] == len(run.sink("averages"))
+        assert "deadline violations: 0" in run.summary()
+
+    def test_analysis_report_mentions_everything(self):
+        report = quickstart_facade().analyze().report()
+        assert "consistency" in report
+        assert "source samples: 2000 Hz" in report
+        assert "buffer sizing" in report
+        assert "latency" in report
+
+
+class TestSweep:
+    def test_grid_expansion_order(self):
+        sweep = Sweep("quickstart").add_axis("a", [1, 2]).add_axis("b", ["x", "y"])
+        assert sweep.points() == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_distinct_programs_compiled_once(self, monkeypatch):
+        import repro.api.sweep as sweep_module
+
+        calls = []
+        original = sweep_module.Program.from_app.__func__
+
+        def counting(cls, app, **params):
+            calls.append((app, tuple(sorted(params.items()))))
+            return original(cls, app, **params)
+
+        monkeypatch.setattr(
+            sweep_module.Program, "from_app", classmethod(counting)
+        )
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("utilisation", [0.3, 0.5])
+            .add_axis("scheduler", [None, BoundedProcessors(2)])
+            .run()
+        )
+        assert report.ok
+        assert len(report) == 4
+        assert len(calls) == 2  # one compilation per distinct program point
+
+    def test_serial_and_parallel_reports_identical(self):
+        def build():
+            return (
+                Sweep("quickstart", duration=Fraction(1, 20))
+                .add_axis("utilisation", [0.3, 0.5])
+                .add_axis(
+                    "scheduler", [None, BoundedProcessors(1), BoundedProcessors(2)]
+                )
+            )
+
+        serial = build().run(workers=1)
+        parallel = build().run(workers=3)
+        assert serial.ok and parallel.ok
+        assert serial.rows() == parallel.rows()
+        assert serial.speedup_table() == parallel.speedup_table()
+        assert serial.to_json() == parallel.to_json()
+
+    def test_bounded_processor_sweep_shape(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 10))
+            .add_axis("scheduler", [BoundedProcessors(1), BoundedProcessors(2)])
+            .run(workers=2)
+        )
+        table = report.table()
+        assert "BoundedProcessors(1)" in table and "BoundedProcessors(2)" in table
+        speedups = [row["speedup"] for row in report.speedup_table()]
+        assert speedups[0] == 1.0
+        assert all(value is not None for value in speedups)
+
+    def test_run_axis_duration_override(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1))
+            .add_axis("duration", [Fraction(1, 100), Fraction(1, 50)])
+            .run()
+        )
+        short, longer = report.results
+        assert short.metrics["completed_firings"] < longer.metrics["completed_firings"]
+
+    def test_program_axis_dedup_is_value_based(self):
+        # Distinct parameter values whose reprs collide (numpy truncates
+        # reprs past 1000 elements) must NOT collapse into one program.
+        numpy = pytest.importorskip("numpy")
+        a = numpy.zeros(2000)
+        b = numpy.zeros(2000)
+        b[10] = 7.5
+        assert repr(a) == repr(b)
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("signal", [list(a), list(b)])
+            .run()
+        )
+        assert report.ok
+        first, second = (result.run.sink("averages") for result in report.results)
+        assert first != second  # each point ran its own stimulus
+
+    def test_speedup_table_direction(self):
+        report = (
+            Sweep.from_callable(lambda n: {"latency": float(n)})
+            .add_axis("n", [1, 2])
+            .run()
+        )
+        faster_is_higher = report.speedup_table("latency")
+        assert faster_is_higher[1]["speedup"] == 2.0  # default: higher = better
+        lower = report.speedup_table("latency", lower_is_better=True)
+        assert lower[1]["speedup"] == 0.5  # doubled latency = 0.5x speedup
+        makespan = (
+            Sweep.from_callable(lambda n: {"makespan": float(n)})
+            .add_axis("n", [2, 1])
+            .run()
+            .speedup_table("makespan")
+        )
+        assert makespan[1]["speedup"] == 2.0  # makespan infers lower-is-better
+
+    def test_keep_runs_false_drops_simulations(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("scheduler", [None, BoundedProcessors(1)])
+            .run(keep_runs=False)
+        )
+        assert report.ok
+        assert all(result.run is None for result in report.results)
+        assert all(result.metrics["completed_firings"] > 0 for result in report.results)
+
+    def test_from_callable_and_failure_isolation(self):
+        def point(n):
+            if n == 2:
+                raise ValueError("boom")
+            return {"value": n * n}
+
+        report = Sweep.from_callable(point).add_axis("n", [1, 2, 3]).run(workers=2)
+        assert not report.ok
+        assert [r.ok for r in report.results] == [True, False, True]
+        assert report.results[1].error == "ValueError: boom"
+        assert report.column("value") == [1, None, 9]
+
+    def test_scheduler_instances_not_shared_between_points(self):
+        policy = BoundedProcessors(1)
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("scheduler", [policy, policy])
+            .run(workers=2)
+        )
+        assert report.ok
+        assert policy.busy == 0  # the caller's instance was never mutated
+        rows = report.rows()
+        assert rows[0]["completed_firings"] == rows[1]["completed_firings"]
+
+
+class TestDeprecatedAliases:
+    def test_compile_quickstart_warns_and_works(self):
+        from repro.apps.producer_consumer import compile_quickstart
+
+        with pytest.warns(DeprecationWarning, match="compile_quickstart"):
+            result = compile_quickstart()
+        assert result.check_consistency(assume_infinite_unsized=True).consistent
+
+    def test_simulate_quickstart_matches_facade(self):
+        from repro.apps.producer_consumer import simulate_quickstart
+
+        with pytest.warns(DeprecationWarning, match="simulate_quickstart"):
+            simulation, trace = simulate_quickstart(Fraction(1, 10))
+        run = quickstart_facade().analyze().run(Fraction(1, 10))
+        assert simulation.sinks["averages"].consumed == run.sink("averages")
+        assert trace.deadline_miss_count() == run.deadline_misses
+
+    def test_simulate_mute_warns(self):
+        from repro.apps.modal_audio import simulate_mute
+
+        with pytest.warns(DeprecationWarning, match="simulate_mute"):
+            simulation, trace = simulate_mute(Fraction(1, 50), [1.0] * 2000)
+        assert trace.deadline_miss_count() == 0
+
+    def test_simulate_two_mode_warns_and_matches_facade(self):
+        from repro.apps.modal_audio import simulate_two_mode
+
+        schedule = (("loop0", 2), ("loop1", 3))
+        with pytest.warns(DeprecationWarning, match="simulate_two_mode"):
+            simulation, _ = simulate_two_mode(Fraction(1, 25), mode_schedule=schedule)
+        run = (
+            Program.from_app("modal_two_mode", mode_schedule=schedule)
+            .analyze()
+            .run(Fraction(1, 25))
+        )
+        assert simulation.sinks["dac"].consumed == run.sink("dac")
+
+    def test_analysis_from_parts_wraps_precompiled_results(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        analysis = Analysis.from_parts(result, sizing)
+        assert analysis.capacities == sizing.capacities
+        assert analysis.program.name == "precompiled"

@@ -76,6 +76,51 @@ class TestFig2RateConverter:
         assert len(registry.call("init")) == 4
 
 
+class TestFig2SelfTimedExecution:
+    """Regression for the Fig. 2 runtime blocker: the one-shot ``init``
+    producer window used to pin the produced floor of stream ``c``/``y``
+    forever (and hide the initial values from ``tf`` until ``tg`` produced,
+    which needed exactly those values) -- the program deadlocked at t=0.
+    One-shot window retirement makes the cyclic program self-time."""
+
+    def test_rate_converter_self_times_end_to_end(self):
+        from repro.api import Program
+
+        analysis = Program.from_app("rate_converter").analyze()
+        assert analysis.consistent
+        run = analysis.run(Fraction(1, 10))
+        counts = {"t_init": 0, "t_f": 0, "t_g": 0}
+        for firing in run.trace.firings:
+            name = firing.task.rsplit(":", 1)[-1]
+            if name in counts:
+                counts[name] += 1
+        # the init prefix fires exactly once, then the loop tasks stream on
+        assert counts["t_init"] == 1
+        assert counts["t_f"] >= 20 and counts["t_g"] >= 30
+        # steady-state firing ratio approaches the repetition vector (2, 3)
+        ratio = counts["t_g"] / counts["t_f"]
+        assert abs(ratio - 1.5) < 0.1
+        assert run.occupancy_ok
+
+    def test_execution_consumes_the_init_prefix(self):
+        from repro.api import Program
+
+        # Stop right after f's first firing completes (wcet 1/1000): f must
+        # have read the init prefix (zeros) and written 2*0+1 = 1.0 values.
+        run = Program.from_app("rate_converter").analyze().run(Fraction(3, 2000))
+        f_values = run.simulation.buffers["C/x"]._storage
+        assert 1.0 in [value for value in f_values if value is not None]
+
+    def test_longer_run_scales_firings(self):
+        from repro.api import Program
+
+        program = Program.from_app("rate_converter")
+        analysis = program.analyze()
+        short = analysis.run(Fraction(1, 100)).completed_firings
+        longer = analysis.run(Fraction(1, 50)).completed_firings
+        assert longer > short
+
+
 class TestQuickstartApp:
     def test_analysis(self, quickstart_sized):
         result, sizing = quickstart_sized

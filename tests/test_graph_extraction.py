@@ -249,6 +249,82 @@ class TestCircularBuffer:
         assert buffer.peek("c", 1) == [3]
         assert buffer.consume("c", 1) == [3]
 
+    def test_retire_producer_hands_the_prefix_to_the_loop_producer(self):
+        # The Fig. 2 init pattern: a one-shot producer writes a 4-value
+        # prefix of a stream a loop task continues.  Before retirement the
+        # loop producer's window (still at 0) hides the prefix; afterwards
+        # the prefix is visible and the loop continues behind it.
+        buffer = CircularBuffer("y", 8)
+        buffer.register_producer("t_init")
+        buffer.register_producer("t_g")
+        buffer.register_consumer("t_f")
+        buffer.produce("t_init", [0.0] * 4, 4)
+        assert not buffer.can_consume("t_f", 1)  # pinned by t_g at 0
+        buffer.retire_producer("t_init")
+        assert buffer.consume("t_f", 3) == [0.0, 0.0, 0.0]
+        buffer.produce("t_g", [5.0, 6.0], 2)     # continues at position 4
+        assert buffer.consume("t_f", 3) == [0.0, 5.0, 6.0]
+
+    def test_retire_producer_notifies_token_watchers(self):
+        buffer = CircularBuffer("y", 8)
+        buffer.register_producer("t_init")
+        buffer.register_producer("t_g")
+        buffer.register_consumer("t_f")
+        woken = []
+        buffer.watch_tokens(lambda: woken.append(True))
+        buffer.produce("t_init", [1.0], 1)
+        assert not woken                          # floor still pinned at 0
+        buffer.retire_producer("t_init")
+        assert woken                              # retirement moved the floor
+
+    def test_retire_producer_does_not_move_busy_or_ahead_windows(self):
+        buffer = CircularBuffer("y", 8)
+        buffer.register_producer("t_init")
+        buffer.register_producer("ahead")
+        buffer.register_consumer("c")
+        buffer.produce("ahead", [9.0] * 3, 3)     # already past the prefix
+        buffer.produce("t_init", [0.0] * 2, 2)
+        buffer.retire_producer("t_init")
+        assert buffer.producer_position("ahead") == 3  # untouched
+
+    def test_retire_consumer_releases_space_and_skips_prefix(self):
+        buffer = CircularBuffer("b", 4, initial_values=[1, 2, 3, 4])
+        buffer.register_consumer("t_init")
+        buffer.register_consumer("t_loop")
+        buffer.register_producer("p")
+        assert buffer.consume("t_init", 2) == [1, 2]
+        assert buffer.space_available == 0        # t_loop still holds 1..4
+        buffer.retire_consumer("t_init")
+        assert buffer.space_available == 2        # t_loop skipped the prefix
+        assert buffer.consume("t_loop", 2) == [3, 4]
+
+    def test_retire_scope_protects_unrelated_windows(self):
+        # Retirement hands the prefix only to windows of the same module
+        # instance; a sink consumer (or another instance's task) sharing the
+        # buffer must still observe every token.
+        buffer = CircularBuffer("y", 8)
+        buffer.register_producer("C/B:t_init")
+        buffer.register_producer("C/B:t_g")
+        buffer.register_consumer("speakers")      # a sink driver window
+        buffer.register_consumer("C/B:t_loop")
+        buffer.produce("C/B:t_init", [0.5] * 2, 2)
+        buffer.retire_producer("C/B:t_init", scope="C/B:")
+        assert buffer.producer_position("C/B:t_g") == 2   # in scope: advanced
+        # the sink is out of scope: it still sees (and will consume) the
+        # whole prefix rather than being skipped past it
+        assert buffer.consumer_position("speakers") == 0
+        assert buffer.consume("speakers", 2) == [0.5, 0.5]
+        # consumer-side scope: an init reader retires without dragging the
+        # out-of-scope sink window along
+        b2 = CircularBuffer("s", 4, initial_values=[1, 2, 3, 4])
+        b2.register_consumer("C/B:t_init")
+        b2.register_consumer("C/B:t_loop")
+        b2.register_consumer("speakers")
+        assert b2.consume("C/B:t_init", 2) == [1, 2]
+        b2.retire_consumer("C/B:t_init", scope="C/B:")
+        assert b2.consumer_position("C/B:t_loop") == 2    # in scope: skipped
+        assert b2.consume("speakers", 2) == [1, 2]        # out of scope: intact
+
     def test_capacity_required_positive(self):
         with pytest.raises(ValueError):
             CircularBuffer("b", 0)
