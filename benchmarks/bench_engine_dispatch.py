@@ -24,6 +24,7 @@ configurations produce bit-identical traces; here only throughput differs.
 
 from __future__ import annotations
 
+import os
 import time
 
 from _reporting import print_table
@@ -32,15 +33,19 @@ from repro.engine import ring_program, run_tasks
 from repro.graph.circular_buffer import CircularBuffer
 from repro.runtime.trace import TraceRecorder
 
+#: BENCH_SMOKE=1 shrinks the workload and relaxes the floor so CI can run
+#: the benchmark as a fast regression tripwire on noisy shared runners.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 TASK_COUNT = 200
 TOKENS = 8
 STAGGER = 7
-FIRINGS = 4000
-REPEATS = 3
+FIRINGS = 1000 if SMOKE else 4000
+REPEATS = 1 if SMOKE else 3
 
 #: Acceptance floor: the ready-set engine must deliver at least this factor
 #: over the seed-equivalent execution layer on the 200-task program.
-REQUIRED_SPEEDUP = 5.0
+REQUIRED_SPEEDUP = 2.0 if SMOKE else 5.0
 
 
 class SeedReferenceBuffer(CircularBuffer):

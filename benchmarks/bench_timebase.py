@@ -1,0 +1,99 @@
+"""Integer-tick vs exact-fraction event-queue time base.
+
+After the engine refactor (cached floors + ready-set dispatch) the per-firing
+constant was dominated by ``Fraction`` comparisons inside the event-queue
+heap.  The integer-tick time base removes them: the queue orders plain
+``(int, int)`` pairs and converts back to exact rationals only at the public
+surfaces.  This benchmark records what that is worth on the same
+dispatch-bound 200-task ring as ``bench_engine_dispatch.py``, plus one
+app-level row (the quickstart pipeline through ``repro.api``) where firing
+bodies and buffer bookkeeping dilute the queue's share of the work.
+
+Both modes execute the identical event sequence -- the equivalence tests
+(tests/test_timebase.py) assert bit-identical traces -- so the ratio below is
+pure time-representation cost.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.api import Program
+from repro.engine import ring_program, run_tasks
+from repro.runtime.trace import TraceRecorder
+
+#: BENCH_SMOKE=1 shrinks the workload and relaxes the floor so CI can run
+#: the benchmark as a fast regression tripwire on noisy shared runners.
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+TASK_COUNT = 200
+TOKENS = 8
+STAGGER = 7
+FIRINGS = 1000 if SMOKE else 4000
+REPEATS = 1 if SMOKE else 3
+APP_DURATION = Fraction(1, 10) if SMOKE else Fraction(1, 2)
+
+#: Acceptance floor: tick mode must beat fraction mode by at least this
+#: factor on the dispatch-bound ring (the measured gain is well above it;
+#: the floor only guards against the tick path silently regressing to --
+#: or below -- fraction cost).
+REQUIRED_TICK_SPEEDUP = 1.1 if SMOKE else 1.3
+
+
+def _ring_events_per_second(time_base: str) -> float:
+    """Best-of-N completed firings per wall-clock second on the ring."""
+    best = 0.0
+    for _ in range(REPEATS):
+        tasks = ring_program(TASK_COUNT, tokens=TOKENS, stagger=STAGGER)
+        started = time.perf_counter()
+        run = run_tasks(
+            tasks,
+            stop_after_firings=FIRINGS,
+            trace=TraceRecorder(level="off"),
+            time_base=time_base,
+        )
+        elapsed = time.perf_counter() - started
+        assert run.engine.completed_firings >= FIRINGS
+        best = max(best, run.engine.completed_firings / elapsed)
+    return best
+
+
+def _app_events_per_second(time_base: str) -> float:
+    """Completed firings per wall-clock second of the quickstart pipeline."""
+    best = 0.0
+    for _ in range(REPEATS):
+        analysis = Program.from_app("quickstart").analyze()
+        started = time.perf_counter()
+        run = analysis.run(APP_DURATION, trace="off", time_base=time_base)
+        elapsed = time.perf_counter() - started
+        assert run.time_base == time_base
+        best = max(best, run.completed_firings / elapsed)
+    return best
+
+
+def test_timebase_throughput():
+    ring_fraction = _ring_events_per_second("fraction")
+    ring_ticks = _ring_events_per_second("ticks")
+    app_fraction = _app_events_per_second("fraction")
+    app_ticks = _app_events_per_second("ticks")
+
+    rows = [
+        ["200-task ring, fraction queue", f"{ring_fraction:,.0f}", "1.0x"],
+        ["200-task ring, tick queue", f"{ring_ticks:,.0f}", f"{ring_ticks / ring_fraction:.2f}x"],
+        ["quickstart app, fraction queue", f"{app_fraction:,.0f}", "1.0x"],
+        ["quickstart app, tick queue", f"{app_ticks:,.0f}", f"{app_ticks / app_fraction:.2f}x"],
+    ]
+    print_table(
+        f"Event-queue time base ({FIRINGS} ring firings, tracing off)",
+        ["configuration", "events/s", "speedup"],
+        rows,
+    )
+
+    assert ring_ticks / ring_fraction >= REQUIRED_TICK_SPEEDUP, (
+        f"tick time base delivered only {ring_ticks / ring_fraction:.2f}x over the "
+        f"fraction queue on the dispatch-bound ring (required {REQUIRED_TICK_SPEEDUP}x)"
+    )

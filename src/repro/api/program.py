@@ -48,7 +48,12 @@ from repro.lang.semantics import BlackBoxModule
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import ModeSchedule, Simulation
 from repro.runtime.trace import TraceRecorder
-from repro.util.rational import Rat, RationalLike, as_rational
+from repro.util.rational import Rat, RationalLike, TimeBase, as_rational
+
+#: A time-base selector: ``"auto"`` / ``"ticks"`` / ``"fraction"`` or a ready
+#: :class:`~repro.util.rational.TimeBase` (see
+#: :class:`~repro.runtime.simulator.Simulation`).
+TimeBaseLike = Union[str, TimeBase]
 
 #: A registry argument: a ready instance (shared) or a zero-argument factory.
 RegistryLike = Union[FunctionRegistry, Callable[[], FunctionRegistry]]
@@ -96,6 +101,7 @@ class Program:
         signals: Optional[SignalsLike] = None,
         mode_schedules: Optional[ModeSchedule] = None,
         params: Optional[Mapping[str, Any]] = None,
+        time_base: TimeBaseLike = "auto",
     ) -> None:
         self.name = name
         self.source = source
@@ -106,6 +112,10 @@ class Program:
         self.make_registry = _registry_factory(registry)
         self.make_signals = _signals_factory(signals)
         self.mode_schedules: Optional[ModeSchedule] = mode_schedules
+        #: default time representation of this program's simulations
+        #: (overridable per run); the concrete tick resolution is derived
+        #: when a simulation is built from the compiled program
+        self.time_base: TimeBaseLike = time_base
         #: the parameters this program was built from (``from_app`` records
         #: them; sweeps and reports echo them back)
         self.params: Dict[str, Any] = dict(params or {})
@@ -127,6 +137,7 @@ class Program:
         signals: Optional[SignalsLike] = None,
         mode_schedules: Optional[ModeSchedule] = None,
         params: Optional[Mapping[str, Any]] = None,
+        time_base: TimeBaseLike = "auto",
     ) -> "Program":
         """A program from OIL source text plus its execution environment."""
         return cls(
@@ -140,6 +151,7 @@ class Program:
             signals=signals,
             mode_schedules=mode_schedules,
             params=params,
+            time_base=time_base,
         )
 
     @classmethod
@@ -310,6 +322,7 @@ class Analysis:
         signals: Optional[SignalsLike] = None,
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
+        time_base: Optional[TimeBaseLike] = None,
     ) -> Simulation:
         """A fresh :class:`~repro.runtime.simulator.Simulation` of the program
         with the analysis-derived buffer capacities."""
@@ -332,6 +345,7 @@ class Analysis:
             scheduler=scheduler,
             dispatcher=dispatcher,
             trace_level=trace,
+            time_base=time_base if time_base is not None else program.time_base,
         )
 
     def run(
@@ -346,6 +360,7 @@ class Analysis:
         signals: Optional[SignalsLike] = None,
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
+        time_base: Optional[TimeBaseLike] = None,
     ) -> "RunResult":
         """Execute the program for *duration* seconds of simulated time.
 
@@ -353,7 +368,10 @@ class Analysis:
         (:class:`~repro.engine.policies.SelfTimedUnbounded` by default,
         :class:`~repro.engine.policies.BoundedProcessors`,
         :class:`~repro.engine.policies.StaticOrder`); ``trace`` the recording
-        granularity (``"full"``, ``"endpoints"``, ``"off"``).
+        granularity (``"full"``, ``"endpoints"``, ``"off"``); ``time_base``
+        the event-queue time representation (``"auto"`` by default: integer
+        ticks when the program's durations fit one, exact fractions
+        otherwise -- observationally identical either way).
         """
         simulation = self.simulation(
             scheduler=scheduler,
@@ -364,6 +382,7 @@ class Analysis:
             signals=signals,
             sink_start_times=sink_start_times,
             capacities=capacities,
+            time_base=time_base,
         )
         duration = as_rational(duration)
         recorder = simulation.run(duration)
@@ -402,8 +421,15 @@ class RunResult:
     @property
     def makespan(self) -> Rat:
         """Completion time of the last finished firing (exact rational;
-        correct at every trace level)."""
+        correct at every trace level and time base)."""
         return self.simulation.engine.last_completion_time
+
+    @property
+    def time_base(self) -> str:
+        """Time representation the run executed with: ``"ticks"`` (integer
+        tick counts, converted back to exact rationals at this surface) or
+        ``"fraction"``."""
+        return "ticks" if self.simulation.time_base is not None else "fraction"
 
     def sink(self, name: str) -> List[Any]:
         """The values the named sink consumed, in order."""
@@ -447,6 +473,7 @@ class RunResult:
             "completed_firings": self.completed_firings,
             "makespan": float(self.makespan),
             "occupancy_ok": self.occupancy_ok,
+            "time_base": self.time_base,
         }
         for name, count in sorted(self.sink_counts.items()):
             row[f"sink_count[{name}]"] = count

@@ -7,8 +7,8 @@ reporting.  The three pieces:
 
 * :class:`Sweep` -- declares the grid.  Axes are split automatically:
   *run axes* (``scheduler``, ``duration``, ``dispatcher``, ``trace``,
-  ``mode_schedules``, ``sink_start_times``) only affect execution, every
-  other axis is a *program axis* that is forwarded to
+  ``mode_schedules``, ``sink_start_times``, ``time_base``) only affect
+  execution, every other axis is a *program axis* that is forwarded to
   :meth:`~repro.api.program.Program.from_app`.  Each **distinct** program
   parameter combination is compiled and analysed exactly once, no matter how
   many run-axis points fan out from it.
@@ -62,25 +62,37 @@ from repro.util.rational import RationalLike, as_rational
 from repro.util.validation import check_positive
 
 #: Axes that configure the *run*, not the program (no recompilation needed).
-RUN_AXES = ("scheduler", "duration", "dispatcher", "trace", "mode_schedules", "sink_start_times")
+RUN_AXES = (
+    "scheduler",
+    "duration",
+    "dispatcher",
+    "trace",
+    "mode_schedules",
+    "sink_start_times",
+    "time_base",
+)
 
 
 def _program_key(program_params: Mapping[str, Any]) -> Tuple:
     """A value-based dedup key for one program-parameter combination.
 
-    ``repr`` is not safe here: types with truncating or identity-based reprs
-    (numpy arrays, default ``object`` repr) would collapse distinct
-    parameter values into one compiled program.  Pickle bytes compare by
-    value for all picklable types; unpicklable values fall back to identity,
-    which can only split points that might have shared (a recompilation,
-    never a wrong program).
+    ``repr`` alone is not safe here: types with truncating reprs (numpy
+    arrays) would collapse distinct parameter values into one compiled
+    program.  Pickle bytes compare by value for all picklable types;
+    unpicklable axis values (lambdas, generators, open handles) must not
+    crash the sweep, so they fall back to a ``repr``-based key.  Default
+    object reprs embed the instance id, so equal-valued unpicklable objects
+    usually get distinct keys -- such axes may compile the same program
+    redundantly, which is the safe direction.  (An unpicklable type whose
+    custom ``repr`` hides a value difference would share one compilation;
+    give such types a faithful ``repr`` or make them picklable.)
     """
     parts = []
     for name, value in sorted(program_params.items()):
         try:
             rendered: object = pickle.dumps(value)
         except Exception:
-            rendered = ("unpicklable", id(value))
+            rendered = ("unpicklable", type(value).__qualname__, repr(value))
         parts.append((name, rendered))
     return tuple(parts)
 

@@ -36,10 +36,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.engine.policies import SchedulerPolicy, SelfTimedUnbounded
 from repro.graph.circular_buffer import CircularBuffer
+from repro.util.rational import Rat, TimeBase, TimeBaseError
 from repro.util.validation import check_in
 
 if TYPE_CHECKING:  # imports only for annotations: runtime.simulator imports us
@@ -139,10 +140,10 @@ class ExecutionEngine:
         self._in_dispatch = False
         self.started_firings = 0
         self.completed_firings = 0
-        #: completion time of the last finished firing (exact rational);
-        #: maintained independently of the trace so makespans survive
-        #: ``trace_level="off"``
-        self.last_completion_time = Fraction(0)
+        #: completion time of the last finished firing in the queue's native
+        #: units; maintained independently of the trace so makespans survive
+        #: ``trace_level="off"``.  Read via :attr:`last_completion_time`.
+        self._last_completion: Union[int, Fraction] = 0
         # A fresh engine is a fresh execution: drop any processor accounting
         # a previous (possibly mid-flight-stopped) run left in the policy.
         reset = getattr(self.policy, "reset", None)
@@ -151,6 +152,13 @@ class ExecutionEngine:
         #: optional hook run at the end of every completion (the simulator
         #: advances mode-schedule phases and notifies waiting sinks here)
         self.on_complete: Optional[Callable[[RuntimeTask], None]] = None
+
+    @property
+    def last_completion_time(self) -> Rat:
+        """Completion time of the last finished firing as exact rational
+        seconds (correct at every trace level and in both time
+        representations)."""
+        return self.queue.to_time(self._last_completion)
 
     # ------------------------------------------------------------------ build
     def register_task(self, task: RuntimeTask) -> None:
@@ -163,7 +171,13 @@ class ExecutionEngine:
         """Build the reverse dependency index: subscribe one waker per buffer
         so that a moved produced floor wakes the buffer's readers and a moved
         consumed floor wakes its writers.  Call once, after all tasks are
-        registered (no-op in polling mode, which re-scans everything)."""
+        registered and the queue's time base (if any) is set -- response
+        times are pre-converted to the queue's native units here so the
+        firing hot path only adds them.  The index itself is skipped in
+        polling mode, which re-scans everything."""
+        queue = self.queue
+        for task in self.tasks:
+            task.wcet_internal = queue.to_internal(task.wcet)
         if self.mode == "polling":
             return
         readers: Dict[CircularBuffer, List[RuntimeTask]] = {}
@@ -267,10 +281,13 @@ class ExecutionEngine:
         def complete() -> None:
             executed = task.finish_firing(values)
             self.completed_firings += 1
-            self.last_completion_time = self.queue.now
+            queue = self.queue
+            self._last_completion = queue.now
             trace = self.trace
             if trace.firings_enabled:
-                trace.record_firing(task.producer_key(), start, self.queue.now, executed)
+                trace.record_firing(
+                    task.producer_key(), queue.to_time(start), queue.to_time(queue.now), executed
+                )
             if trace.occupancy_enabled:
                 for access in task.task.writes:
                     buffer = task.buffers[access.buffer]
@@ -281,7 +298,7 @@ class ExecutionEngine:
             self.wake_task(task)
             self.schedule_dispatch()
 
-        self.queue.schedule(start + task.wcet, complete, label=f"complete:{task.name}")
+        self.queue.schedule(start + task.wcet_internal, complete, label=f"complete:{task.name}")
 
 
 @dataclass
@@ -314,6 +331,7 @@ def run_tasks(
     stop_after_firings: Optional[int] = None,
     horizon=Fraction(10**9),
     trace: Optional[TraceRecorder] = None,
+    time_base: Union[str, TimeBase, None] = "auto",
 ) -> EngineRun:
     """Execute *tasks* data-driven on a fresh event queue.
 
@@ -322,11 +340,30 @@ def run_tasks(
     whichever comes first.  This is the entry point for scheduler experiments
     and benchmarks that need the execution layer without compiling an OIL
     program.
+
+    ``time_base`` selects the queue's time representation: ``"auto"`` (the
+    default) derives an integer-tick base from the tasks' response times and
+    falls back to exact fractions when none exists, ``"ticks"`` requires one
+    (raising :class:`~repro.util.rational.TimeBaseError` otherwise),
+    ``"fraction"`` (or ``None``) keeps the legacy fraction-based queue, and a
+    ready :class:`~repro.util.rational.TimeBase` is used as given.  Traces
+    are bit-identical across all choices.
     """
     from repro.runtime.events import EventQueue
     from repro.runtime.trace import TraceRecorder
 
-    queue = EventQueue()
+    timebase: Optional[TimeBase]
+    if time_base is None or time_base == "fraction":
+        timebase = None
+    elif isinstance(time_base, TimeBase):
+        timebase = time_base
+    elif time_base in ("auto", "ticks"):
+        timebase = TimeBase.for_durations(task.wcet for task in tasks)
+        if timebase is None and time_base == "ticks":
+            raise TimeBaseError("no positive response time to derive a tick resolution from")
+    else:
+        raise ValueError(f"unknown time base {time_base!r}")
+    queue = EventQueue(timebase)
     trace = trace if trace is not None else TraceRecorder()
     engine = ExecutionEngine(queue, trace, policy=policy, mode=mode)
     for task in tasks:

@@ -98,6 +98,10 @@ class BoundedProcessors:
         check_positive(processors, "processors")
         self.processors = processors
         self.busy = 0
+        #: completions that arrived without a matching start (a run stopped
+        #: mid-flight whose policy was reset/reused); clamped, and counted
+        #: so the anomaly stays observable
+        self.stale_completions = 0
 
     def allow_start(self, task: RuntimeTask) -> bool:
         return self.busy < self.processors
@@ -106,10 +110,19 @@ class BoundedProcessors:
         self.busy += 1
 
     def on_complete(self, task: RuntimeTask) -> None:
-        self.busy -= 1
+        # A run stopped mid-flight leaves completions that never ran; when
+        # the policy is then reset (or reused) while such a stale completion
+        # still fires, an unguarded decrement would drive ``busy`` negative
+        # and over-admit starts forever after.  Clamp instead of going
+        # negative and record the anomaly.
+        if self.busy > 0:
+            self.busy -= 1
+        else:
+            self.stale_completions += 1
 
     def reset(self) -> None:
         self.busy = 0
+        self.stale_completions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoundedProcessors({self.processors})"
@@ -121,7 +134,9 @@ class StaticOrder:
     *order* lists one entry per firing; when *cyclic* (the default) the
     sequence repeats indefinitely, which is the ``loop{...} while(1)``
     wrapper of the generated sequential program.  One-shot (initialisation)
-    tasks are outside the steady-state schedule and are always admitted.
+    tasks are outside the steady-state schedule and are admitted whenever
+    the processor is free -- but, like every firing on this single
+    processor, never while another firing is in flight.
 
     Schedule entries are matched against ``key(task)`` -- bare ``task.name``
     by default, which is unambiguous for SDF-derived and synthetic task sets
@@ -154,17 +169,27 @@ class StaticOrder:
         return self.order[self.position % len(self.order)]
 
     def allow_start(self, task: RuntimeTask) -> bool:
+        # One-shots too must wait for the processor: admitting them while a
+        # steady-state firing is in flight would overlap two firings on the
+        # supposedly single processor.
+        if self._in_flight:
+            return False
         if task.one_shot:
             return True
-        return not self._in_flight and self._key(task) == self.current()
+        return self._key(task) == self.current()
 
     def on_start(self, task: RuntimeTask) -> None:
-        if not task.one_shot:
-            self._in_flight = True
+        self._in_flight = True
 
     def on_complete(self, task: RuntimeTask) -> None:
+        if not self._in_flight:
+            # stale completion of a run stopped mid-flight whose policy was
+            # reset/reused: ignore it instead of advancing the schedule past
+            # entries that never ran (same hardening as BoundedProcessors)
+            return
+        self._in_flight = False
         if not task.one_shot:
-            self._in_flight = False
+            # only steady-state firings consume a schedule entry
             self.position += 1
 
     def reset(self) -> None:

@@ -1,7 +1,8 @@
 """Discrete-event runtime for compiled OIL programs.
 
 * :mod:`repro.runtime.functions` -- registry of the coordinated functions,
-* :mod:`repro.runtime.events` -- event queue with exact rational time,
+* :mod:`repro.runtime.events` -- event queue with exact time (rational
+  seconds or integer ticks of a :class:`~repro.util.rational.TimeBase`),
 * :mod:`repro.runtime.tasks` -- data-driven runtime tasks and the expression
   evaluator for guards and assignments,
 * :mod:`repro.runtime.sources` -- time-triggered sources and sinks with

@@ -39,7 +39,7 @@ from repro.runtime.functions import FunctionRegistry
 from repro.runtime.sources import SinkDriver, SourceDriver
 from repro.runtime.tasks import OilRuntimeError, RuntimeTask
 from repro.runtime.trace import TraceRecorder
-from repro.util.rational import Rat, as_rational
+from repro.util.rational import Rat, TimeBase, as_rational
 
 #: A mode schedule: per module instance path (or module name), the cyclic list
 #: of (loop identifier, iteration quota) phases.
@@ -176,6 +176,16 @@ class Simulation:
     trace_level:
         Granularity of the :class:`~repro.runtime.trace.TraceRecorder`
         (``"full"``, ``"endpoints"`` or ``"off"``).
+    time_base:
+        Time representation of the event queue.  ``"auto"`` (default)
+        derives an exact integer-tick base from every period, response time
+        and offset of the instantiated program and falls back transparently
+        to exact :class:`~fractions.Fraction` timestamps when the durations
+        do not fit one; ``"ticks"`` requires the tick base (raising
+        otherwise); ``"fraction"`` forces the legacy representation; a ready
+        :class:`~repro.util.rational.TimeBase` is validated against the
+        program's durations and used as given.  Traces are bit-identical
+        across all choices.
     """
 
     def __init__(
@@ -192,6 +202,7 @@ class Simulation:
         scheduler: Optional[SchedulerPolicy] = None,
         dispatcher: str = "ready-set",
         trace_level: str = "full",
+        time_base: Union[str, TimeBase] = "auto",
     ) -> None:
         self.result = result
         self.registry = registry
@@ -228,6 +239,59 @@ class Simulation:
 
         for instance in self.instances:
             instance.apply_activation()
+
+        #: the integer-tick base the queue runs on, or ``None`` in fraction
+        #: mode; chosen once the full duration set of the instantiated
+        #: program is known and before any event is scheduled
+        self.time_base: Optional[TimeBase] = self._select_time_base(time_base)
+
+    # -------------------------------------------------------------- time base
+    def _duration_set(self) -> List[Rat]:
+        """Every duration the simulation can ever schedule with: driver
+        periods (and the half periods delayed-start sinks phase in with),
+        start offsets and task response times.  Event times are sums of these
+        values, so a tick base covering this set covers all timestamps."""
+        durations: List[Rat] = []
+        for source in self.sources.values():
+            durations.append(source.period)
+            durations.append(source.start_offset)
+        for sink in self.sinks.values():
+            durations.append(sink.period)
+            if sink.start_time is not None:
+                durations.append(sink.start_time)
+            else:
+                durations.append(sink.period / 2)
+        for task in self.engine.tasks:
+            durations.append(task.wcet)
+        return durations
+
+    def _select_time_base(self, requested: Union[str, TimeBase]) -> Optional[TimeBase]:
+        """Resolve the ``time_base`` parameter against the instantiated
+        program (see the class docstring for the selection/fallback rule)."""
+        if requested == "fraction":
+            return None
+        durations = self._duration_set()
+        if isinstance(requested, TimeBase):
+            timebase: Optional[TimeBase] = requested
+        elif requested in ("auto", "ticks"):
+            timebase = TimeBase.for_durations(durations)
+        else:
+            raise OilRuntimeError(
+                f"unknown time base {requested!r}: expected 'auto', 'ticks', "
+                f"'fraction' or a TimeBase instance"
+            )
+        if timebase is not None and any(timebase.try_ticks(d) is None for d in durations):
+            # a duration does not divide the resolution: the tick grid would
+            # be inexact, so this program keeps exact fractions
+            timebase = None
+        if timebase is None and (requested == "ticks" or isinstance(requested, TimeBase)):
+            raise OilRuntimeError(
+                "the program's periods/response times/offsets do not fit an "
+                "integer tick base; use time_base='auto' or 'fraction'"
+            )
+        if timebase is not None:
+            self.queue.set_timebase(timebase)
+        return timebase
 
     # ------------------------------------------------------------------ build
     def _default_top(self) -> str:
@@ -566,9 +630,19 @@ class Simulation:
         max_time = as_rational(max_time)
         self._start_drivers()
         target = self.sinks[sink]
-        step = max_time / 64
-        while self.queue.now < max_time and len(target.consumed) < count:
-            self.queue.run_until(min(self.queue.now + step, max_time))
-            if self.queue.empty():
+        queue = self.queue
+        # Step in the queue's native units: on a tick base the step is at
+        # least one tick, so the loop always makes progress even when the
+        # fractional step would floor to the current instant.
+        end: Any
+        if queue.timebase is not None:
+            end = queue.timebase.ticks_floor(max_time)
+            step = max(1, end // 64)
+        else:
+            end = max_time
+            step = max_time / 64
+        while queue.now < end and len(target.consumed) < count:
+            queue.run_until(min(queue.now + step, end))
+            if queue.empty():
                 break
         return self.trace

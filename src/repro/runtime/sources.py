@@ -15,6 +15,11 @@ FIFO semantics.  The runtime drivers implemented here:
   is recorded.  A sink starts either at a configured offset or, by default, at
   the first instant data is available (the measured value of that instant is
   the pipeline-fill latency reported by the trace).
+
+Both drivers convert their period (and offsets) into the event queue's native
+time units once, at :meth:`start`: on a tick-based queue the per-period hot
+path then only adds integers.  Trace timestamps are recorded as exact
+rational seconds regardless of the queue's representation.
 """
 
 from __future__ import annotations
@@ -59,31 +64,37 @@ class SourceDriver:
             return
         self.launched = True
         self.buffer.register_producer(self.name)
-        self.queue.schedule(self.start_offset, self._tick, label=f"source:{self.name}")
+        queue = self.queue
+        self._period_i = queue.to_internal(self.period)
+        self._label = f"source:{self.name}"
+        queue.schedule(queue.to_internal(self.start_offset), self._tick, label=self._label)
 
     def _tick(self) -> None:
-        time = self.queue.now
+        queue = self.queue
         try:
             value = next(self.values)
         except StopIteration:
             return  # finite stimulus exhausted: stop producing
+        trace = self.trace
         if self.buffer.can_produce(self.name, 1):
             self.buffer.produce(self.name, [value], 1)
             self.produced += 1
-            self.trace.record_endpoint(self.name, "source", time, value)
-            if self.trace.occupancy_enabled:
-                self.trace.record_occupancy(self.buffer.name, self.buffer.occupancy())
+            if trace.endpoints_enabled:
+                trace.record_endpoint(self.name, "source", queue.now_time, value)
+            if trace.occupancy_enabled:
+                trace.record_occupancy(self.buffer.name, self.buffer.occupancy())
             if self.on_change is not None:
                 self.on_change()
         else:
             self.dropped += 1
-            self.trace.record_violation(
-                self.name,
-                "source-overflow",
-                time,
-                detail=f"buffer {self.buffer.name!r} full ({self.buffer.occupancy()} tokens)",
-            )
-        self.queue.schedule(time + self.period, self._tick, label=f"source:{self.name}")
+            if trace.violations_enabled:
+                trace.record_violation(
+                    self.name,
+                    "source-overflow",
+                    queue.now_time,
+                    detail=f"buffer {self.buffer.name!r} full ({self.buffer.occupancy()} tokens)",
+                )
+        queue.schedule(queue.now + self._period_i, self._tick, label=self._label)
 
 
 @dataclass
@@ -112,9 +123,16 @@ class SinkDriver:
             return
         self.launched = True
         self.buffer.register_consumer(self.name)
+        queue = self.queue
+        self._period_i = queue.to_internal(self.period)
+        self._label = f"sink:{self.name}"
         if self.start_time is not None:
             self.started = True
-            self.queue.schedule(self.start_time, self._tick, label=f"sink:{self.name}")
+            queue.schedule(queue.to_internal(self.start_time), self._tick, label=self._label)
+        else:
+            # Delayed-start sinks phase in half a period after data arrives;
+            # converted here so the time base must cover the half period too.
+            self._half_period_i = queue.to_internal(self.period / 2)
 
     def notify_data_available(self) -> None:
         """Called by the scheduler when the sink's buffer received data; used
@@ -129,21 +147,26 @@ class SinkDriver:
             return
         if self.buffer.can_consume(self.name, 1):
             self.started = True
-            self.queue.schedule(
-                self.queue.now + self.period / 2, self._tick, label=f"sink:{self.name}"
-            )
+            queue = self.queue
+            queue.schedule(queue.now + self._half_period_i, self._tick, label=self._label)
 
     def _tick(self) -> None:
-        time = self.queue.now
+        queue = self.queue
+        trace = self.trace
         if self.buffer.can_consume(self.name, 1):
             value = self.buffer.consume(self.name, 1)[0]
             self.consumed.append(value)
-            self.trace.record_endpoint(self.name, "sink", time, value)
+            if trace.endpoints_enabled:
+                trace.record_endpoint(self.name, "sink", queue.now_time, value)
             if self.on_change is not None:
                 self.on_change()
         else:
             self.misses += 1
-            self.trace.record_violation(
-                self.name, "sink-underflow", time, detail=f"buffer {self.buffer.name!r} empty"
-            )
-        self.queue.schedule(time + self.period, self._tick, label=f"sink:{self.name}")
+            if trace.violations_enabled:
+                trace.record_violation(
+                    self.name,
+                    "sink-underflow",
+                    queue.now_time,
+                    detail=f"buffer {self.buffer.name!r} empty",
+                )
+        queue.schedule(queue.now + self._period_i, self._tick, label=self._label)

@@ -159,6 +159,11 @@ class RuntimeTask:
 
     def __post_init__(self) -> None:
         self._key = f"{self.instance}:{self.name}"
+        #: wcet in the event queue's native time units; overwritten by the
+        #: engine (ExecutionEngine.wire_buffers) with the tick count when the
+        #: queue runs on an integer time base, so the firing hot path never
+        #: converts
+        self.wcet_internal = self.wcet
         self._reads = [
             (access.buffer, access.count, self.buffers[access.buffer])
             for access in self.task.reads

@@ -13,7 +13,14 @@ layers rely on:
   across the public API.
 """
 
-from repro.util.rational import Rat, as_rational, rational_gcd, rational_lcm
+from repro.util.rational import (
+    Rat,
+    TimeBase,
+    TimeBaseError,
+    as_rational,
+    rational_gcd,
+    rational_lcm,
+)
 from repro.util.units import Frequency, TimeValue, hz, khz, mhz, ms, us, seconds
 from repro.util.graphs import (
     ConstraintGraph,
@@ -35,6 +42,8 @@ from repro.util.validation import (
 
 __all__ = [
     "Rat",
+    "TimeBase",
+    "TimeBaseError",
     "as_rational",
     "rational_gcd",
     "rational_lcm",

@@ -10,13 +10,21 @@ computed exactly, therefore all rate book-keeping in this reproduction uses
 module normalise user input (ints, floats, strings, fractions) into exact
 rationals and provide gcd / lcm on rationals which the repetition-vector and
 hyper-period computations need.
+
+:class:`TimeBase` is the runtime's integer-tick clock: it fixes a rational
+*resolution* (seconds per tick, the gcd of every duration a program can
+schedule) so that all timestamps become exact integer tick counts.  Integer
+comparisons are what the event queue's heap spends its time on, and they are
+several times cheaper than :class:`~fractions.Fraction` comparisons while
+remaining exact -- tick counts round-trip to the very same rationals the
+legacy fraction-based queue computes.
 """
 
 from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 #: Exact rational number type used across the analysis layers.
 Rat = Fraction
@@ -134,3 +142,99 @@ def rational_str(value: RationalLike) -> str:
     if f.denominator == 1:
         return str(f.numerator)
     return f"{f.numerator}/{f.denominator}"
+
+
+# --------------------------------------------------------------------------
+# Integer-tick time base
+# --------------------------------------------------------------------------
+
+#: A resolution whose denominator exceeds this bound would turn every
+#: timestamp into a multi-limb big integer; such programs keep the exact
+#: fraction representation instead.
+DEFAULT_MAX_TICK_DENOMINATOR = 10**18
+
+
+class TimeBaseError(ValueError):
+    """A timestamp does not lie on the tick grid of a :class:`TimeBase`."""
+
+
+class TimeBase:
+    """An exact integer-tick clock of a fixed rational resolution.
+
+    One tick lasts ``resolution`` seconds.  A rational time is representable
+    exactly iff it is an integer multiple of the resolution; construction via
+    :meth:`for_durations` (the gcd of every duration the program schedules:
+    periods, execution times, offsets) guarantees this for all timestamps a
+    simulation can produce, because event times are sums of those durations.
+
+    Conversions are exact in both directions -- :meth:`to_time` of
+    :meth:`to_ticks` is the identity -- so a tick-based run is observationally
+    identical to a fraction-based run; only the event queue's comparison cost
+    changes.
+    """
+
+    __slots__ = ("resolution", "_num", "_den")
+
+    def __init__(self, resolution: RationalLike) -> None:
+        res = as_rational(resolution)
+        if res <= 0:
+            raise ValueError(f"tick resolution must be positive, got {res}")
+        self.resolution: Rat = res
+        self._num = res.numerator
+        self._den = res.denominator
+
+    @classmethod
+    def for_durations(
+        cls,
+        durations: Iterable[RationalLike],
+        *,
+        max_denominator: Optional[int] = DEFAULT_MAX_TICK_DENOMINATOR,
+    ) -> Optional["TimeBase"]:
+        """The coarsest time base on whose grid all *durations* lie.
+
+        The resolution is the rational gcd of the positive durations (zeros
+        are grid points of every base and are skipped).  Returns ``None`` --
+        the caller falls back to exact fractions -- when there is no positive
+        duration to derive a resolution from, or when the resolution's
+        denominator exceeds *max_denominator* (tick counts would become
+        arbitrarily large big integers, defeating the point).
+        """
+        positive = [f for f in (as_rational(d) for d in durations) if f > 0]
+        if not positive:
+            return None
+        resolution = rational_gcd(positive)
+        if max_denominator is not None and resolution.denominator > max_denominator:
+            return None
+        return cls(resolution)
+
+    def to_ticks(self, time: RationalLike) -> int:
+        """Exact tick count of *time*; raises :class:`TimeBaseError` when
+        *time* is not on the tick grid."""
+        f = as_rational(time)
+        ticks, remainder = divmod(f.numerator * self._den, f.denominator * self._num)
+        if remainder:
+            raise TimeBaseError(
+                f"{rational_str(f)} s is not a multiple of the tick resolution "
+                f"{rational_str(self.resolution)} s"
+            )
+        return ticks
+
+    def try_ticks(self, time: RationalLike) -> Optional[int]:
+        """Exact tick count of *time*, or ``None`` when off the grid."""
+        f = as_rational(time)
+        ticks, remainder = divmod(f.numerator * self._den, f.denominator * self._num)
+        return None if remainder else ticks
+
+    def ticks_floor(self, time: RationalLike) -> int:
+        """The last tick at or before *time* (for run horizons, which bound
+        event processing but need not be grid points themselves)."""
+        f = as_rational(time)
+        return (f.numerator * self._den) // (f.denominator * self._num)
+
+    def to_time(self, ticks: int) -> Rat:
+        """The exact rational time of tick *ticks* (inverse of
+        :meth:`to_ticks`)."""
+        return Fraction(ticks * self._num, self._den)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeBase(resolution={rational_str(self.resolution)} s)"

@@ -210,6 +210,29 @@ class TestSweep:
         first, second = (result.run.sink("averages") for result in report.results)
         assert first != second  # each point ran its own stimulus
 
+    def test_unpicklable_program_axis_falls_back_to_repr_keys(self):
+        # Unpicklable axis values (generators, lambdas, open handles) must
+        # not crash the sweep: the dedup key falls back to a repr-based key.
+        # Default object reprs embed the id, so such points may compile the
+        # same program redundantly -- never crash, never share wrongly.
+        from repro.api.sweep import _program_key
+
+        values = [(float(i) for i in range(100)), (float(i) for i in range(100))]
+        with pytest.raises(Exception):
+            import pickle
+
+            pickle.dumps(values[0])  # the premise: generators are unpicklable
+        keys = [_program_key({"signal": value}) for value in values]
+        assert keys[0] != keys[1]  # distinct instances -> distinct (repr) keys
+
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("signal", values)
+            .run()
+        )
+        assert report.ok, [f.error for f in report.failures]
+        assert len(report) == 2
+
     def test_speedup_table_direction(self):
         report = (
             Sweep.from_callable(lambda n: {"latency": float(n)})

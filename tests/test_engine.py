@@ -32,7 +32,10 @@ from repro.engine import (
     tasks_from_sdf,
 )
 from repro.graph.circular_buffer import CircularBuffer
+from repro.graph.taskgraph import Access, Task
+from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
+from repro.runtime.tasks import RuntimeTask
 from repro.runtime.trace import TraceRecorder
 
 
@@ -279,6 +282,81 @@ class TestStaticOrderPolicy:
         with pytest.raises(ValueError):
             static_order_policy(graph)
 
+    def _init_plus_loop_program(self):
+        """A 2-task steady-state ring plus a one-shot init task that is
+        eligible at t = 0 alongside the first steady-state firing."""
+        registry = FunctionRegistry()
+        registry.register("fa", lambda value: value)
+        registry.register("fb", lambda value: value)
+        registry.register("fi", lambda: 1.0)
+
+        def make(name, reads, writes, *, one_shot=False):
+            task = Task(name=name, kind="call", function=f"f{name}",
+                        firing_duration=Fraction(1))
+            task.reads = [Access(buffer.name, 1) for buffer in reads]
+            task.writes = [Access(buffer.name, 1) for buffer in writes]
+            runtime = RuntimeTask(
+                name=name,
+                task=task,
+                instance="so",
+                registry=registry,
+                buffers={buffer.name: buffer for buffer in (*reads, *writes)},
+                wcet=Fraction(1),
+                one_shot=one_shot,
+            )
+            key = runtime.producer_key()
+            for buffer in reads:
+                buffer.register_consumer(key)
+            for buffer in writes:
+                buffer.register_producer(key)
+            return runtime
+
+        ring_in = CircularBuffer("so/ring_in", 2, initial_values=[0.0])
+        ring_out = CircularBuffer("so/ring_out", 2)
+        seed = CircularBuffer("so/seed", 2)
+        # init first: extraction orders one-shots before the loop tasks
+        return [
+            make("i", [], [seed], one_shot=True),
+            make("a", [ring_in], [ring_out]),
+            make("b", [ring_out], [ring_in]),
+        ]
+
+    def test_stale_completion_does_not_corrupt_schedule_position(self):
+        # Mirror of the BoundedProcessors hardening: a stale completion
+        # arriving after reset() must not advance the schedule position or
+        # clear an in-flight flag it does not own.
+        policy = StaticOrder(["a", "b"])
+
+        class _Steady:
+            one_shot = False
+
+        task = _Steady()
+        policy.on_start(task)
+        policy.reset()  # run stopped mid-flight, engine resets the policy
+        policy.on_complete(task)  # stale completion of the old run
+        assert policy.position == 0
+        assert policy.current() == "a"
+        policy.on_start(task)
+        policy.on_complete(task)
+        assert policy.position == 1
+
+    def test_one_shot_cannot_overlap_in_flight_firing(self):
+        # Regression: one-shot init tasks were admitted unconditionally, so
+        # an init firing could start while a steady-state firing was in
+        # flight -- two firings on the supposedly single processor.
+        run = run_tasks(
+            self._init_plus_loop_program(),
+            policy=StaticOrder(["a", "b"]),
+            stop_after_firings=5,
+        )
+        firings = sorted(run.trace.firings, key=lambda f: (f.start, f.end))
+        assert any(f.task == "so:i" for f in firings)  # the init did fire
+        for earlier, later in zip(firings, firings[1:]):
+            assert earlier.end <= later.start, (
+                f"{earlier.task} (ends {earlier.end}) overlaps "
+                f"{later.task} (starts {later.start})"
+            )
+
 
 # ---------------------------------------------------------------------------
 # BoundedProcessors: Fig. 4 speedup scenarios
@@ -329,6 +407,21 @@ class TestBoundedProcessors:
         assert first.engine.completed_firings >= 7
         second = run_tasks(fork_join_program(4), policy=policy, stop_after_firings=12)
         assert second.engine.completed_firings >= 12
+
+    def test_stale_completion_cannot_drive_busy_negative(self):
+        # A run stopped mid-flight leaves completions that never fired; when
+        # the policy is reset (or reused) and such a stale completion still
+        # arrives, the busy count must clamp at zero instead of going
+        # negative and over-admitting starts ever after.
+        policy = BoundedProcessors(1)
+        policy.on_start(None)
+        policy.reset()  # the engine resets between runs
+        policy.on_complete(None)  # stale completion of the old run
+        assert policy.busy == 0
+        assert policy.stale_completions == 1  # the anomaly stays observable
+        policy.on_start(None)
+        assert policy.busy == 1
+        assert not policy.allow_start(None)
 
     def test_makespan_available_with_tracing_off(self):
         run = run_tasks(

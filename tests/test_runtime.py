@@ -50,6 +50,26 @@ class TestEventQueue:
         queue.run_until(Fraction(5))
         assert queue.now == 5
 
+    def test_peek_time_skips_cancelled_and_prunes(self):
+        queue = EventQueue()
+        events = [queue.schedule(Fraction(i), lambda: None) for i in range(1, 6)]
+        for event in events[:3]:
+            queue.cancel(event)
+        assert queue.peek_time() == Fraction(4)
+        # cancelled heads were physically popped, not re-scanned per call
+        assert len(queue._heap) == 2
+        assert not queue.empty()
+
+    def test_empty_is_true_once_all_events_cancelled(self):
+        queue = EventQueue()
+        events = [queue.schedule(Fraction(i), lambda: None) for i in range(1, 4)]
+        assert not queue.empty()
+        for event in events:
+            queue.cancel(event)
+        assert queue.empty()
+        assert queue._heap == []
+        assert queue.peek_time() is None
+
 
 class TestExpressionEvaluator:
     def test_arithmetic(self):

@@ -1,0 +1,305 @@
+"""Tests for the integer-tick event-queue time base.
+
+The load-bearing guarantee: a tick-based run is *observationally identical*
+to a fraction-based run -- every timestamp that leaves the runtime (traces,
+makespans, violation instants) round-trips through the tick count to the
+exact :class:`~fractions.Fraction` the legacy queue would have computed.
+Tick mode may only change how fast the queue compares timestamps, never what
+they are.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.api import Program
+from repro.engine import ring_program, run_tasks
+from repro.runtime.events import EventQueue
+from repro.runtime.tasks import OilRuntimeError
+from repro.util.rational import TimeBase, TimeBaseError
+
+
+def assert_traces_identical(a, b):
+    assert a.firings == b.firings
+    assert a.endpoint_events == b.endpoint_events
+    assert a.violations == b.violations
+    assert a.buffer_high_water == b.buffer_high_water
+
+
+# ---------------------------------------------------------------------------
+# TimeBase arithmetic
+# ---------------------------------------------------------------------------
+
+class TestTimeBase:
+    def test_resolution_is_gcd_of_durations(self):
+        tb = TimeBase.for_durations([Fraction(1, 6_400_000), Fraction(1, 32_000)])
+        # 6.4 MHz and 32 kHz periods: the grid is the finer period.
+        assert tb is not None
+        assert tb.resolution == Fraction(1, 6_400_000)
+        tb = TimeBase.for_durations([Fraction(3, 1000), Fraction(1, 500)])
+        assert tb.resolution == Fraction(1, 1000)
+
+    def test_round_trip_is_exact(self):
+        tb = TimeBase(Fraction(1, 6_400_000))
+        for value in (Fraction(0), Fraction(1, 32_000), Fraction(7, 800), Fraction(5)):
+            ticks = tb.to_ticks(value)
+            assert isinstance(ticks, int)
+            assert tb.to_time(ticks) == value
+
+    def test_off_grid_time_raises(self):
+        tb = TimeBase(Fraction(1, 1000))
+        with pytest.raises(TimeBaseError):
+            tb.to_ticks(Fraction(1, 3000))
+        assert tb.try_ticks(Fraction(1, 3000)) is None
+        assert tb.try_ticks(Fraction(2, 1000)) == 2
+
+    def test_ticks_floor(self):
+        tb = TimeBase(Fraction(1, 1000))
+        assert tb.ticks_floor(Fraction(1, 3)) == 333
+        assert tb.ticks_floor(Fraction(2, 1000)) == 2
+
+    def test_zero_durations_yield_no_base(self):
+        assert TimeBase.for_durations([]) is None
+        assert TimeBase.for_durations([0, Fraction(0)]) is None
+
+    def test_zero_durations_are_skipped_not_fatal(self):
+        tb = TimeBase.for_durations([0, Fraction(1, 4)])
+        assert tb.resolution == Fraction(1, 4)
+
+    def test_denominator_cap_falls_back(self):
+        huge = Fraction(1, 10**19)
+        assert TimeBase.for_durations([huge]) is None
+        assert TimeBase.for_durations([huge], max_denominator=None) is not None
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBase(0)
+        with pytest.raises(ValueError):
+            TimeBase(Fraction(-1, 2))
+
+
+# ---------------------------------------------------------------------------
+# Tick-based event queue
+# ---------------------------------------------------------------------------
+
+class TestTickEventQueue:
+    def test_orders_like_the_fraction_queue(self):
+        tb = TimeBase(Fraction(1, 1000))
+        results = []
+        for queue in (EventQueue(), EventQueue(tb)):
+            seen = []
+            queue.schedule(Fraction(2, 1000), lambda s=seen: s.append("b"))
+            queue.schedule(Fraction(1, 1000), lambda s=seen: s.append("a"))
+            queue.schedule(Fraction(1, 1000), lambda s=seen: s.append("a2"))
+            queue.run_until(Fraction(1, 100))
+            results.append(seen)
+        assert results[0] == results[1] == ["a", "a2", "b"]
+
+    def test_rational_inputs_convert_exactly(self):
+        queue = EventQueue(TimeBase(Fraction(1, 1000)))
+        event = queue.schedule(Fraction(3, 1000), lambda: None)
+        assert event.time == 3  # native units: ticks
+        with pytest.raises(TimeBaseError):
+            queue.schedule(Fraction(1, 3), lambda: None)
+
+    def test_now_time_round_trips(self):
+        queue = EventQueue(TimeBase(Fraction(1, 32_000)))
+        stamps = []
+        queue.schedule(Fraction(5, 32_000), lambda: stamps.append(queue.now_time))
+        queue.run_until(Fraction(1))
+        assert stamps == [Fraction(5, 32_000)]
+        assert queue.now == 32_000  # ticks
+        assert queue.now_time == Fraction(1)
+
+    def test_run_until_floors_off_grid_horizons(self):
+        queue = EventQueue(TimeBase(Fraction(1, 1000)))
+        queue.run_until(Fraction(1, 3))
+        assert queue.now == 333
+        assert queue.now_time == Fraction(333, 1000)
+
+    def test_timebase_fixed_once_history_exists(self):
+        queue = EventQueue()
+        queue.run_until(Fraction(1))
+        with pytest.raises(ValueError):
+            queue.set_timebase(TimeBase(Fraction(1, 10)))
+
+    def test_schedule_after_accepts_ticks_and_rationals(self):
+        queue = EventQueue(TimeBase(Fraction(1, 100)))
+        seen = []
+        queue.schedule_after(3, lambda: seen.append(queue.now))
+        queue.schedule_after(Fraction(5, 100), lambda: seen.append(queue.now))
+        queue.run_until(Fraction(1))
+        assert seen == [3, 5]
+
+
+# ---------------------------------------------------------------------------
+# Round-trip exactness on incommensurable periodic chains (property-style)
+# ---------------------------------------------------------------------------
+
+class TestPeriodicRoundTrip:
+    """Two periodic chains with incommensurable periods produce timestamp
+    streams whose interleaving is extremely sensitive to comparison
+    exactness; the tick queue must reproduce the fraction queue's stream
+    bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "period_a,period_b",
+        [
+            (Fraction(1, 6_400_000), Fraction(1, 32_000)),  # the paper's clocks
+            (Fraction(1, 3), Fraction(1, 7)),
+            (Fraction(3, 1000), Fraction(7, 10_000)),
+            (Fraction(1, 44_100), Fraction(1, 48_000)),
+        ],
+    )
+    def test_interleaving_identical(self, period_a, period_b):
+        def stream(queue):
+            stamps = []
+
+            def tick_a():
+                stamps.append(("a", queue.now_time))
+                queue.schedule(queue.now + queue.to_internal(period_a), tick_a)
+
+            def tick_b():
+                stamps.append(("b", queue.now_time))
+                queue.schedule(queue.now + queue.to_internal(period_b), tick_b)
+
+            queue.schedule(queue.to_internal(Fraction(0)), tick_a)
+            queue.schedule(queue.to_internal(Fraction(0)), tick_b)
+            queue.run_until(period_a * 200, max_events=400)
+            return stamps
+
+        fraction_stream = stream(EventQueue())
+        tick_queue = EventQueue(TimeBase.for_durations([period_a, period_b]))
+        assert tick_queue.timebase is not None
+        tick_stream = stream(tick_queue)
+        assert tick_stream == fraction_stream
+        assert all(isinstance(time, Fraction) for _, time in tick_stream)
+
+
+# ---------------------------------------------------------------------------
+# Simulation-level equivalence: every app, tick vs fraction
+# ---------------------------------------------------------------------------
+
+APP_CASES = [
+    ("quickstart", {}, Fraction(1, 20)),
+    ("rate_converter", {}, Fraction(1, 10)),
+    ("pal_decoder", {"scale": 1000}, Fraction(1, 20)),
+    ("modal_two_mode", {}, Fraction(1, 20)),
+]
+
+
+class TestSimulationEquivalence:
+    @pytest.mark.parametrize("app,params,duration", APP_CASES, ids=[c[0] for c in APP_CASES])
+    def test_traces_bit_identical_across_time_bases(self, app, params, duration):
+        analysis = Program.from_app(app, **params).analyze()
+        fraction_run = analysis.run(duration, time_base="fraction")
+        tick_run = analysis.run(duration, time_base="ticks")
+        assert fraction_run.time_base == "fraction"
+        assert tick_run.time_base == "ticks"
+        assert len(tick_run.trace.firings) > 0
+        assert_traces_identical(tick_run.trace, fraction_run.trace)
+        assert tick_run.makespan == fraction_run.makespan
+        assert tick_run.sink_counts == fraction_run.sink_counts
+        for name in tick_run.sink_counts:
+            assert tick_run.sink(name) == fraction_run.sink(name)
+
+    def test_full_rate_pal_clocks(self):
+        # The paper's unscaled clocks: a 6.4 MHz RF source against 32 kHz
+        # audio.  One video line of simulated time is enough to interleave
+        # thousands of source ticks between audio instants.
+        analysis = Program.from_app("pal_decoder", scale=1).analyze()
+        duration = Fraction(1, 2_000)
+        fraction_run = analysis.run(duration, time_base="fraction")
+        tick_run = analysis.run(duration, time_base="ticks")
+        assert tick_run.simulation.time_base.resolution <= Fraction(1, 6_400_000)
+        assert len(tick_run.trace.endpoint_events) > 1000
+        assert_traces_identical(tick_run.trace, fraction_run.trace)
+
+    def test_engine_run_tasks_equivalence(self):
+        a = run_tasks(ring_program(40, tokens=4, stagger=5), stop_after_firings=300,
+                      time_base="fraction")
+        b = run_tasks(ring_program(40, tokens=4, stagger=5), stop_after_firings=300,
+                      time_base="ticks")
+        assert b.queue.timebase is not None
+        assert_traces_identical(a.trace, b.trace)
+        assert a.makespan == b.makespan
+
+
+# ---------------------------------------------------------------------------
+# Fraction fallback path
+# ---------------------------------------------------------------------------
+
+class TestFractionFallback:
+    def test_explicit_fraction_mode(self):
+        run = Program.from_app("quickstart").analyze().run(
+            Fraction(1, 50), time_base="fraction"
+        )
+        assert run.time_base == "fraction"
+        assert run.simulation.queue.timebase is None
+        assert run.deadline_misses == 0
+
+    def test_auto_falls_back_when_resolution_explodes(self):
+        # A sink start offset with a denominator beyond the tick cap: the
+        # gcd resolution would make every timestamp a huge integer, so the
+        # simulation keeps exact fractions -- transparently.
+        analysis = Program.from_app("quickstart").analyze()
+        offset = {"averages": Fraction(1, 10**19)}
+        run = analysis.run(Fraction(1, 50), sink_start_times=offset)
+        assert run.time_base == "fraction"
+        # forcing ticks on the same program is a loud error instead
+        with pytest.raises(OilRuntimeError):
+            analysis.run(Fraction(1, 50), sink_start_times=offset, time_base="ticks")
+
+    def test_fallback_trace_matches_tick_trace(self):
+        analysis = Program.from_app("rate_converter").analyze()
+        tick_run = analysis.run(Fraction(1, 10))  # auto -> ticks
+        fallback_run = analysis.run(Fraction(1, 10), time_base="fraction")
+        assert tick_run.time_base == "ticks"
+        assert fallback_run.time_base == "fraction"
+        assert_traces_identical(tick_run.trace, fallback_run.trace)
+
+    def test_run_tasks_fallback_without_positive_wcets(self):
+        tasks = ring_program(10, tokens=2, wcet=0)
+        run = run_tasks(tasks, stop_after_firings=20)  # auto
+        assert run.queue.timebase is None
+        assert run.engine.completed_firings >= 20
+        with pytest.raises(TimeBaseError):
+            run_tasks(ring_program(10, tokens=2, wcet=0), time_base="ticks")
+
+    def test_unknown_time_base_rejected(self):
+        with pytest.raises(ValueError):
+            run_tasks(ring_program(10, tokens=2), time_base="nanoseconds")
+        with pytest.raises(OilRuntimeError):
+            Program.from_app("quickstart").analyze().run(
+                Fraction(1, 100), time_base="nanoseconds"
+            )
+
+    def test_explicit_timebase_instance_validated(self):
+        analysis = Program.from_app("quickstart").analyze()
+        # 2 kHz source, 1 kHz sink (half period 1/2000), wcet 3/10000:
+        # 1/10000 covers everything.
+        run = analysis.run(Fraction(1, 50), time_base=TimeBase(Fraction(1, 10_000)))
+        assert run.time_base == "ticks"
+        with pytest.raises(OilRuntimeError):
+            analysis.run(Fraction(1, 50), time_base=TimeBase(Fraction(1, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Sweeping the time base as a run axis
+# ---------------------------------------------------------------------------
+
+class TestTimeBaseSweep:
+    def test_time_base_is_a_run_axis(self):
+        from repro.api import Sweep
+
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("time_base", ["fraction", "ticks"])
+            .run()
+        )
+        assert report.ok
+        assert report.column("time_base") == ["fraction", "ticks"]
+        rows = report.rows()
+        # identical observable metrics, whatever the representation
+        for key in ("deadline_misses", "completed_firings", "makespan"):
+            assert rows[0][key] == rows[1][key]
