@@ -1,12 +1,42 @@
-"""Uniform table printing for the reproduced figures/experiments."""
+"""Uniform table printing for the reproduced figures/experiments.
+
+Besides the human-readable tables, every table is optionally recorded in
+machine-readable form: when the ``BENCH_REPORT_JSON`` environment variable
+names a file, each printed table is appended to it as one JSON line
+(``{"title", "header", "rows"}``).  CI uploads that file as a workflow
+artifact so the performance trajectory survives log expiry.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from typing import List, Sequence
 
 
+def _json_cell(value: object) -> object:
+    """A cell as a JSON-native value (numbers stay numbers, rest stringifies)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def record_table(title: str, header: Sequence[object], rows: Sequence[Sequence[object]]) -> None:
+    """Append the table as one JSON line to ``$BENCH_REPORT_JSON``, if set."""
+    path = os.environ.get("BENCH_REPORT_JSON")
+    if not path:
+        return
+    entry = {
+        "title": title,
+        "header": [str(column) for column in header],
+        "rows": [[_json_cell(cell) for cell in row] for row in rows],
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+
+
 def print_table(title: str, header: Sequence[object], rows: Sequence[Sequence[object]]) -> None:
-    """Print a small aligned text table with a title."""
+    """Print a small aligned text table with a title (and record it)."""
     print(f"\n=== {title} ===")
     widths = [
         max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
@@ -15,3 +45,4 @@ def print_table(title: str, header: Sequence[object], rows: Sequence[Sequence[ob
     print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    record_table(title, header, rows)

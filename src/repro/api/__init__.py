@@ -13,7 +13,9 @@ for parameter-grid scenario studies:
   occupancy-vs-capacity validation,
 * :class:`Sweep` / :class:`SweepReport` -- parameter grids (frequency
   scales, processor counts, rates, mode schedules) with shared compilation,
-  parallel workers and tabular/JSON aggregation.
+  parallel workers (``executor="thread"`` or true multi-core
+  ``executor="process"`` via picklable :class:`ProgramSpec` shipping) and
+  tabular/JSON aggregation.
 
 The three-line happy path::
 
@@ -33,15 +35,19 @@ and the scenario-sweep counterpart::
 
 from repro.api.apps import AppSpec, app_spec, available_apps, build_app, register_app
 from repro.api.program import Analysis, Program, RunResult
-from repro.api.sweep import RUN_AXES, Sweep, SweepReport, SweepResult
+from repro.api.spec import ProgramSpec, SweepConfigError
+from repro.api.sweep import EXECUTORS, RUN_AXES, Sweep, SweepReport, SweepResult
 
 __all__ = [
     "Analysis",
     "AppSpec",
+    "EXECUTORS",
     "Program",
+    "ProgramSpec",
     "RunResult",
     "RUN_AXES",
     "Sweep",
+    "SweepConfigError",
     "SweepReport",
     "SweepResult",
     "app_spec",

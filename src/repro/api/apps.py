@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.api.program import Program
 
@@ -45,16 +45,27 @@ class AppSpec:
     params: Tuple[str, ...] = ()
     aliases: Tuple[str, ...] = ()
 
-    def build(self, **params: Any) -> Program:
+    def check_params(self, params: Mapping[str, Any]) -> None:
+        """Reject unknown builder parameters with an early, named error."""
         unknown = sorted(set(params) - set(self.params))
         if unknown:
             raise TypeError(
                 f"app {self.name!r} does not accept parameter(s) {unknown}; "
                 f"accepted: {sorted(self.params)}"
             )
+
+    def build(self, **params: Any) -> Program:
+        self.check_params(params)
         module_name, function_name = self.builder.split(":")
         builder = getattr(importlib.import_module(module_name), function_name)
-        return builder(**params)
+        program = builder(**params)
+        # Provenance for ProgramSpec/process sweeps: the canonical name plus
+        # the *exact* invocation kwargs (builders record derived parameters in
+        # ``program.params``, which may omit e.g. a custom signal object --
+        # the spec must replay the call, not the echo).
+        program.app = self.name
+        program.app_params = dict(params)
+        return program
 
 
 _REGISTRY: Dict[str, AppSpec] = {}

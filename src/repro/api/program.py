@@ -61,11 +61,43 @@ RegistryLike = Union[FunctionRegistry, Callable[[], FunctionRegistry]]
 SignalsLike = Union[Mapping[str, Any], Callable[[], Dict[str, Any]]]
 
 
+class SharedRegistry:
+    """A registry "factory" that hands out one shared instance.
+
+    Used when the caller passes a ready-made :class:`FunctionRegistry`: every
+    run then shares it, which is only safe for stateless registries (the
+    documented contract).  A class rather than ``lambda: registry`` so the
+    wrapper -- and with it the enclosing :class:`Program` spec -- stays
+    picklable whenever the registry itself is.
+    """
+
+    def __init__(self, registry: FunctionRegistry) -> None:
+        self.registry = registry
+
+    def __call__(self) -> FunctionRegistry:
+        return self.registry
+
+
+class FixedSignals:
+    """A stimulus factory that copies one fixed name -> signal mapping.
+
+    Every run gets its own shallow copy of the mapping (the pre-facade
+    semantics for plain-dict stimuli).  A class instead of a closure for the
+    same reason as :class:`SharedRegistry`: picklability by value.
+    """
+
+    def __init__(self, signals: Mapping[str, Any]) -> None:
+        self.signals = dict(signals)
+
+    def __call__(self) -> Dict[str, Any]:
+        return dict(self.signals)
+
+
 def _registry_factory(registry: Optional[RegistryLike]) -> Callable[[], FunctionRegistry]:
     if registry is None:
         return FunctionRegistry
     if isinstance(registry, FunctionRegistry):
-        return lambda: registry
+        return SharedRegistry(registry)
     return registry
 
 
@@ -74,8 +106,7 @@ def _signals_factory(signals: Optional[SignalsLike]) -> Callable[[], Dict[str, A
         return dict
     if callable(signals) and not isinstance(signals, Mapping):
         return signals  # type: ignore[return-value]
-    fixed = dict(signals)
-    return lambda: dict(fixed)
+    return FixedSignals(signals)
 
 
 class Program:
@@ -119,6 +150,11 @@ class Program:
         #: the parameters this program was built from (``from_app`` records
         #: them; sweeps and reports echo them back)
         self.params: Dict[str, Any] = dict(params or {})
+        #: provenance for :meth:`spec`: the canonical app-catalogue name and
+        #: the *exact* builder kwargs, stamped by ``AppSpec.build`` (None /
+        #: empty for source-built programs)
+        self.app: Optional[str] = None
+        self.app_params: Dict[str, Any] = {}
         self._compilation: Optional[CompilationResult] = None
         self._analysis: Optional["Analysis"] = None
 
@@ -167,6 +203,19 @@ class Program:
         from repro.api.apps import build_app
 
         return build_app(app, **params)
+
+    def spec(self) -> "ProgramSpec":
+        """The picklable rebuild recipe of this program.
+
+        App-built programs round-trip exactly (name + builder kwargs);
+        source-built programs capture their construction keywords.  Programs
+        wrapped around pre-computed compilations have no recipe and raise
+        :class:`~repro.api.spec.SweepConfigError`.  See
+        :class:`repro.api.spec.ProgramSpec`.
+        """
+        from repro.api.spec import ProgramSpec
+
+        return ProgramSpec.from_program(self)
 
     # ----------------------------------------------------------------- stages
     def compile(self) -> CompilationResult:

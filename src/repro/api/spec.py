@@ -1,0 +1,190 @@
+"""Picklable program specifications -- rebuild recipes for worker processes.
+
+A :class:`~repro.api.program.Program` is deliberately rich: it carries a
+function-registry *factory*, a stimulus *factory*, black-box declarations and
+a compilation cache.  Those parts frequently close over DSP state or bound
+methods, so a Program as a whole cannot be shipped to another process.  What
+*can* be shipped is the recipe it was built from: an app name plus its
+parameter bindings, or OIL source text plus its construction keywords.
+
+:class:`ProgramSpec` is exactly that recipe, as a frozen dataclass whose
+fields are plain data.  ``spec.build()`` reconstructs an equivalent Program
+in whichever process unpickled the spec; the reconstruction re-runs the same
+app builder (or ``Program.from_source``) the original construction ran, so
+registries and signal generators are created natively on the worker side and
+never cross a process boundary.  This is what makes
+``Sweep.run(executor="process")`` possible: the parent sends specs, the
+workers compile locally (once per distinct spec, cached), and only flat
+metric rows travel back.
+
+Two construction paths:
+
+* :meth:`ProgramSpec.from_app` -- an app name plus keyword bindings, the
+  common case for sweeps (``Sweep("pal_decoder")`` grid points).
+* :meth:`ProgramSpec.from_program` -- recover the recipe from an existing
+  Program.  App-built programs (``Program.from_app`` stamps ``program.app`` /
+  ``program.app_params``) round-trip exactly; source-built programs carry
+  their construction keywords, which must themselves be picklable (module
+  level registry factories yes, closures no).  Programs wrapped around
+  pre-computed compilations (``Analysis.from_parts``) have no recipe and
+  raise :class:`SweepConfigError`.
+
+A spec being *constructible* and being *picklable* are separate questions:
+construction always captures the recipe, while :meth:`ProgramSpec.ensure_picklable`
+performs the actual ``pickle.dumps`` probe and raises a
+:class:`SweepConfigError` naming the spec when some captured part (a lambda
+registry factory, an open file in the params, ...) cannot travel.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.program import Program, TimeBaseLike
+
+
+class SweepConfigError(ValueError):
+    """A sweep/spec configuration that cannot do what was asked of it.
+
+    Raised when the process executor is asked to ship something pickle
+    cannot represent (an unpicklable program-axis value, a closure-based
+    registry factory, a recipe-less precompiled program) and the caller
+    requested strict behaviour instead of the thread-backend fallback.
+    """
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A picklable recipe that rebuilds one :class:`Program` anywhere.
+
+    Exactly one of ``app`` / ``source`` is set.  ``params`` holds the
+    parameter bindings as a sorted tuple of ``(name, value)`` pairs so specs
+    with equal bindings compare and hash equal regardless of keyword order.
+    """
+
+    #: canonical app-catalogue name (``Program.from_app`` path), or None
+    app: Optional[str] = None
+    #: OIL source text (``Program.from_source`` path), or None
+    source: Optional[str] = None
+    #: parameter bindings: app builder kwargs, or ``Program.params`` echoes
+    params: Tuple[Tuple[str, Any], ...] = ()
+    #: the run's default time representation; None means "builder's choice"
+    time_base: Optional[TimeBaseLike] = None
+    name: str = "program"
+    #: remaining ``Program.from_source`` keywords (source path only)
+    function_wcets: Tuple[Tuple[str, Any], ...] = ()
+    black_boxes: Tuple[Any, ...] = ()
+    default_wcet: Any = 0
+    top: Optional[str] = None
+    registry: Any = None
+    signals: Any = None
+    mode_schedules: Any = None
+
+    def __post_init__(self) -> None:
+        if (self.app is None) == (self.source is None):
+            raise SweepConfigError(
+                "a ProgramSpec needs exactly one of app= or source="
+            )
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_app(
+        cls,
+        app: str,
+        *,
+        time_base: Optional[TimeBaseLike] = None,
+        **params: Any,
+    ) -> "ProgramSpec":
+        """The spec of ``Program.from_app(app, **params)``.
+
+        The name is canonicalised (and validated) against the app catalogue
+        immediately, so a typo fails in the parent process with the usual
+        "unknown app" message rather than inside a worker.
+        """
+        from repro.api.apps import app_spec
+
+        resolved = app_spec(app)
+        resolved.check_params(params)
+        return cls(
+            app=resolved.name,
+            name=resolved.name,
+            params=tuple(sorted(params.items())),
+            time_base=time_base,
+        )
+
+    @classmethod
+    def from_program(cls, program: Program) -> "ProgramSpec":
+        """Recover the recipe an existing Program was built from."""
+        if program.app is not None:
+            return cls(
+                app=program.app,
+                name=program.name,
+                params=tuple(sorted(program.app_params.items())),
+                time_base=program.time_base,
+            )
+        if not program.source:
+            raise SweepConfigError(
+                f"program {program.name!r} was wrapped around a pre-computed "
+                f"compilation (no source text, no app name): it cannot be "
+                f"rebuilt in a worker process"
+            )
+        return cls(
+            source=program.source,
+            name=program.name,
+            params=tuple(sorted(program.params.items())),
+            time_base=program.time_base,
+            function_wcets=tuple(sorted(program.function_wcets.items())),
+            black_boxes=tuple(program.black_boxes),
+            default_wcet=program.default_wcet,
+            top=program.top,
+            registry=program.make_registry,
+            signals=program.make_signals,
+            mode_schedules=program.mode_schedules,
+        )
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> Program:
+        """Reconstruct an equivalent (freshly compiled) Program."""
+        if self.app is not None:
+            from repro.api.apps import build_app
+
+            program = build_app(self.app, **dict(self.params))
+        else:
+            program = Program.from_source(
+                self.source or "",
+                name=self.name,
+                function_wcets=dict(self.function_wcets),
+                black_boxes=self.black_boxes,
+                default_wcet=self.default_wcet,
+                top=self.top,
+                registry=self.registry,
+                signals=self.signals,
+                mode_schedules=self.mode_schedules,
+                params=dict(self.params),
+            )
+        if self.time_base is not None:
+            program.time_base = self.time_base
+        return program
+
+    # ----------------------------------------------------------- validation
+    def ensure_picklable(self) -> bytes:
+        """The spec's pickle bytes, or a :class:`SweepConfigError` naming it.
+
+        The probe is the real test the process executor needs: everything the
+        spec captured -- parameter values, black boxes, registry/signal
+        factories -- must survive ``pickle.dumps`` to reach a worker.
+        """
+        try:
+            return pickle.dumps(self)
+        except Exception as error:
+            raise SweepConfigError(
+                f"program spec {self.name!r} is not picklable and cannot be "
+                f"shipped to a worker process: {type(error).__name__}: {error}"
+            ) from error
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        origin = f"app={self.app!r}" if self.app is not None else "source=..."
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"ProgramSpec({origin}{', ' + rendered if rendered else ''})"

@@ -23,10 +23,27 @@ reporting.  The three pieces:
 
 Execution order is the grid's cartesian-product order and results are
 aggregated by point index, so serial execution and parallel workers produce
-the *same* report.  Workers are threads (`concurrent.futures`): points share
-the compiled program read-only, while every run builds its own simulation
-state (buffers, tasks, registries via the program's factories) and stateful
-scheduler policies are deep-copied per point.
+the *same* report.  Two worker backends share that contract:
+
+* ``executor="thread"`` (the default): points share the compiled program
+  read-only, while every run builds its own simulation state (buffers,
+  tasks, registries via the program's factories) and stateful scheduler
+  policies are deep-copied per point.  Determinism-first, but GIL-bound --
+  CPU-heavy grids gain little wall-clock from extra threads.
+* ``executor="process"``: true multi-core execution.  The parent derives a
+  picklable :class:`~repro.api.spec.ProgramSpec` per distinct program
+  parameter combination and ships only specs + run parameters; each worker
+  process rebuilds and compiles each distinct program at most once (a
+  per-worker cache keyed by the same dedup keys, warm-started by the pool
+  initializer), runs its chunk of points, and sends flat metric rows back.
+  Aggregation stays by point index, so the report is bit-identical to a
+  serial run.  Anything the backend cannot ship degrades gracefully instead
+  of raising: an unpicklable *program* axis falls the whole sweep back to
+  the thread backend (the dedup keys would otherwise be unsound), an
+  unpicklable *run* parameter or a crashed worker re-runs just those points
+  in the parent -- each with a warning recorded on the report
+  (:attr:`SweepReport.warnings`).  Pass ``strict=True`` to turn those
+  degradations into :class:`~repro.api.spec.SweepConfigError`.
 
 Engine-level scenarios that have no OIL program (synthetic task fleets,
 scheduler experiments) use :meth:`Sweep.from_callable`, which runs an
@@ -51,15 +68,20 @@ from __future__ import annotations
 import copy
 import itertools
 import json
+import math
 import pickle
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.program import Analysis, Program, RunResult
+from repro.api.spec import ProgramSpec, SweepConfigError
 from repro.util.rational import RationalLike, as_rational
 from repro.util.validation import check_positive
+
+#: Supported Sweep.run backends.
+EXECUTORS = ("serial", "thread", "process")
 
 #: Axes that configure the *run*, not the program (no recompilation needed).
 RUN_AXES = (
@@ -73,28 +95,77 @@ RUN_AXES = (
 )
 
 
-def _program_key(program_params: Mapping[str, Any]) -> Tuple:
+def _program_key(program_params: Mapping[str, Any], *, strict: bool = False) -> Tuple:
     """A value-based dedup key for one program-parameter combination.
 
     ``repr`` alone is not safe here: types with truncating reprs (numpy
     arrays) would collapse distinct parameter values into one compiled
     program.  Pickle bytes compare by value for all picklable types;
     unpicklable axis values (lambdas, generators, open handles) must not
-    crash the sweep, so they fall back to a ``repr``-based key.  Default
-    object reprs embed the instance id, so equal-valued unpicklable objects
-    usually get distinct keys -- such axes may compile the same program
-    redundantly, which is the safe direction.  (An unpicklable type whose
-    custom ``repr`` hides a value difference would share one compilation;
-    give such types a faithful ``repr`` or make them picklable.)
+    crash a thread-backend sweep, so they fall back to a ``repr``-based key.
+    Default object reprs embed the instance id, so equal-valued unpicklable
+    objects usually get distinct keys -- such axes may compile the same
+    program redundantly, which is the safe direction.  (An unpicklable type
+    whose custom ``repr`` hides a value difference would share one
+    compilation; give such types a faithful ``repr`` or make them
+    picklable.)
+
+    ``strict=True`` is the process-backend mode: there the key must also
+    function as a cross-process cache identity, where a repr-based stand-in
+    is unsound in *both* directions, so an unpicklable value raises a
+    :class:`SweepConfigError` naming the offending axis instead.
     """
     parts = []
     for name, value in sorted(program_params.items()):
         try:
             rendered: object = pickle.dumps(value)
-        except Exception:
+        except Exception as error:
+            if strict:
+                raise SweepConfigError(
+                    f"program axis {name!r} has an unpicklable value "
+                    f"({type(value).__qualname__}: {value!r}): the process "
+                    f"executor ships program parameters to worker processes "
+                    f"by pickle ({type(error).__name__}: {error})"
+                ) from error
             rendered = ("unpicklable", type(value).__qualname__, repr(value))
         parts.append((name, rendered))
     return tuple(parts)
+
+
+def _unpicklable_param(params: Mapping[str, Any]) -> Optional[Tuple[str, Any, Exception]]:
+    """The first ``(name, value, error)`` that cannot be pickled, if any."""
+    for name, value in sorted(params.items()):
+        try:
+            pickle.dumps(value)
+        except Exception as error:
+            return name, value, error
+    return None
+
+
+def _execute_point(
+    analysis: Analysis,
+    run_params: Mapping[str, Any],
+    default_duration: Fraction,
+) -> Tuple[Dict[str, Any], RunResult]:
+    """Execute one grid point against its compiled analysis.
+
+    The single definition of per-point semantics -- duration override,
+    per-point scheduler deep copy (policies are stateful), metric-row
+    assembly -- shared by the serial/thread path and the process workers, so
+    the backends cannot drift apart and break the identical-reports
+    contract.
+    """
+    run_params = dict(run_params)
+    duration = as_rational(run_params.pop("duration", default_duration))
+    if run_params.get("scheduler") is not None:
+        run_params["scheduler"] = copy.deepcopy(run_params["scheduler"])
+    run = analysis.run(duration, **run_params)
+    metrics = {
+        "consistent": analysis.consistent,
+        "total_capacity": analysis.total_capacity,
+        **run.metrics(),
+    }
+    return metrics, run
 
 
 def _json_safe(value: Any) -> Any:
@@ -139,9 +210,20 @@ class SweepResult:
 class SweepReport:
     """Aggregated results of one sweep, in grid order."""
 
-    def __init__(self, results: Sequence[SweepResult], *, name: str = "sweep") -> None:
+    def __init__(
+        self,
+        results: Sequence[SweepResult],
+        *,
+        name: str = "sweep",
+        warnings: Sequence[str] = (),
+    ) -> None:
         self.name = name
         self.results = list(results)
+        #: execution-backend degradations (thread fallback for unpicklable
+        #: axes, in-parent re-runs after worker crashes); the *rows* are
+        #: unaffected -- fallbacks preserve serial-identical metrics -- so
+        #: warnings live beside the results, not inside them
+        self.warnings: List[str] = list(warnings)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -188,7 +270,10 @@ class SweepReport:
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         """The whole report as JSON (parameters + metrics per point)."""
-        return json.dumps({"name": self.name, "points": self.rows()}, indent=indent)
+        return json.dumps(
+            {"name": self.name, "warnings": self.warnings, "points": self.rows()},
+            indent=indent,
+        )
 
     def speedup_table(
         self,
@@ -234,6 +319,96 @@ def _render_cell(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:g}"
     return str(value)
+
+
+# --------------------------------------------------------------------------
+# Process-backend worker side.  Everything below runs inside worker
+# processes; it must be module-level (pickled by reference) and communicate
+# only through picklable values.  The per-worker compile cache is the whole
+# point: compilation is the expensive shared prefix of every point, and a
+# worker pays it once per *distinct* program no matter how many points it
+# executes.
+# --------------------------------------------------------------------------
+
+#: Per-worker state, populated by :func:`_process_worker_init`.
+_WORKER: Dict[str, Any] = {}
+
+
+def _process_worker_init(
+    specs: Dict[int, ProgramSpec],
+    runner: Optional[Callable[..., Mapping[str, Any]]],
+    default_duration: Fraction,
+) -> None:
+    """Seed one worker with the spec table and warm-start its compile cache.
+
+    The cache is keyed by the parent's interned spec ids (one small int per
+    distinct :func:`_program_key`, so point payloads never re-ship the key's
+    pickle bytes), worker and parent agree on program identity, and each
+    worker compiles each distinct program **at most once**.  With a single distinct program
+    (the common Fig. 4 shape: one app, run-axis grid) it is compiled right
+    here, before the first chunk arrives; with several, contiguous chunking
+    means a worker typically only ever sees a subset of the programs, so
+    compilation is deferred to first use instead of multiplying the whole
+    spec table's compile cost by the worker count.
+    """
+    _WORKER["specs"] = dict(specs)
+    _WORKER["analyses"] = {}
+    _WORKER["runner"] = runner
+    _WORKER["duration"] = default_duration
+    if len(specs) == 1:
+        for spec_id in specs:
+            _worker_analysis(spec_id)
+
+
+def _worker_analysis(spec_id: int) -> Analysis:
+    """This worker's compiled analysis for *spec_id* (compile once, cache).
+
+    Forcing the lazy analysis caches mirrors ``Sweep._analyses``: chunk
+    execution then only reads shared results.
+    """
+    analyses: Dict[int, Analysis] = _WORKER["analyses"]
+    if spec_id not in analyses:
+        analysis = _WORKER["specs"][spec_id].build().analyze()
+        analysis.consistency, analysis.sizing, analysis.latency  # force caches
+        analyses[spec_id] = analysis
+    return analyses[spec_id]
+
+
+def _process_run_chunk(
+    chunk: Sequence[Tuple[int, Optional[int], Dict[str, Any]]],
+) -> List[Tuple[int, bool, Optional[str], Dict[str, Any]]]:
+    """Execute one chunk of ``(index, spec_id, run_params)`` points.
+
+    Returns flat ``(index, ok, error, metrics)`` rows -- the full
+    :class:`~repro.api.program.RunResult` stays in the worker (simulation
+    state is not picklable, and the report only needs the metrics).  Failure
+    capture matches the serial path exactly, including the error string
+    format, so a failing point produces the identical report row under every
+    backend.
+    """
+    runner = _WORKER["runner"]
+    rows: List[Tuple[int, bool, Optional[str], Dict[str, Any]]] = []
+    for index, spec_id, run_params in chunk:
+        # Compilation failures stay *outside* the per-point capture: the
+        # serial path raises them out of ``Sweep._analyses`` rather than
+        # recording a failed point, and the chunk must fail the same way (the
+        # parent then re-runs these points locally and surfaces the original
+        # exception).
+        analysis = _worker_analysis(spec_id) if runner is None else None
+        try:
+            if runner is not None:
+                metrics = dict(runner(**run_params))
+            else:
+                # The per-point deep copy inside _execute_point also covers
+                # a chunk-internal subtlety: unpickling gave this chunk its
+                # own object graph, but points *within* a chunk may still
+                # share one policy instance (pickle preserves identity
+                # inside a single payload).
+                metrics, _ = _execute_point(analysis, run_params, _WORKER["duration"])
+            rows.append((index, True, None, metrics))
+        except Exception as error:  # a failed point must not sink the chunk
+            rows.append((index, False, f"{type(error).__name__}: {error}", {}))
+    return rows
 
 
 class Sweep:
@@ -317,7 +492,9 @@ class Sweep:
         run_params = {k: v for k, v in params.items() if k in RUN_AXES}
         return program_params, run_params
 
-    def _analyses(self, points: Sequence[Mapping[str, Any]]) -> Dict[Tuple, Analysis]:
+    def _analyses(
+        self, points: Sequence[Mapping[str, Any]], *, strict: bool = False
+    ) -> Dict[Tuple, Analysis]:
         """Compile + analyse each distinct program exactly once (serially --
         compilation is the shared part the workers must not repeat).
 
@@ -325,30 +502,43 @@ class Sweep:
         fan-out: workers only read the shared analysis, they never race to
         compute it (buffer sizing mutates the model's buffer parameters while
         it searches, so it must not run concurrently on one model).
+
+        ``strict`` forwards to :func:`_program_key`: refuse the repr-based
+        fallback for unpicklable axis values instead of risking a redundant
+        compilation.
         """
         analyses: Dict[Tuple, Analysis] = {}
         for params in points:
             program_params, _ = self._split(params)
-            key = _program_key(program_params)
+            key = _program_key(program_params, strict=strict)
             if key in analyses:
                 continue
+            self._check_program_source(program_params)
             if self._program is not None:
-                if program_params:
-                    raise ValueError(
-                        f"sweep over a ready-made program accepts only run axes "
-                        f"{RUN_AXES}; got program axes {sorted(program_params)}"
-                    )
                 analysis = self._program.analyze()
-            elif self._app is not None:
-                analysis = Program.from_app(self._app, **program_params).analyze()
             else:
-                raise ValueError(
-                    "this sweep has no program: construct it with app=, "
-                    "program= or Sweep.from_callable(...)"
-                )
+                analysis = Program.from_app(self._app, **program_params).analyze()
             analysis.consistency, analysis.sizing, analysis.latency  # force caches
             analyses[key] = analysis
         return analyses
+
+    def _check_program_source(self, program_params: Mapping[str, Any]) -> None:
+        """Reject grids this sweep cannot build programs for.
+
+        One definition of the two misconfiguration errors, so the serial,
+        thread and process backends report identical messages.
+        """
+        if self._program is not None:
+            if program_params:
+                raise ValueError(
+                    f"sweep over a ready-made program accepts only run axes "
+                    f"{RUN_AXES}; got program axes {sorted(program_params)}"
+                )
+        elif self._app is None:
+            raise ValueError(
+                "this sweep has no program: construct it with app=, "
+                "program= or Sweep.from_callable(...)"
+            )
 
     def _run_point(
         self,
@@ -363,17 +553,7 @@ class Sweep:
                 return SweepResult(index=index, params=params, metrics=metrics)
             program_params, run_params = self._split(params)
             analysis = analyses[_program_key(program_params)]
-            duration = as_rational(run_params.pop("duration", self.duration))
-            # Policies are stateful (busy counts, schedule positions): give
-            # every point its own copy so parallel points cannot interact.
-            if run_params.get("scheduler") is not None:
-                run_params["scheduler"] = copy.deepcopy(run_params["scheduler"])
-            run = analysis.run(duration, **run_params)
-            metrics = {
-                "consistent": analysis.consistent,
-                "total_capacity": analysis.total_capacity,
-                **run.metrics(),
-            }
+            metrics, run = _execute_point(analysis, run_params, self.duration)
             return SweepResult(
                 index=index,
                 params=params,
@@ -388,33 +568,268 @@ class Sweep:
                 error=f"{type(error).__name__}: {error}",
             )
 
-    def run(self, *, workers: int = 1, keep_runs: bool = True) -> SweepReport:
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        executor: str = "thread",
+        keep_runs: bool = True,
+        strict: bool = False,
+    ) -> SweepReport:
         """Execute every grid point and aggregate a :class:`SweepReport`.
 
-        ``workers > 1`` fans the points out over a thread pool; results are
-        aggregated by point index, so the report is identical to a serial
-        run.
+        ``executor`` selects the worker backend: ``"thread"`` (the default)
+        fans the points out over a thread pool when ``workers > 1`` --
+        deterministic and cheap, but GIL-bound; ``"process"`` over a process
+        pool for true multi-core execution (each worker rebuilds and
+        compiles each distinct program at most once from its picklable
+        :class:`~repro.api.spec.ProgramSpec`), taken at *any* worker count
+        so its contract does not vary with ``workers``; ``"serial"`` forces
+        the in-thread loop regardless of *workers*.  Results are aggregated
+        by point index under every backend, so the report rows are identical
+        to a serial run.
+
+        The process backend degrades rather than raises when something
+        cannot be shipped: unpicklable program axes fall the whole sweep
+        back to threads, unpicklable run parameters or crashed workers
+        re-run just those points in the parent -- each recorded in
+        :attr:`SweepReport.warnings`.  ``strict=True`` turns those
+        degradations into :class:`~repro.api.spec.SweepConfigError`; on the
+        serial/thread backends it likewise refuses the repr-based dedup-key
+        fallback for unpicklable program-axis values (which may otherwise
+        compile one program redundantly) instead of being silently ignored.
 
         ``keep_runs=False`` drops each point's full :class:`RunResult`
         (simulation state, complete trace, sink sample lists) once its flat
         metric row is extracted -- use it for large grids, where retaining
         every simulation for the report's lifetime multiplies memory by the
         point count.  Tables, JSON and speedup curves only need the metrics.
+        The process backend implies it: simulations stay in the workers and
+        only metric rows travel back, so its results always have
+        ``run=None``.
         """
         check_positive(workers, "workers")
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
         points = self.points()
-        analyses = self._analyses(points) if self._runner is None else {}
-        if workers == 1 or len(points) <= 1:
+        if executor == "process":
+            # Even with workers=1 the process path is taken: the backend's
+            # contract (strict validation, run=None results, pickle-probed
+            # shipping) must not silently vary with the worker count.
+            return self._run_process(points, workers, strict=strict)
+        analyses = self._analyses(points, strict=strict) if self._runner is None else {}
+        if executor == "serial" or workers == 1 or len(points) <= 1:
             results = [
                 self._run_point(index, params, analyses, keep_runs)
                 for index, params in enumerate(points)
             ]
         else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(
-                    pool.map(
-                        lambda item: self._run_point(item[0], item[1], analyses, keep_runs),
-                        enumerate(points),
+            results = self._run_threads(points, workers, analyses, keep_runs)
+        return SweepReport(results, name=self.name)
+
+    def _run_threads(
+        self,
+        points: Sequence[Dict[str, Any]],
+        workers: int,
+        analyses: Dict[Tuple, Analysis],
+        keep_runs: bool,
+    ) -> List[SweepResult]:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    lambda item: self._run_point(item[0], item[1], analyses, keep_runs),
+                    enumerate(points),
+                )
+            )
+
+    # ------------------------------------------------------- process backend
+    def _spec_for(self, program_params: Dict[str, Any]) -> ProgramSpec:
+        """The picklable rebuild recipe of one grid point's program."""
+        self._check_program_source(program_params)
+        if self._program is not None:
+            return self._program.spec()
+        return ProgramSpec.from_app(self._app, **program_params)
+
+    def _run_process(
+        self,
+        points: List[Dict[str, Any]],
+        workers: int,
+        *,
+        strict: bool,
+    ) -> SweepReport:
+        """The ``executor="process"`` backend (see :meth:`run`)."""
+        warnings: List[str] = []
+
+        def degrade_to_threads(reason: str, error: Exception) -> SweepReport:
+            if strict:
+                if isinstance(error, SweepConfigError):
+                    raise error
+                raise SweepConfigError(reason) from error
+            warnings.append(f"{reason}; falling back to the thread executor")
+            analyses = self._analyses(points) if self._runner is None else {}
+            results = self._run_threads(points, workers, analyses, keep_runs=False)
+            return SweepReport(results, name=self.name, warnings=warnings)
+
+        # -- 1. shared state must be picklable: specs (or the runner).  An
+        # unsound dedup key / unshippable program degrades the whole sweep.
+        # Dedup keys embed the pickle bytes of every program-axis value, so
+        # they are interned to small integer spec ids here -- point payloads
+        # then reference programs by id instead of re-shipping (potentially
+        # huge) key bytes once per point.
+        specs: Dict[int, ProgramSpec] = {}
+        point_spec_ids: List[Optional[int]] = []
+        if self._runner is not None:
+            try:
+                pickle.dumps(self._runner)
+            except Exception as error:
+                return degrade_to_threads(
+                    f"sweep runner {self._runner!r} is not picklable "
+                    f"({type(error).__name__}: {error})",
+                    error,
+                )
+            point_spec_ids = [None] * len(points)
+        else:
+            try:
+                spec_ids: Dict[Tuple, int] = {}
+                for params in points:
+                    program_params, _ = self._split(params)
+                    key = _program_key(program_params, strict=True)
+                    if key not in spec_ids:
+                        spec = self._spec_for(dict(program_params))
+                        spec.ensure_picklable()
+                        spec_ids[key] = len(specs)
+                        specs[spec_ids[key]] = spec
+                    point_spec_ids.append(spec_ids[key])
+            except SweepConfigError as error:
+                return degrade_to_threads(str(error), error)
+
+        # -- 2. per-point run parameters: a point the backend cannot ship
+        # (an unpicklable scheduler key, a custom trace sink, ...) runs in
+        # the parent instead; everything else is chunked out to the pool.
+        shippable: List[Tuple[int, Optional[int], Dict[str, Any]]] = []
+        local_indices: List[int] = []
+        for index, params in enumerate(points):
+            if self._runner is not None:
+                run_params = dict(params)
+            else:
+                _, run_params = self._split(params)
+            offending = _unpicklable_param(run_params)
+            if offending is None:
+                shippable.append((index, point_spec_ids[index], run_params))
+            else:
+                name, value, error = offending
+                message = (
+                    f"point {index}: run parameter {name!r} has an "
+                    f"unpicklable value ({type(value).__qualname__}: "
+                    f"{value!r})"
+                )
+                if strict:
+                    raise SweepConfigError(message) from error
+                warnings.append(f"{message}; running the point in-process")
+                local_indices.append(index)
+
+        # -- 3. fan the shippable points out in contiguous chunks.  A broken
+        # pool (one worker crash poisons every pending future) gets ONE
+        # retry in a fresh pool, so a transient crash costs only the broken
+        # chunks' latency, not a serial re-run of most of the grid; whatever
+        # still fails is re-run in the parent.  Aggregation is by point
+        # index throughout, so the row order -- and the rows -- are
+        # identical to a serial run.
+        outcomes: Dict[int, Tuple[bool, Optional[str], Dict[str, Any]]] = {}
+
+        def run_pool(
+            chunks: List[List[Tuple[int, Optional[int], Dict[str, Any]]]],
+        ) -> List[List[Tuple[int, Optional[int], Dict[str, Any]]]]:
+            """One pool round; returns the chunks whose pool broke."""
+            broken: List[List[Tuple[int, Optional[int], Dict[str, Any]]]] = []
+
+            def fail(chunk, error: Exception, what: str) -> str:
+                message = (
+                    f"{what} on points {[index for index, _, _ in chunk]} "
+                    f"({type(error).__name__}: {error})"
+                )
+                if strict:
+                    # Don't leave queued chunks burning CPU behind the raise,
+                    # and surface the *root cause* when there is one: a
+                    # worker that died compiling (the exception text died
+                    # with the child) re-compiles here in the parent, so a
+                    # broken program raises its original exception type
+                    # instead of an opaque pool-breakage message.
+                    pool.shutdown(cancel_futures=True)
+                    if self._runner is None:
+                        self._analyses([points[index] for index, _, _ in chunk])
+                    raise SweepConfigError(message) from error
+                return message
+
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)),
+                initializer=_process_worker_init,
+                initargs=(specs, self._runner, self.duration),
+            ) as pool:
+                futures = [(pool.submit(_process_run_chunk, chunk), chunk) for chunk in chunks]
+                for future, chunk in futures:
+                    try:
+                        for index, ok, error_text, metrics in future.result():
+                            outcomes[index] = (ok, error_text, metrics)
+                    except BrokenExecutor as error:
+                        fail(chunk, error, "process pool broke")
+                        broken.append(chunk)
+                    except Exception as error:
+                        # a chunk-level failure that left the pool alive
+                        # (e.g. an unpicklable metric value in the result):
+                        # retrying would fail identically, go straight to
+                        # the in-parent fallback
+                        message = fail(chunk, error, "process worker failed")
+                        warnings.append(f"{message}; re-running them in-process")
+                        local_indices.extend(index for index, _, _ in chunk)
+            return broken
+
+        if shippable:
+            chunk_size = max(1, math.ceil(len(shippable) / (workers * 4)))
+            chunks = [
+                shippable[start : start + chunk_size]
+                for start in range(0, len(shippable), chunk_size)
+            ]
+            broken = run_pool(chunks)
+            if broken:
+                count = sum(len(chunk) for chunk in broken)
+                warnings.append(
+                    f"process pool broke with {count} point(s) unfinished; "
+                    f"retrying them in a fresh pool"
+                )
+                broken = run_pool(broken)
+            for chunk in broken:
+                warnings.append(
+                    f"process pool broke again on points "
+                    f"{[index for index, _, _ in chunk]}; re-running them "
+                    f"in-process"
+                )
+                local_indices.extend(index for index, _, _ in chunk)
+
+        # -- 4. in-parent fallback for whatever could not be shipped, then
+        # assembly in grid order.
+        local_results: Dict[int, SweepResult] = {}
+        if local_indices:
+            local_indices.sort()
+            local_points = [points[index] for index in local_indices]
+            analyses = self._analyses(local_points) if self._runner is None else {}
+            for index in local_indices:
+                local_results[index] = self._run_point(
+                    index, points[index], analyses, keep_runs=False
+                )
+        results: List[SweepResult] = []
+        for index, params in enumerate(points):
+            if index in local_results:
+                results.append(local_results[index])
+            else:
+                ok, error_text, metrics = outcomes[index]
+                results.append(
+                    SweepResult(
+                        index=index,
+                        params=params,
+                        ok=ok,
+                        error=error_text,
+                        metrics=metrics,
                     )
                 )
-        return SweepReport(results, name=self.name)
+        return SweepReport(results, name=self.name, warnings=warnings)

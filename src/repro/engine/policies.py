@@ -35,6 +35,16 @@ if TYPE_CHECKING:  # import only for annotations: runtime.simulator imports us
     from repro.runtime.tasks import RuntimeTask
 
 
+def _task_name(task: "RuntimeTask") -> str:
+    """Default :class:`StaticOrder` schedule key: the bare task name.
+
+    A module-level function (not a lambda) so a default-keyed policy pickles
+    by reference -- process-parallel sweeps ship policy instances to worker
+    processes.
+    """
+    return task.name
+
+
 @runtime_checkable
 class SchedulerPolicy(Protocol):
     """Start-gating protocol implemented by all scheduling policies."""
@@ -160,7 +170,7 @@ class StaticOrder:
         self.cyclic = cyclic
         self.position = 0
         self._in_flight = False
-        self._key = key if key is not None else lambda task: task.name
+        self._key = key if key is not None else _task_name
 
     def current(self) -> Optional[str]:
         """Schedule entry the policy admits next (None when exhausted)."""

@@ -1,22 +1,53 @@
 """Tests for the repro.api facade: Program -> Analysis -> RunResult, the app
-catalogue, the Sweep subsystem and the deprecated pre-facade aliases."""
+catalogue, the Sweep subsystem (thread and process backends, ProgramSpec
+shipping) and the deprecated pre-facade aliases."""
 
+import os
+import pickle
 from fractions import Fraction
 
 import pytest
 
-from repro.api import Analysis, Program, Sweep, available_apps, build_app
+from repro.api import (
+    Analysis,
+    Program,
+    ProgramSpec,
+    Sweep,
+    SweepConfigError,
+    available_apps,
+    build_app,
+)
 from repro.apps.producer_consumer import (
     QUICKSTART_OIL_SOURCE,
     quickstart_registry,
     quickstart_wcets,
 )
 from repro.core.compiler import compile_program
-from repro.engine import BoundedProcessors
+from repro.engine import BoundedProcessors, SelfTimedUnbounded
 
 
 def quickstart_facade(**params):
     return Program.from_app("quickstart", **params)
+
+
+def _square_point(n):
+    """Module-level sweep runner: picklable by reference for process tests."""
+    return {"value": n * n}
+
+
+def _crash_in_worker(n):
+    """Dies hard in a worker process, succeeds when re-run in the parent.
+
+    ``multiprocessing.parent_process()`` is None exactly in the main
+    process, under both the fork and spawn start methods -- a pid sentinel
+    captured at import time would misidentify spawn workers, which re-import
+    this module.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return {"value": n}
 
 
 class TestProgramFacade:
@@ -120,6 +151,225 @@ class TestAnalysisParity:
         assert "source samples: 2000 Hz" in report
         assert "buffer sizing" in report
         assert "latency" in report
+
+
+class TestProgramSpec:
+    """The picklable rebuild recipes behind the process sweep backend."""
+
+    APPS = ["quickstart", "pal_decoder", "rate_converter", "modal_mute", "modal_two_mode"]
+    DURATIONS = {
+        "quickstart": Fraction(1, 100),
+        "pal_decoder": Fraction(1, 50),
+        "rate_converter": Fraction(1, 100),
+        "modal_mute": Fraction(1, 50),
+        "modal_two_mode": Fraction(1, 50),
+    }
+
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("time_base", ["ticks", "fraction"])
+    def test_app_spec_round_trips_through_pickle(self, app, time_base):
+        spec = ProgramSpec.from_app(app, time_base=time_base)
+        revived = pickle.loads(pickle.dumps(spec))
+        assert revived == spec
+        program = revived.build()
+        assert program.app == app
+        duration = self.DURATIONS[app]
+        run = program.analyze().run(duration)
+        assert run.time_base == time_base
+        original = Program.from_app(app)
+        original.time_base = time_base
+        assert run.metrics() == original.analyze().run(duration).metrics()
+
+    def test_from_program_replays_exact_builder_kwargs(self):
+        # ``program.params`` echoes derived parameters and may omit builder
+        # kwargs (pal_decoder does not echo ``signal``); the spec must
+        # replay the *invocation*, not the echo.
+        program = Program.from_app("pal_decoder", scale=1000, utilisation=0.3)
+        assert program.app == "pal_decoder"
+        assert program.app_params == {"scale": 1000, "utilisation": 0.3}
+        spec = program.spec()
+        assert dict(spec.params) == {"scale": 1000, "utilisation": 0.3}
+        rebuilt = pickle.loads(spec.ensure_picklable()).build()
+        assert rebuilt.analyze().capacities == program.analyze().capacities
+
+    def test_source_program_spec_round_trips(self):
+        program = Program.from_source(
+            QUICKSTART_OIL_SOURCE,
+            name="inline-quickstart",
+            function_wcets=quickstart_wcets(),
+            registry=quickstart_registry,  # module-level: picklable by reference
+            signals={"samples": [float(i) for i in range(200)]},
+        )
+        revived = pickle.loads(program.spec().ensure_picklable())
+        rebuilt = revived.build()
+        assert rebuilt.name == "inline-quickstart"
+        assert rebuilt.analyze().capacities == program.analyze().capacities
+        duration = Fraction(1, 100)
+        assert (
+            rebuilt.analyze().run(duration).metrics()
+            == program.analyze().run(duration).metrics()
+        )
+
+    def test_unknown_app_or_param_fails_in_parent(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            ProgramSpec.from_app("no_such_app")
+        with pytest.raises(TypeError, match="does not accept"):
+            ProgramSpec.from_app("quickstart", bogus=1)
+
+    def test_precompiled_program_has_no_spec(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        analysis = Analysis.from_parts(result, sizing)
+        with pytest.raises(SweepConfigError, match="pre-computed"):
+            analysis.program.spec()
+
+    def test_unpicklable_spec_names_itself(self):
+        program = Program.from_source(
+            QUICKSTART_OIL_SOURCE,
+            name="closure-signals",
+            function_wcets=quickstart_wcets(),
+            registry=quickstart_registry,
+            signals=lambda: {"samples": [0.0] * 100},  # closure: unpicklable
+        )
+        spec = program.spec()
+        with pytest.raises(SweepConfigError, match="closure-signals"):
+            spec.ensure_picklable()
+
+
+class TestProcessSweep:
+    """executor="process": multi-core fan-out with serial-identical reports."""
+
+    def build_quickstart_grid(self):
+        return (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("utilisation", [0.3, 0.5])
+            .add_axis(
+                "scheduler",
+                [None, SelfTimedUnbounded(), BoundedProcessors(1), BoundedProcessors(2)],
+            )
+        )
+
+    def test_process_vs_thread_vs_serial_reports_identical(self):
+        serial = self.build_quickstart_grid().run(workers=1)
+        threaded = self.build_quickstart_grid().run(executor="thread", workers=3)
+        process = self.build_quickstart_grid().run(executor="process", workers=2)
+        assert serial.ok and threaded.ok and process.ok, [
+            failure.error for failure in process.failures
+        ]
+        assert not process.warnings
+        assert serial.rows() == threaded.rows() == process.rows()
+        assert (
+            serial.speedup_table() == threaded.speedup_table() == process.speedup_table()
+        )
+        assert serial.to_json() == process.to_json()
+        # simulations stay in the workers: process results carry no RunResult
+        assert all(result.run is None for result in process.results)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            Sweep("quickstart").run(executor="rocket")
+
+    def test_unpicklable_program_axis_falls_back_to_threads(self):
+        sweep = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("signal", [(float(i) for i in range(100))])
+            .add_axis("scheduler", [None, BoundedProcessors(1)])
+        )
+        report = sweep.run(executor="process", workers=2)
+        assert report.ok, [failure.error for failure in report.failures]
+        assert len(report) == 2
+        assert any("thread executor" in warning for warning in report.warnings)
+        assert any("'signal'" in warning for warning in report.warnings)
+
+    def test_strict_mode_raises_naming_the_axis(self):
+        sweep = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("signal", [(float(i) for i in range(100))])
+            .add_axis("scheduler", [None, BoundedProcessors(1)])
+        )
+        with pytest.raises(SweepConfigError, match="'signal'"):
+            sweep.run(executor="process", workers=2, strict=True)
+
+    def test_strict_applies_to_serial_and_thread_backends_too(self):
+        # strict forbids the repr-based dedup-key fallback everywhere, not
+        # just on the process backend -- it must never be a silent no-op.
+        def build():
+            return Sweep("quickstart", duration=Fraction(1, 100)).add_axis(
+                "signal", [(float(i) for i in range(100))]
+            )
+
+        with pytest.raises(SweepConfigError, match="'signal'"):
+            build().run(strict=True)
+        with pytest.raises(SweepConfigError, match="'signal'"):
+            build().run(executor="thread", workers=2, strict=True)
+
+    def test_unpicklable_run_param_degrades_that_point_only(self):
+        class LocalPolicy(SelfTimedUnbounded):
+            """Test-local class: unpicklable (not importable), deepcopy-able,
+            behaviourally identical to the default policy."""
+
+        sweep = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("scheduler", [LocalPolicy(), BoundedProcessors(1), BoundedProcessors(2)])
+        )
+        report = sweep.run(executor="process", workers=2)
+        assert report.ok, [failure.error for failure in report.failures]
+        assert any("running the point in-process" in w for w in report.warnings)
+        serial = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis(
+                "scheduler",
+                [SelfTimedUnbounded(), BoundedProcessors(1), BoundedProcessors(2)],
+            )
+            .run()
+        )
+        # identical metrics row-for-row (params render differently: the
+        # degraded point's policy repr differs, so compare the metric columns)
+        for key in ("completed_firings", "makespan", "deadline_misses"):
+            assert report.column(key) == serial.column(key)
+
+    def test_from_callable_runs_in_processes(self):
+        report = (
+            Sweep.from_callable(_square_point)
+            .add_axis("n", [1, 2, 3, 4, 5])
+            .run(executor="process", workers=2)
+        )
+        assert report.ok and not report.warnings
+        assert report.column("value") == [1, 4, 9, 16, 25]
+
+    def test_unpicklable_runner_falls_back_to_threads(self):
+        report = (
+            Sweep.from_callable(lambda n: {"value": n})
+            .add_axis("n", [1, 2, 3])
+            .run(executor="process", workers=2)
+        )
+        assert report.ok
+        assert any("not picklable" in warning for warning in report.warnings)
+        assert report.column("value") == [1, 2, 3]
+
+    def test_worker_crash_reruns_points_in_parent(self):
+        report = (
+            Sweep.from_callable(_crash_in_worker)
+            .add_axis("n", [1, 2, 3, 4])
+            .run(executor="process", workers=2)
+        )
+        assert report.ok, [failure.error for failure in report.failures]
+        assert any("re-running" in warning for warning in report.warnings)
+        assert report.column("value") == [1, 2, 3, 4]
+
+    def test_failing_points_report_identically_across_backends(self):
+        def build():
+            return (
+                Sweep("quickstart", duration=Fraction(1, 100))
+                # scheduler axis values must implement the policy protocol;
+                # an int produces a per-point failure, not a sweep failure
+                .add_axis("scheduler", [None, 42, BoundedProcessors(1)])
+            )
+
+        serial = build().run(workers=1)
+        process = build().run(executor="process", workers=2)
+        assert [result.ok for result in process.results] == [True, False, True]
+        assert process.rows() == serial.rows()
+        assert process.results[1].error == serial.results[1].error
 
 
 class TestSweep:

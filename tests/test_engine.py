@@ -340,6 +340,23 @@ class TestStaticOrderPolicy:
         policy.on_complete(task)
         assert policy.position == 1
 
+    def test_default_key_policy_is_picklable(self):
+        # Process-parallel sweeps ship scheduler instances to worker
+        # processes; the default schedule key must therefore be a module
+        # level function, not a lambda.  A pickled copy keeps behaving.
+        import pickle
+
+        policy = StaticOrder(["a", "b"], cyclic=False)
+        revived = pickle.loads(pickle.dumps(policy))
+        assert revived.order == ["a", "b"]
+        assert revived.current() == "a"
+
+        class _Steady:
+            one_shot = False
+            name = "a"
+
+        assert revived.allow_start(_Steady())
+
     def test_one_shot_cannot_overlap_in_flight_firing(self):
         # Regression: one-shot init tasks were admitted unconditionally, so
         # an init firing could start while a steady-state firing was in
