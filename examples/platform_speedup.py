@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Heterogeneous platforms and preemptive scheduling through the facade.
+
+A walkthrough of the platform subsystem (``repro.platform``) on the
+quickstart pipeline and the PAL decoder:
+
+1. the same program on homogeneous platforms of growing width (the Fig. 4
+   speedup axis, now with per-processor utilisation accounting),
+2. an asymmetric ``1 fast + N slow`` platform swept through ``repro.api.
+   Sweep`` -- platforms are plain picklable data, so the same grid runs on
+   the multi-core process backend unchanged,
+3. preemptive fixed-priority scheduling, where a high-priority task can
+   suspend a lower-priority firing mid-flight (the engine re-posts the
+   exact remaining work on resume).
+
+Run with:  python examples/platform_speedup.py
+"""
+
+from fractions import Fraction
+
+from repro.api import Program, Sweep
+from repro.platform import FixedPriorityPreemptive, Platform
+
+#: Simulated seconds per run.
+DURATION = Fraction(1, 2)
+
+
+def homogeneous_utilisation() -> None:
+    print("=== quickstart on homogeneous platforms (per-processor accounting) ===")
+    analysis = Program.from_app("quickstart").analyze()
+    for count in (1, 2):
+        run = analysis.run(DURATION, platform=Platform.homogeneous(count))
+        utilisation = ", ".join(
+            f"{name} {value:.1%}" for name, value in run.processor_utilisation().items()
+        )
+        print(
+            f"  {count} processor(s): {run.completed_firings} firings, "
+            f"{run.deadline_misses} misses, busy [{utilisation}]"
+        )
+
+
+def heterogeneous_sweep() -> None:
+    print("\n=== PAL decoder on 1 fast + N slow processors (sweep axis) ===")
+    platforms = [
+        Platform.heterogeneous([2] + [1] * slow, name=f"1fast+{slow}slow")
+        for slow in (1, 2, 4)
+    ]
+    report = (
+        Sweep("pal_decoder", duration=Fraction(1, 10), name="pal-platforms")
+        .add_axis("platform", platforms)
+        .run(executor="process", workers=2)
+    )
+    print(
+        report.table(
+            columns=["platform", "completed_firings", "deadline_misses", "util[p0]", "util[p1]"]
+        )
+    )
+    if report.warnings:
+        print("warnings:", report.warnings)
+
+
+def preemptive_priorities() -> None:
+    print("\n=== preemptive fixed priorities on the PAL decoder ===")
+    analysis = Program.from_app("pal_decoder", scale=1000).analyze()
+    run = None
+    for count in (1, 2):
+        run = analysis.run(
+            Fraction(1, 10),
+            scheduler=FixedPriorityPreemptive(Platform.homogeneous(count)),
+        )
+        print(
+            f"  {count} processor(s): {run.completed_firings} firings, "
+            f"{run.preemptions} preemptions, {run.deadline_misses} misses"
+        )
+    # The decoder's task set genuinely contends: high-priority
+    # (extraction-order) tasks suspend in-flight lower-priority firings,
+    # and the engine re-posts the exact remaining work on resume.
+    assert run is not None and run.preemptions > 0
+    # Data semantics are untouched by preemption -- on the quickstart
+    # pipeline (which keeps every deadline on one processor) the sink
+    # values match the self-timed reference run value for value.
+    quick = Program.from_app("quickstart").analyze()
+    preempted = quick.run(
+        DURATION, scheduler=FixedPriorityPreemptive(Platform.homogeneous(1))
+    )
+    assert preempted.sink("averages") == quick.run(DURATION).sink("averages")
+    print("  quickstart sink values identical to the self-timed reference run")
+
+
+def main() -> None:
+    homogeneous_utilisation()
+    heterogeneous_sweep()
+    preemptive_priorities()
+
+
+if __name__ == "__main__":
+    main()

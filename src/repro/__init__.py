@@ -27,6 +27,8 @@ Sub-packages
 ``repro.cta``       CTA model and polynomial analyses
 ``repro.core``      the OIL -> CTA compiler (the paper's contribution)
 ``repro.engine``    pluggable scheduler engine with indexed ready-set dispatch
+``repro.platform``  processors, platforms and platform scheduling policies
+                    (preemptive fixed-priority, partitioned heterogeneous)
 ``repro.runtime``   discrete-event execution of OIL applications
 ``repro.dsp``       signal-processing kernels for the PAL case study
 ``repro.apps``      ready-made OIL applications (PAL decoder, rate converter,
@@ -45,6 +47,7 @@ __all__ = [
     "cta",
     "core",
     "engine",
+    "platform",
     "runtime",
     "dsp",
     "apps",

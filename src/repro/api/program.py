@@ -45,6 +45,7 @@ from repro.cta.consistency import ConsistencyResult
 from repro.cta.latency import LatencyCheck
 from repro.engine.policies import SchedulerPolicy
 from repro.lang.semantics import BlackBoxModule
+from repro.platform.model import Platform
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import ModeSchedule, Simulation
 from repro.runtime.trace import TraceRecorder
@@ -133,6 +134,7 @@ class Program:
         mode_schedules: Optional[ModeSchedule] = None,
         params: Optional[Mapping[str, Any]] = None,
         time_base: TimeBaseLike = "auto",
+        platform: Optional[Platform] = None,
     ) -> None:
         self.name = name
         self.source = source
@@ -147,6 +149,10 @@ class Program:
         #: (overridable per run); the concrete tick resolution is derived
         #: when a simulation is built from the compiled program
         self.time_base: TimeBaseLike = time_base
+        #: default execution platform of this program's simulations
+        #: (overridable per run); None = the scheduler's own platform, or
+        #: virtual unbounded hardware under the default self-timed policy
+        self.platform: Optional[Platform] = platform
         #: the parameters this program was built from (``from_app`` records
         #: them; sweeps and reports echo them back)
         self.params: Dict[str, Any] = dict(params or {})
@@ -174,6 +180,7 @@ class Program:
         mode_schedules: Optional[ModeSchedule] = None,
         params: Optional[Mapping[str, Any]] = None,
         time_base: TimeBaseLike = "auto",
+        platform: Optional[Platform] = None,
     ) -> "Program":
         """A program from OIL source text plus its execution environment."""
         return cls(
@@ -188,6 +195,7 @@ class Program:
             mode_schedules=mode_schedules,
             params=params,
             time_base=time_base,
+            platform=platform,
         )
 
     @classmethod
@@ -364,6 +372,7 @@ class Analysis:
         self,
         *,
         scheduler: Optional[SchedulerPolicy] = None,
+        platform: Optional[Platform] = None,
         dispatcher: str = "ready-set",
         trace: str = "full",
         mode_schedules: Optional[ModeSchedule] = None,
@@ -384,6 +393,8 @@ class Analysis:
             built_signals = program.make_signals()
         else:
             built_signals = _signals_factory(signals)()
+        if platform is None and scheduler is None:
+            platform = program.platform
         return Simulation(
             self.compilation,
             built_registry,
@@ -392,6 +403,7 @@ class Analysis:
             mode_schedules=mode_schedules if mode_schedules is not None else program.mode_schedules,
             sink_start_times=sink_start_times,
             scheduler=scheduler,
+            platform=platform,
             dispatcher=dispatcher,
             trace_level=trace,
             time_base=time_base if time_base is not None else program.time_base,
@@ -402,6 +414,7 @@ class Analysis:
         duration: RationalLike,
         *,
         scheduler: Optional[SchedulerPolicy] = None,
+        platform: Optional[Platform] = None,
         dispatcher: str = "ready-set",
         trace: str = "full",
         mode_schedules: Optional[ModeSchedule] = None,
@@ -413,17 +426,23 @@ class Analysis:
     ) -> "RunResult":
         """Execute the program for *duration* seconds of simulated time.
 
-        ``scheduler`` selects the platform model
+        ``scheduler`` selects the scheduling policy
         (:class:`~repro.engine.policies.SelfTimedUnbounded` by default,
         :class:`~repro.engine.policies.BoundedProcessors`,
-        :class:`~repro.engine.policies.StaticOrder`); ``trace`` the recording
-        granularity (``"full"``, ``"endpoints"``, ``"off"``); ``time_base``
-        the event-queue time representation (``"auto"`` by default: integer
-        ticks when the program's durations fit one, exact fractions
-        otherwise -- observationally identical either way).
+        :class:`~repro.engine.policies.StaticOrder`, or any platform policy
+        from :mod:`repro.platform`); ``platform`` is the
+        :class:`~repro.platform.model.Platform` shorthand for that
+        platform's default policy (partitioned with an affinity mapping,
+        greedy list scheduling otherwise) and is mutually exclusive with
+        ``scheduler``.  ``trace`` selects the recording granularity
+        (``"full"``, ``"endpoints"``, ``"off"``); ``time_base`` the
+        event-queue time representation (``"auto"`` by default: integer
+        ticks when the program's -- speed-scaled -- durations fit one, exact
+        fractions otherwise, observationally identical either way).
         """
         simulation = self.simulation(
             scheduler=scheduler,
+            platform=platform,
             dispatcher=dispatcher,
             trace=trace,
             mode_schedules=mode_schedules,
@@ -480,6 +499,57 @@ class RunResult:
         ``"fraction"``."""
         return "ticks" if self.simulation.time_base is not None else "fraction"
 
+    # ---------------------------------------------------- platform accounting
+    @property
+    def platform(self):
+        """The :class:`~repro.platform.model.Platform` the run executed on
+        (None under legacy boolean policies)."""
+        return self.simulation.platform
+
+    @property
+    def processor_busy(self) -> Dict[str, Rat]:
+        """Exact busy time per processor in seconds (platform runs only;
+        empty otherwise).  Suspended firings stop accruing at the preemption
+        instant and continue at the resume."""
+        return self.simulation.engine.processor_busy_time
+
+    def processor_utilisation(self) -> Dict[str, float]:
+        """Busy fraction of the simulated window per processor."""
+        if self.duration <= 0:
+            return {name: 0.0 for name in self.processor_busy}
+        return {
+            name: float(busy / self.duration)
+            for name, busy in self.processor_busy.items()
+        }
+
+    def processor_energy(self) -> Dict[str, float]:
+        """Energy estimate per processor over the simulated window:
+        ``busy * power_active + idle * power_idle`` in whatever unit the
+        :class:`~repro.platform.model.Processor` power weights were given
+        (e.g. Joules for Watts).  Only processors that declare at least one
+        power weight appear; a missing weight contributes nothing."""
+        if self.platform is None or self.platform.is_unbounded:
+            return {}
+        busy_times = self.processor_busy
+        energy: Dict[str, float] = {}
+        for processor in self.platform:
+            if processor.power_active is None and processor.power_idle is None:
+                continue
+            busy = busy_times.get(processor.name, Fraction(0))
+            idle = max(self.duration - busy, Fraction(0))
+            joules = 0.0
+            if processor.power_active is not None:
+                joules += float(busy) * processor.power_active
+            if processor.power_idle is not None:
+                joules += float(idle) * processor.power_idle
+            energy[processor.name] = joules
+        return energy
+
+    @property
+    def preemptions(self) -> int:
+        """Number of firings suspended mid-flight by a preemptive policy."""
+        return self.simulation.engine.preemptions
+
     def sink(self, name: str) -> List[Any]:
         """The values the named sink consumed, in order."""
         return self.simulation.sinks[name].consumed
@@ -528,12 +598,25 @@ class RunResult:
             row[f"sink_count[{name}]"] = count
         for name, rate in sorted(self.measured_rates.items()):
             row[f"rate[{name}]"] = None if rate is None else float(rate)
+        if self.simulation.engine.platform_mode:
+            row["preemptions"] = self.preemptions
+            # per-processor columns only for concrete platforms; the virtual
+            # per-task processors of self-timed mode would flood the table
+            if self.platform is not None and not self.platform.is_unbounded:
+                for name, utilisation in self.processor_utilisation().items():
+                    row[f"util[{name}]"] = round(utilisation, 9)
         return row
 
     def summary(self) -> str:
+        # the engine's policy is always the one that actually ran -- a
+        # platform= run builds it internally, so the scheduler kwarg alone
+        # would mislabel those runs as self-timed
+        policy = (
+            self.scheduler if self.scheduler is not None else self.simulation.engine.policy
+        )
         lines = [
             f"=== run: {self.program.name}, {float(self.duration):g} s simulated, "
-            f"scheduler {self.scheduler if self.scheduler is not None else 'SelfTimedUnbounded()'} ===",
+            f"scheduler {policy} ===",
             self.trace.summary(),
             f"deadline violations: {self.deadline_misses}",
         ]
@@ -543,6 +626,16 @@ class RunResult:
             lines.extend(f"  {entry}" for entry in violations)
         elif self.trace.buffer_high_water:
             lines.append("occupancy within analysed capacities for all traced buffers")
+        if self.simulation.engine.platform_mode:
+            lines.append(f"preemptions: {self.preemptions}")
+            # per-processor lines only for concrete platforms (the virtual
+            # per-task processors of self-timed mode would just repeat the
+            # task list), and only while they fit on a screen
+            if self.platform is not None and not self.platform.is_unbounded:
+                utilisation = self.processor_utilisation()
+                if utilisation and len(utilisation) <= 16:
+                    for name, value in utilisation.items():
+                        lines.append(f"  {name}: busy {value:.1%} of the simulated window")
         return "\n".join(lines)
 
     @property

@@ -72,6 +72,9 @@ class ProgramSpec:
     params: Tuple[Tuple[str, Any], ...] = ()
     #: the run's default time representation; None means "builder's choice"
     time_base: Optional[TimeBaseLike] = None
+    #: the program's default execution platform (plain picklable data);
+    #: None means "builder's choice" (virtual unbounded hardware)
+    platform: Any = None
     name: str = "program"
     #: remaining ``Program.from_source`` keywords (source path only)
     function_wcets: Tuple[Tuple[str, Any], ...] = ()
@@ -95,6 +98,7 @@ class ProgramSpec:
         app: str,
         *,
         time_base: Optional[TimeBaseLike] = None,
+        platform: Any = None,
         **params: Any,
     ) -> "ProgramSpec":
         """The spec of ``Program.from_app(app, **params)``.
@@ -112,6 +116,7 @@ class ProgramSpec:
             name=resolved.name,
             params=tuple(sorted(params.items())),
             time_base=time_base,
+            platform=platform,
         )
 
     @classmethod
@@ -123,6 +128,7 @@ class ProgramSpec:
                 name=program.name,
                 params=tuple(sorted(program.app_params.items())),
                 time_base=program.time_base,
+                platform=program.platform,
             )
         if not program.source:
             raise SweepConfigError(
@@ -135,6 +141,7 @@ class ProgramSpec:
             name=program.name,
             params=tuple(sorted(program.params.items())),
             time_base=program.time_base,
+            platform=program.platform,
             function_wcets=tuple(sorted(program.function_wcets.items())),
             black_boxes=tuple(program.black_boxes),
             default_wcet=program.default_wcet,
@@ -166,6 +173,8 @@ class ProgramSpec:
             )
         if self.time_base is not None:
             program.time_base = self.time_base
+        if self.platform is not None:
+            program.platform = self.platform
         return program
 
     # ----------------------------------------------------------- validation

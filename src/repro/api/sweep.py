@@ -6,12 +6,15 @@ parameter grid -- frequency scales, processor counts, rates, mode schedules
 reporting.  The three pieces:
 
 * :class:`Sweep` -- declares the grid.  Axes are split automatically:
-  *run axes* (``scheduler``, ``duration``, ``dispatcher``, ``trace``,
-  ``mode_schedules``, ``sink_start_times``, ``time_base``) only affect
-  execution, every other axis is a *program axis* that is forwarded to
-  :meth:`~repro.api.program.Program.from_app`.  Each **distinct** program
+  *run axes* (``scheduler``, ``platform``, ``duration``, ``dispatcher``,
+  ``trace``, ``mode_schedules``, ``sink_start_times``, ``time_base``) only
+  affect execution, every other axis is a *program axis* that is forwarded
+  to :meth:`~repro.api.program.Program.from_app`.  Each **distinct** program
   parameter combination is compiled and analysed exactly once, no matter how
-  many run-axis points fan out from it.
+  many run-axis points fan out from it.  A ``platform`` axis sweeps
+  :class:`~repro.platform.model.Platform` values (heterogeneous speedup
+  curves); platforms are plain picklable data, so such grids run on the
+  process backend unchanged.
 * :class:`SweepResult` -- one executed grid point: the parameters, the
   analysis summary and the run metrics (deadline misses, firings, makespan,
   measured rates, occupancy validation), or the recorded error when the
@@ -86,6 +89,7 @@ EXECUTORS = ("serial", "thread", "process")
 #: Axes that configure the *run*, not the program (no recompilation needed).
 RUN_AXES = (
     "scheduler",
+    "platform",
     "duration",
     "dispatcher",
     "trace",
@@ -611,6 +615,14 @@ class Sweep:
         check_positive(workers, "workers")
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+        declared = set(self.axes) | set(self.base)
+        if {"scheduler", "platform"} <= declared:
+            # Analysis.run accepts one or the other; without this check every
+            # grid point would burn a compile only to fail identically.
+            raise SweepConfigError(
+                "a sweep cannot combine 'scheduler' and 'platform' parameters: "
+                "each run takes exactly one of them"
+            )
         points = self.points()
         if executor == "process":
             # Even with workers=1 the process path is taken: the backend's

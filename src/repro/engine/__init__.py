@@ -6,19 +6,27 @@ exactly the tasks those changes may have enabled, and a pluggable
 :class:`~repro.engine.policies.SchedulerPolicy` decides which eligible task
 occupies a processor when.
 
-* :mod:`repro.engine.policies` -- the policy protocol and the three built-in
-  platforms (self-timed unbounded, bounded processors, static order),
+* :mod:`repro.engine.policies` -- the legacy boolean start-gate protocol and
+  the three built-in policies (self-timed unbounded, bounded processors,
+  static order),
 * :mod:`repro.engine.dispatcher` -- the ready-set dispatch core, the polling
-  reference it is verified against, and a standalone task runner,
+  reference it is verified against, platform-mode execution (suspend/resume
+  of in-flight firings, per-processor accounting) and a standalone task
+  runner,
 * :mod:`repro.engine.synthetic` -- synthetic task programs (ring, fork/join,
   SDF-derived) for scheduler experiments and benchmarks.
+
+Real platform models -- processor sets with speeds, preemptive fixed
+priorities, partitioned heterogeneous scheduling -- live in
+:mod:`repro.platform` and plug into the same engine through the rich
+``decide_start`` protocol.
 
 The simulator (:mod:`repro.runtime.simulator`) instantiates compiled OIL
 programs on top of this engine; benchmarks and scheduler tests drive it
 directly.  See ARCHITECTURE.md for the full pipeline.
 """
 
-from repro.engine.dispatcher import EngineRun, ExecutionEngine, ReadySet, run_tasks
+from repro.engine.dispatcher import ActiveFiring, EngineRun, ExecutionEngine, ReadySet, run_tasks
 from repro.engine.policies import (
     BoundedProcessors,
     SchedulerPolicy,
@@ -28,6 +36,7 @@ from repro.engine.policies import (
 from repro.engine.synthetic import fork_join_program, ring_program, tasks_from_sdf
 
 __all__ = [
+    "ActiveFiring",
     "EngineRun",
     "ExecutionEngine",
     "ReadySet",

@@ -18,11 +18,18 @@ replaces it with dependency-indexed dispatch:
   the seed implementation,
 * a pluggable :class:`~repro.engine.policies.SchedulerPolicy` gates starts,
   so the same dispatch core executes unbounded self-timed, bounded-processor
-  and static-order schedules.
+  and static-order schedules,
+* a *platform* policy (:mod:`repro.platform.policies`, detected by the
+  presence of ``decide_start``) upgrades the boolean gate to full
+  ``(task, processor, start | preempt | resume)`` decisions: the engine then
+  tracks in-flight firings (:class:`ActiveFiring`), cancels and re-posts
+  completion events on preemption with the exact remaining work, scales
+  durations by processor speed, and accounts busy time per processor.
 
 The polling dispatcher survives as ``mode="polling"`` -- the brute-force
 reference the equivalence tests and the dispatch microbenchmark compare
-against.
+against.  Platform policies require ready-set mode (the polling reference
+predates processors as first-class objects).
 
 Starting a task only *consumes* tokens (outputs are released at completion),
 and consuming can only enable other tasks -- a producer gains space, no
@@ -44,7 +51,8 @@ from repro.util.rational import Rat, TimeBase, TimeBaseError
 from repro.util.validation import check_in
 
 if TYPE_CHECKING:  # imports only for annotations: runtime.simulator imports us
-    from repro.runtime.events import EventQueue
+    from repro.platform.model import Platform, Processor
+    from repro.runtime.events import Event, EventQueue
     from repro.runtime.tasks import RuntimeTask
     from repro.runtime.trace import TraceRecorder
 
@@ -65,7 +73,7 @@ class ReadySet:
     def __init__(self) -> None:
         self._current: List[int] = []  # min-heap of indices > cursor (this pass)
         self._deferred: List[int] = []  # indices <= cursor (next pass)
-        self._queued: set = set()
+        self._queued: set[int] = set()
         self._cursor = -1
 
     def __len__(self) -> int:
@@ -94,6 +102,30 @@ class ReadySet:
         self._queued.discard(index)
         self._cursor = index
         return index
+
+
+@dataclass
+class ActiveFiring:
+    """One in-flight (or suspended) firing under a platform policy.
+
+    ``remaining`` is ``None`` while the firing runs; a preemption records the
+    native-unit time still owed (``completion event time - now``, exact in
+    both tick and fraction modes) and the speed it was accrued at, so a
+    resume -- possibly on a different-speed processor -- re-posts the
+    completion with exactly the outstanding work.
+    """
+
+    task: "RuntimeTask"
+    values: dict
+    start: Union[int, Fraction]
+    processor: "Processor"
+    #: start of the current uninterrupted execution segment (busy accounting)
+    segment_start: Union[int, Fraction]
+    event: Optional["Event"] = None
+    #: native-unit time still owed after a preemption (None while running)
+    remaining: Optional[Union[int, Fraction]] = None
+    #: speed factor ``remaining`` was accrued at (for migrating resumes)
+    suspended_speed: Optional[Fraction] = None
 
 
 class ExecutionEngine:
@@ -133,6 +165,15 @@ class ExecutionEngine:
         self.trace = trace
         self.policy: SchedulerPolicy = policy if policy is not None else SelfTimedUnbounded()
         self.mode = mode
+        #: True when the policy speaks the rich platform protocol
+        #: (``decide_start``); detected by duck-typing so this module never
+        #: imports :mod:`repro.platform`
+        self.platform_mode = callable(getattr(self.policy, "decide_start", None))
+        if self.platform_mode and mode == "polling":
+            raise ValueError(
+                "platform policies require the ready-set dispatcher; the "
+                "polling reference predates processors as first-class objects"
+            )
         self.tasks: List[RuntimeTask] = []
         self._index: Dict[RuntimeTask, int] = {}
         self._ready = ReadySet()
@@ -140,6 +181,14 @@ class ExecutionEngine:
         self._in_dispatch = False
         self.started_firings = 0
         self.completed_firings = 0
+        #: platform-mode state: in-flight firings, suspended firings and the
+        #: per-processor busy-time accumulators (native units)
+        self._active: Dict[RuntimeTask, ActiveFiring] = {}
+        self._suspended: Dict[RuntimeTask, ActiveFiring] = {}
+        self._busy_internal: Dict[str, Union[int, Fraction]] = {}
+        self._duration_cache: Dict[tuple, Union[int, Fraction]] = {}
+        self.preemptions = 0
+        self.resumes = 0
         #: completion time of the last finished firing in the queue's native
         #: units; maintained independently of the trace so makespans survive
         #: ``trace_level="off"``.  Read via :attr:`last_completion_time`.
@@ -160,6 +209,27 @@ class ExecutionEngine:
         representations)."""
         return self.queue.to_time(self._last_completion)
 
+    @property
+    def processor_busy_time(self) -> Dict[str, Rat]:
+        """Accumulated busy time per processor as exact rational seconds
+        (platform mode only; empty under legacy boolean policies).  Busy
+        time of a suspended firing stops at the preemption instant and
+        continues at the resume, and a still-running firing counts its
+        executed segment up to the current instant -- so the sum over
+        processors equals the sum of actually executed segments even when a
+        run horizon cuts firings mid-flight."""
+        busy = dict(self._busy_internal)
+        now = self.queue.now
+        for firing in self._active.values():
+            name = firing.processor.name
+            busy[name] = busy.get(name, 0) + now - firing.segment_start
+        return {name: self.queue.to_time(value) for name, value in sorted(busy.items())}
+
+    @property
+    def suspended_tasks(self) -> List["RuntimeTask"]:
+        """Tasks whose current firing is preempted (awaiting resume)."""
+        return list(self._suspended)
+
     # ------------------------------------------------------------------ build
     def register_task(self, task: RuntimeTask) -> None:
         """Add *task* to the fleet; registration order is the static priority
@@ -178,6 +248,14 @@ class ExecutionEngine:
         queue = self.queue
         for task in self.tasks:
             task.wcet_internal = queue.to_internal(task.wcet)
+        if self.platform_mode:
+            bind = getattr(self.policy, "bind", None)
+            if bind is not None:
+                bind(self.tasks)
+            # Seed the busy accumulators so idle processors report 0 busy
+            # time instead of being absent from the accounting.
+            for processor in getattr(self.policy, "processors", ()):
+                self._busy_internal.setdefault(processor.name, 0)
         if self.mode == "polling":
             return
         readers: Dict[CircularBuffer, List[RuntimeTask]] = {}
@@ -234,6 +312,8 @@ class ExecutionEngine:
         try:
             if self.mode == "polling":
                 self._dispatch_polling()
+            elif self.platform_mode:
+                self._dispatch_platform()
             else:
                 self._dispatch_ready_set()
         finally:
@@ -271,6 +351,46 @@ class ExecutionEngine:
         for index in stalled:
             self._ready.push(index)
 
+    def _dispatch_platform(self) -> None:
+        """Ready-set dispatch under the rich platform protocol.
+
+        The loop mirrors :meth:`_dispatch_ready_set` exactly -- same pop
+        order, same can-fire check, same stalled re-queueing -- so a
+        degenerate platform policy (no preemption, unit speeds) schedules
+        the very same events in the very same order as its legacy boolean
+        counterpart: traces are bit-identical.  On top of that, a popped
+        task may be a *suspended* firing (queued by a freed processor), in
+        which case the policy decides a resume instead of a start, and any
+        decision may name a lower-priority victim to preempt.
+        """
+        policy = self.policy
+        stalled: List[int] = []
+        while True:
+            index = self._ready.pop()
+            if index is None:
+                break
+            task = self.tasks[index]
+            if task in self._suspended:
+                decision = policy.decide_resume(task)
+                if decision is None:
+                    stalled.append(index)
+                    continue
+                if decision.preempt is not None:
+                    self._preempt(decision.preempt)
+                self._resume_firing(task, decision.processor)
+                continue
+            if not task.can_fire():
+                continue  # re-queued by the next relevant buffer change
+            decision = policy.decide_start(task)
+            if decision is None:
+                stalled.append(index)
+                continue
+            if decision.preempt is not None:
+                self._preempt(decision.preempt)
+            self._start_platform(task, decision.processor)
+        for index in stalled:
+            self._ready.push(index)
+
     # -------------------------------------------------------------- execution
     def _start_task(self, task: RuntimeTask) -> None:
         start = self.queue.now
@@ -300,6 +420,113 @@ class ExecutionEngine:
 
         self.queue.schedule(start + task.wcet_internal, complete, label=f"complete:{task.name}")
 
+    # ------------------------------------------------- platform-mode execution
+    def _duration_on(self, task: RuntimeTask, processor: "Processor") -> Union[int, Fraction]:
+        """Native-unit occupancy of one firing of *task* on *processor*
+        (``wcet / speed``, cached per pair; exact -- raises
+        :class:`~repro.util.rational.TimeBaseError` when a scaled duration
+        falls off an integer tick grid)."""
+        if processor.speed == 1:
+            return task.wcet_internal
+        key = (task, processor.name)
+        duration = self._duration_cache.get(key)
+        if duration is None:
+            duration = self.queue.to_internal(task.wcet / processor.speed)
+            self._duration_cache[key] = duration
+        return duration
+
+    def _start_platform(self, task: RuntimeTask, processor: "Processor") -> None:
+        start = self.queue.now
+        values = task.start_firing()
+        self.policy.on_start(task, processor)
+        self.started_firings += 1
+        firing = ActiveFiring(
+            task=task, values=values, start=start, processor=processor, segment_start=start
+        )
+        self._active[task] = firing
+        firing.event = self.queue.schedule(
+            start + self._duration_on(task, processor),
+            lambda: self._complete_platform(firing),
+            label=f"complete:{task.name}",
+        )
+
+    def _complete_platform(self, firing: ActiveFiring) -> None:
+        task = firing.task
+        queue = self.queue
+        del self._active[task]
+        executed = task.finish_firing(firing.values)
+        self.completed_firings += 1
+        self._last_completion = queue.now
+        name = firing.processor.name
+        self._busy_internal[name] = (
+            self._busy_internal.get(name, 0) + queue.now - firing.segment_start
+        )
+        trace = self.trace
+        if trace.firings_enabled:
+            trace.record_firing(
+                task.producer_key(), queue.to_time(firing.start), queue.to_time(queue.now), executed
+            )
+        if trace.occupancy_enabled:
+            for access in task.task.writes:
+                buffer = task.buffers[access.buffer]
+                trace.record_occupancy(buffer.name, buffer.occupancy())
+        self.policy.on_complete(task, firing.processor)
+        if self.on_complete is not None:
+            self.on_complete(task)
+        self.wake_task(task)
+        self._wake_suspended()
+        self.schedule_dispatch()
+
+    def _preempt(self, victim: RuntimeTask) -> None:
+        """Suspend the in-flight firing of *victim*: cancel its completion
+        event and record the exact native-unit time still owed."""
+        firing = self._active.pop(victim)
+        queue = self.queue
+        queue.cancel(firing.event)
+        firing.remaining = firing.event.time - queue.now
+        firing.suspended_speed = firing.processor.speed
+        name = firing.processor.name
+        self._busy_internal[name] = (
+            self._busy_internal.get(name, 0) + queue.now - firing.segment_start
+        )
+        victim.suspended = True
+        victim.preemptions += 1
+        self._suspended[victim] = firing
+        self.preemptions += 1
+        self.policy.on_preempt(victim, firing.processor)
+
+    def _resume_firing(self, task: RuntimeTask, processor: "Processor") -> None:
+        """Continue a suspended firing on *processor*, re-posting the
+        completion with exactly the remaining work (rescaled by the speed
+        ratio when the firing migrates across speeds)."""
+        firing = self._suspended.pop(task)
+        task.suspended = False
+        queue = self.queue
+        remaining = firing.remaining
+        if processor.speed != firing.suspended_speed:
+            # remaining work = remaining time x old speed; exact rescale
+            work = queue.to_time(remaining) * firing.suspended_speed
+            remaining = queue.to_internal(work / processor.speed)
+        firing.processor = processor
+        firing.segment_start = queue.now
+        firing.remaining = None
+        firing.suspended_speed = None
+        self._active[task] = firing
+        firing.event = queue.schedule(
+            queue.now + remaining,
+            lambda: self._complete_platform(firing),
+            label=f"complete:{task.name}",
+        )
+        self.resumes += 1
+        self.policy.on_resume(task, processor)
+
+    def _wake_suspended(self) -> None:
+        """Queue every suspended firing for a resume decision.  Suspended
+        tasks are ``busy`` (their inputs are consumed), so :meth:`wake_task`
+        would skip them; they are pushed directly."""
+        for task in self._suspended:
+            self._ready.push(self._index[task])
+
 
 @dataclass
 class EngineRun:
@@ -327,6 +554,7 @@ def run_tasks(
     tasks: Sequence[RuntimeTask],
     *,
     policy: Optional[SchedulerPolicy] = None,
+    platform: Optional["Platform"] = None,
     mode: str = "ready-set",
     stop_after_firings: Optional[int] = None,
     horizon=Fraction(10**9),
@@ -341,8 +569,14 @@ def run_tasks(
     and benchmarks that need the execution layer without compiling an OIL
     program.
 
+    ``platform`` is a :class:`~repro.platform.model.Platform` shorthand for
+    ``policy=platform.policy()`` (its natural default policy); pass a
+    platform policy via ``policy=`` directly for preemptive / partitioned
+    variants.  Mutually exclusive with ``policy``.
+
     ``time_base`` selects the queue's time representation: ``"auto"`` (the
-    default) derives an integer-tick base from the tasks' response times and
+    default) derives an integer-tick base from the tasks' response times --
+    including their speed-scaled variants on every platform processor -- and
     falls back to exact fractions when none exists, ``"ticks"`` requires one
     (raising :class:`~repro.util.rational.TimeBaseError` otherwise),
     ``"fraction"`` (or ``None``) keeps the legacy fraction-based queue, and a
@@ -352,13 +586,32 @@ def run_tasks(
     from repro.runtime.events import EventQueue
     from repro.runtime.trace import TraceRecorder
 
+    if platform is not None:
+        if policy is not None:
+            raise ValueError("pass either policy= or platform=, not both")
+        policy = platform.policy()
+
     timebase: Optional[TimeBase]
     if time_base is None or time_base == "fraction":
         timebase = None
     elif isinstance(time_base, TimeBase):
         timebase = time_base
     elif time_base in ("auto", "ticks"):
-        timebase = TimeBase.for_durations(task.wcet for task in tasks)
+        if time_base == "auto" and getattr(policy, "migrates_across_speeds", False):
+            # A firing preempted at one speed and resumed at another owes a
+            # rescaled remainder that no finite tick grid is closed under;
+            # "auto" keeps the always-exact fractions (an explicit "ticks"
+            # request is honoured below and may raise at the migration).
+            timebase = None
+        else:
+            durations = [task.wcet for task in tasks]
+            # A platform policy schedules wcet / speed; the tick grid must
+            # cover those scaled durations too, or exact ticks are
+            # impossible.
+            policy_platform = getattr(policy, "platform", None)
+            if policy_platform is not None:
+                durations.extend(policy_platform.scaled_durations(durations))
+            timebase = TimeBase.for_durations(durations)
         if timebase is None and time_base == "ticks":
             raise TimeBaseError("no positive response time to derive a tick resolution from")
     else:

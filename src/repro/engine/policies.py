@@ -23,6 +23,12 @@ plug in:
 A policy never decides eligibility -- it only gates starts -- so every policy
 observes the same data-driven semantics and the same produced values; policies
 only reshape the timing.
+
+This boolean protocol cannot express *where* a firing runs or that it is
+suspended with work left; those are the platform protocol's decisions
+(:mod:`repro.platform.policies`), which re-expresses all three policies here
+as degenerate platforms with bit-identical traces and adds preemptive
+fixed-priority and partitioned heterogeneous scheduling on top.
 """
 
 from __future__ import annotations

@@ -1,0 +1,218 @@
+"""Processors and platforms: the hardware model scheduling policies run on.
+
+The paper's speedup experiments (Fig. 4) assume identical processors and
+run-to-completion firings.  This module generalises that into an explicit
+platform model:
+
+* :class:`Processor` -- one processing element with an exact rational *speed
+  factor* (a firing of response time ``wcet`` takes ``wcet / speed`` seconds
+  on it) and optional power weights for energy accounting,
+* :class:`Platform` -- an ordered set of processors plus an optional
+  task-to-processor *mapping* (affinity) for partitioned schedules.
+
+Platforms are plain, immutable-by-convention data: every field is picklable,
+so a platform travels as a :class:`~repro.api.sweep.Sweep` run axis to worker
+processes (heterogeneous speedup grids run on the process backend).  The
+policies that schedule on a platform live in
+:mod:`repro.platform.policies`; :meth:`Platform.policy` builds the natural
+default (partitioned when a mapping is present, greedy list scheduling
+otherwise).
+
+Exactness contract: speed factors are rationals, and scaled firing durations
+(``wcet / speed``) join the simulator's duration set, so integer-tick runs
+stay exact on heterogeneous platforms (see ``Simulation._duration_set``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.util.rational import Rat, RationalLike, as_rational
+from repro.util.validation import check_positive, require
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One processing element of a platform.
+
+    ``speed`` is an exact rational factor relative to the reference
+    processor: a firing whose response time is ``wcet`` seconds occupies this
+    processor for ``wcet / speed`` seconds.  ``power_active`` /
+    ``power_idle`` are optional dimensionless weights (e.g. Watts) that turn
+    the per-processor busy-time accounting into an energy estimate
+    (:meth:`repro.api.program.RunResult.processor_energy`) -- they do not
+    influence scheduling.
+    """
+
+    name: str
+    speed: Rat = Fraction(1)
+    power_active: Optional[float] = None
+    power_idle: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "a processor needs a non-empty name")
+        speed = as_rational(self.speed)
+        if speed <= 0:
+            raise ValueError(f"processor {self.name!r}: speed must be positive, got {speed}")
+        object.__setattr__(self, "speed", speed)
+
+    def duration_of(self, wcet: RationalLike) -> Rat:
+        """Exact occupancy time of a firing with response time *wcet*."""
+        return as_rational(wcet) / self.speed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.speed == 1:
+            return f"Processor({self.name!r})"
+        return f"Processor({self.name!r}, speed={self.speed})"
+
+
+class Platform:
+    """An ordered set of processors, optionally with a task affinity mapping.
+
+    ``mapping`` binds task keys (bare task names by default; policies may use
+    ``producer_key()`` form) to processor names -- the partitioned-schedule
+    input of :class:`~repro.platform.policies.PartitionedHeterogeneous`.
+    Processor order is meaningful: policies allocate the first free processor
+    in platform order, so listing a fast processor first makes greedy
+    policies prefer it.
+
+    Construction helpers cover the common shapes: :meth:`homogeneous` (the
+    Fig. 4 identical-processor axis), :meth:`heterogeneous` (arbitrary speed
+    sets, e.g. one fast core plus N slow ones) and :meth:`unbounded` (the
+    virtual one-processor-per-task hardware of self-timed analysis).
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[Processor],
+        *,
+        mapping: Optional[Mapping[str, str]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.processors: Tuple[Processor, ...] = tuple(processors)
+        names = [processor.name for processor in self.processors]
+        require(len(set(names)) == len(names), "processor names must be unique")
+        self.mapping: Dict[str, str] = dict(mapping or {})
+        self._by_name: Dict[str, Processor] = {p.name: p for p in self.processors}
+        for task_key, processor_name in self.mapping.items():
+            if processor_name not in self._by_name:
+                raise ValueError(
+                    f"platform mapping binds task {task_key!r} to unknown "
+                    f"processor {processor_name!r}"
+                )
+        self.name = name if name is not None else self._default_name()
+
+    def _default_name(self) -> str:
+        if not self.processors:
+            return "unbounded"
+        speeds = sorted({p.speed for p in self.processors}, reverse=True)
+        if len(speeds) == 1:
+            suffix = "" if speeds[0] == 1 else f"@{speeds[0]}"
+            return f"{len(self.processors)}x{suffix}"
+        return f"{len(self.processors)}p-hetero"
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def homogeneous(
+        cls, count: int, *, speed: RationalLike = 1, name: Optional[str] = None
+    ) -> "Platform":
+        """*count* identical processors ``p0 .. p{count-1}``."""
+        check_positive(count, "count")
+        factor = as_rational(speed)
+        return cls(
+            (Processor(f"p{i}", speed=factor) for i in range(count)), name=name
+        )
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        speeds: Sequence[RationalLike],
+        *,
+        mapping: Optional[Mapping[str, str]] = None,
+        name: Optional[str] = None,
+    ) -> "Platform":
+        """One processor per entry of *speeds*, named ``p0 .. pN`` in order."""
+        require(len(speeds) > 0, "a heterogeneous platform needs at least one speed")
+        return cls(
+            (Processor(f"p{i}", speed=as_rational(s)) for i, s in enumerate(speeds)),
+            mapping=mapping,
+            name=name,
+        )
+
+    @classmethod
+    def unbounded(cls) -> "Platform":
+        """The virtual unbounded-parallel hardware: no concrete processor
+        set; a self-timed policy materialises one processor per task."""
+        return cls((), name="unbounded")
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def is_unbounded(self) -> bool:
+        return not self.processors
+
+    def __len__(self) -> int:
+        return len(self.processors)
+
+    def __iter__(self):
+        return iter(self.processors)
+
+    def processor(self, name: str) -> Processor:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"platform {self.name!r} has no processor {name!r}; "
+                f"available: {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def speeds(self) -> Tuple[Rat, ...]:
+        return tuple(p.speed for p in self.processors)
+
+    def scaled_durations(self, durations: Iterable[RationalLike]) -> list:
+        """Every ``duration / speed`` a firing on this platform can take --
+        the extra entries the simulator's tick-base derivation must cover."""
+        values = [as_rational(d) for d in durations]
+        return [d / speed for speed in set(self.speeds) for d in values]
+
+    # ----------------------------------------------------------------- policy
+    def policy(self):
+        """The natural default scheduling policy of this platform.
+
+        Partitioned (affinity-respecting) when a mapping is present,
+        self-timed for the unbounded virtual platform, greedy list scheduling
+        on the concrete processor set otherwise.
+        """
+        from repro.platform.policies import (
+            ListScheduledPlatform,
+            PartitionedHeterogeneous,
+            SelfTimedPlatform,
+        )
+
+        if self.is_unbounded:
+            return SelfTimedPlatform(self)
+        if self.mapping:
+            return PartitionedHeterogeneous(self)
+        return ListScheduledPlatform(self)
+
+    # ------------------------------------------------------------------ dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return (
+            self.processors == other.processors
+            and self.mapping == other.mapping
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.processors, tuple(sorted(self.mapping.items())), self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_unbounded:
+            return "Platform.unbounded()"
+        speeds = ", ".join(str(p.speed) for p in self.processors)
+        mapped = f", mapping={len(self.mapping)} tasks" if self.mapping else ""
+        return f"Platform({self.name!r}: speeds [{speeds}]{mapped})"

@@ -1,0 +1,415 @@
+"""Platform scheduling policies: decisions are (task, processor, action).
+
+The legacy :class:`~repro.engine.policies.SchedulerPolicy` protocol is a
+boolean start-gate -- it can say *whether* an eligible task may start, but
+not *where* it runs, and it cannot express "this firing is suspended with
+three ticks of work left on processor 2".  The platform protocol replaces
+the boolean with a :class:`PlatformDecision`: which processor the firing
+occupies, and optionally which in-flight firing is preempted to make room.
+The execution engine performs the mechanics (cancelling and re-posting
+completion events, tracking remaining work, per-processor busy accounting);
+the policy only decides.
+
+Policies
+--------
+* :class:`SelfTimedPlatform` -- one virtual processor per task; the
+  degenerate re-expression of
+  :class:`~repro.engine.policies.SelfTimedUnbounded` (bit-identical traces).
+* :class:`ListScheduledPlatform` -- greedy list scheduling: first free
+  processor in platform order.  On a homogeneous platform this re-expresses
+  :class:`~repro.engine.policies.BoundedProcessors` bit-identically; on a
+  heterogeneous platform it is speed-aware greedy scheduling (fastest-first
+  when the platform lists fast processors first).
+* :class:`StaticOrderPlatform` -- a fixed (cyclic) firing sequence on a
+  single processor; re-expresses
+  :class:`~repro.engine.policies.StaticOrder`, optionally on a scaled
+  processor.
+* :class:`FixedPriorityPreemptive` -- preemptive fixed-priority scheduling:
+  an eligible task preempts the lowest-priority running firing when no
+  processor is free and that firing's priority is strictly lower.  Priorities
+  default to registration (extraction) order; lower value = higher priority.
+* :class:`PartitionedHeterogeneous` -- non-migrating partitioned scheduling:
+  every task is pinned to one processor (explicit mapping, the platform's
+  affinity table, or round-robin by default) and runs to completion there at
+  the processor's speed.
+
+Every policy is picklable before binding (module-level key functions, plain
+data), so platform policies travel as sweep axes to worker processes; the
+engine binds them to the task fleet in ``wire_buffers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.engine.policies import _task_name
+from repro.platform.model import Platform, Processor
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # annotations only -- the engine imports nothing from here
+    from repro.runtime.tasks import RuntimeTask
+
+
+@dataclass(frozen=True)
+class PlatformDecision:
+    """One scheduling decision: start (or resume) on *processor*, after
+    suspending *preempt* (when set, an in-flight lower-priority firing whose
+    remaining work the engine re-posts on resume)."""
+
+    processor: Processor
+    preempt: Optional["RuntimeTask"] = None
+
+
+@runtime_checkable
+class PlatformPolicy(Protocol):
+    """The rich scheduling protocol of the platform layer.
+
+    The engine detects platform policies by the presence of
+    ``decide_start`` (duck-typed, so :mod:`repro.engine` never imports this
+    package); legacy boolean policies keep their original dispatch path
+    untouched.
+    """
+
+    platform: Platform
+
+    def bind(self, tasks: Sequence["RuntimeTask"]) -> None:
+        """Resolve task-dependent state (priorities, affinity, virtual
+        processors).  Called by the engine once the fleet is registered."""
+        ...
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        """Where may this *eligible* task start a fresh firing right now?
+        ``None`` keeps it queued."""
+        ...
+
+    def decide_resume(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        """Where may this *suspended* firing continue right now?"""
+        ...
+
+    def on_start(self, task: "RuntimeTask", processor: Processor) -> None: ...
+
+    def on_preempt(self, task: "RuntimeTask", processor: Processor) -> None: ...
+
+    def on_resume(self, task: "RuntimeTask", processor: Processor) -> None: ...
+
+    def on_complete(self, task: "RuntimeTask", processor: Processor) -> None: ...
+
+    def reset(self) -> None: ...
+
+
+class PlatformPolicyBase:
+    """Shared bookkeeping: which task occupies which processor.
+
+    Subclasses implement :meth:`decide_start` (and, for preemptive policies,
+    :meth:`decide_resume`); the engine drives the ``on_*`` notifications,
+    which maintain the occupancy table here.
+    """
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        #: processor name -> the task whose firing currently occupies it
+        self._running: Dict[str, "RuntimeTask"] = {}
+        self._tasks: Tuple["RuntimeTask", ...] = ()
+
+    # ------------------------------------------------------------------ bind
+    @property
+    def processors(self) -> Tuple[Processor, ...]:
+        """The concrete processor set scheduling runs on (after bind for
+        virtual platforms)."""
+        return self.platform.processors
+
+    @property
+    def migrates_across_speeds(self) -> bool:
+        """True when a suspended firing may resume on a different-speed
+        processor.  Rescaled remainders (``remaining * s1 / s2``) are not
+        closed under any finite tick grid, so the automatic time-base
+        selection must fall back to exact fractions for such policies."""
+        return False
+
+    def bind(self, tasks: Sequence["RuntimeTask"]) -> None:
+        self._tasks = tuple(tasks)
+        self._bound()
+
+    def _bound(self) -> None:
+        """Subclass hook run after :meth:`bind` stored the fleet."""
+
+    # -------------------------------------------------------------- decisions
+    def first_free(self) -> Optional[Processor]:
+        for processor in self.processors:
+            if processor.name not in self._running:
+                return processor
+        return None
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        raise NotImplementedError
+
+    def decide_resume(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        """Non-preemptive policies never suspend, so a resume request can
+        only be a protocol misuse."""
+        raise RuntimeError(
+            f"{type(self).__name__} never preempts; there is no firing to resume"
+        )
+
+    # ---------------------------------------------------------- notifications
+    def on_start(self, task: "RuntimeTask", processor: Processor) -> None:
+        self._running[processor.name] = task
+
+    def on_preempt(self, task: "RuntimeTask", processor: Processor) -> None:
+        if self._running.get(processor.name) is task:
+            del self._running[processor.name]
+
+    def on_resume(self, task: "RuntimeTask", processor: Processor) -> None:
+        self._running[processor.name] = task
+
+    def on_complete(self, task: "RuntimeTask", processor: Processor) -> None:
+        if self._running.get(processor.name) is task:
+            del self._running[processor.name]
+
+    def reset(self) -> None:
+        self._running.clear()
+
+
+class SelfTimedPlatform(PlatformPolicyBase):
+    """Self-timed execution on virtually unbounded hardware: every task owns
+    its own processor, so an eligible task always starts immediately.
+
+    The degenerate platform re-expression of
+    :class:`~repro.engine.policies.SelfTimedUnbounded` -- traces are
+    bit-identical (regression-asserted).  Per-task processors are
+    materialised at bind time and named by the task's producer key, so the
+    per-processor busy accounting doubles as per-task busy accounting.
+    """
+
+    def __init__(self, platform: Optional[Platform] = None) -> None:
+        platform = platform if platform is not None else Platform.unbounded()
+        require(platform.is_unbounded, "SelfTimedPlatform runs on Platform.unbounded()")
+        super().__init__(platform)
+        self._processor_of: Dict["RuntimeTask", Processor] = {}
+        self._virtual: Tuple[Processor, ...] = ()
+
+    @property
+    def processors(self) -> Tuple[Processor, ...]:
+        return self._virtual
+
+    def _bound(self) -> None:
+        self._processor_of = {
+            task: Processor(task.producer_key()) for task in self._tasks
+        }
+        self._virtual = tuple(self._processor_of[task] for task in self._tasks)
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        return PlatformDecision(self._processor_of[task])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SelfTimedPlatform()"
+
+
+class ListScheduledPlatform(PlatformPolicyBase):
+    """Greedy list scheduling: an eligible task takes the first free
+    processor in platform order (tasks are offered in static order, the
+    classical list-scheduling priority).
+
+    On ``Platform.homogeneous(n)`` this re-expresses
+    :class:`~repro.engine.policies.BoundedProcessors` with bit-identical
+    traces; on a heterogeneous platform the processor *order* becomes the
+    allocation preference (list fast processors first to keep them busy).
+    """
+
+    def __init__(self, platform: Platform) -> None:
+        require(not platform.is_unbounded, "ListScheduledPlatform needs concrete processors")
+        super().__init__(platform)
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        processor = self.first_free()
+        return PlatformDecision(processor) if processor is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ListScheduledPlatform({self.platform.name!r})"
+
+
+class StaticOrderPlatform(PlatformPolicyBase):
+    """A fixed (cyclic) firing sequence on one processor -- the platform
+    re-expression of :class:`~repro.engine.policies.StaticOrder`, with the
+    same one-shot and stale-completion semantics, optionally on a scaled
+    processor (a generated sequential schedule on slower silicon)."""
+
+    def __init__(
+        self,
+        order: Sequence[str],
+        *,
+        cyclic: bool = True,
+        key: Optional[Callable[["RuntimeTask"], str]] = None,
+        platform: Optional[Platform] = None,
+    ) -> None:
+        platform = platform if platform is not None else Platform.homogeneous(1)
+        require(len(platform) == 1, "StaticOrderPlatform schedules a single processor")
+        require(len(order) > 0, "a static-order schedule needs at least one entry")
+        super().__init__(platform)
+        self.order: List[str] = list(order)
+        self.cyclic = cyclic
+        self.position = 0
+        self._key = key if key is not None else _task_name
+
+    def current(self) -> Optional[str]:
+        if not self.cyclic and self.position >= len(self.order):
+            return None
+        return self.order[self.position % len(self.order)]
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        processor = self.first_free()
+        if processor is None:
+            return None
+        if task.one_shot or self._key(task) == self.current():
+            return PlatformDecision(processor)
+        return None
+
+    def on_complete(self, task: "RuntimeTask", processor: Processor) -> None:
+        if self._running.get(processor.name) is not task:
+            # stale completion of a run stopped mid-flight: do not advance
+            # the schedule past entries that never ran
+            return
+        super().on_complete(task, processor)
+        if not task.one_shot:
+            self.position += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self.position = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticOrderPlatform({len(self.order)} firings, cyclic={self.cyclic})"
+
+
+class FixedPriorityPreemptive(PlatformPolicyBase):
+    """Preemptive fixed-priority scheduling on a shared processor set.
+
+    Every task has a static priority (lower value = higher priority;
+    unlisted tasks default to their registration index, which is the
+    extraction order -- the engine's documented static priority order).  An
+    eligible task takes a free processor when one exists; otherwise it
+    preempts the lowest-priority running firing *iff* that firing's priority
+    is strictly lower than its own.  Preempted firings keep their consumed
+    inputs and resume -- possibly on a different processor -- with exactly
+    the remaining work re-posted by the engine; a suspended high-priority
+    firing may itself preempt a lower-priority one to resume.
+
+    On heterogeneous platforms a migrated resume rescales the remaining
+    work by the speed ratio.  Rescaled remainders are not representable on
+    any finite tick grid in general, so on multi-speed platforms this
+    policy reports :attr:`migrates_across_speeds` and ``time_base="auto"``
+    falls back to exact fractions (observationally identical); an
+    *explicitly* requested tick base is honoured and raises
+    :class:`~repro.util.rational.TimeBaseError` if a migrated remainder
+    falls off the grid.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        priorities: Optional[Mapping[str, int]] = None,
+        key: Optional[Callable[["RuntimeTask"], str]] = None,
+    ) -> None:
+        require(not platform.is_unbounded, "FixedPriorityPreemptive needs concrete processors")
+        super().__init__(platform)
+        self.priorities: Dict[str, int] = dict(priorities or {})
+        self._key = key if key is not None else _task_name
+        #: task -> (priority value, registration index): total order, ties
+        #: broken by registration so victim selection is deterministic
+        self._rank: Dict["RuntimeTask", Tuple[int, int]] = {}
+
+    def _bound(self) -> None:
+        self._rank = {
+            task: (self.priorities.get(self._key(task), index), index)
+            for index, task in enumerate(self._tasks)
+        }
+
+    def rank_of(self, task: "RuntimeTask") -> Tuple[int, int]:
+        return self._rank[task]
+
+    @property
+    def migrates_across_speeds(self) -> bool:
+        return len(set(self.platform.speeds)) > 1
+
+    def _decide(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        processor = self.first_free()
+        if processor is not None:
+            return PlatformDecision(processor)
+        victim_name = None
+        victim_rank = self.rank_of(task)
+        for name, running in self._running.items():
+            rank = self.rank_of(running)
+            if rank > victim_rank:
+                victim_name, victim_rank = name, rank
+        if victim_name is None:
+            return None
+        return PlatformDecision(
+            self.platform.processor(victim_name), preempt=self._running[victim_name]
+        )
+
+    decide_start = _decide
+    decide_resume = _decide
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FixedPriorityPreemptive({self.platform.name!r}, "
+            f"{len(self.priorities)} explicit priorities)"
+        )
+
+
+class PartitionedHeterogeneous(PlatformPolicyBase):
+    """Non-migrating partitioned scheduling on a (possibly heterogeneous)
+    processor set: every task is pinned to one processor and its firings run
+    there to completion at the processor's speed.
+
+    The pin comes from *mapping* (task key -> processor name), falling back
+    to the platform's affinity table, falling back to round-robin over the
+    processors in registration order.  This is the classical partitioned
+    model: a firing never migrates, so heterogeneous speeds stay exact under
+    integer-tick time bases (each task only ever schedules
+    ``wcet / speed(pin)``).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        mapping: Optional[Mapping[str, str]] = None,
+        key: Optional[Callable[["RuntimeTask"], str]] = None,
+    ) -> None:
+        require(not platform.is_unbounded, "PartitionedHeterogeneous needs concrete processors")
+        super().__init__(platform)
+        self.mapping: Dict[str, str] = dict(mapping if mapping is not None else platform.mapping)
+        for task_key, processor_name in self.mapping.items():
+            platform.processor(processor_name)  # raises KeyError with context
+        self._key = key if key is not None else _task_name
+        self._processor_of: Dict["RuntimeTask", Processor] = {}
+
+    def _bound(self) -> None:
+        processors = self.platform.processors
+        self._processor_of = {}
+        for index, task in enumerate(self._tasks):
+            pinned = self.mapping.get(self._key(task))
+            if pinned is None:
+                pinned = self.mapping.get(task.producer_key())
+            if pinned is not None:
+                self._processor_of[task] = self.platform.processor(pinned)
+            else:
+                self._processor_of[task] = processors[index % len(processors)]
+
+    def processor_of(self, task: "RuntimeTask") -> Processor:
+        """The processor *task* is pinned to (after bind)."""
+        return self._processor_of[task]
+
+    def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
+        processor = self._processor_of[task]
+        if processor.name in self._running:
+            return None
+        return PlatformDecision(processor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionedHeterogeneous({self.platform.name!r}, "
+            f"{len(self.mapping)} pinned)"
+        )

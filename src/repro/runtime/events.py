@@ -61,6 +61,7 @@ class EventQueue:
         self.timebase: Optional[TimeBase] = timebase
         self.now: InternalTime = 0 if timebase is not None else Fraction(0)
         self.processed = 0
+        self._cancelled_pending = 0
 
     # -------------------------------------------------------------- time base
     def set_timebase(self, timebase: Optional[TimeBase]) -> None:
@@ -116,7 +117,19 @@ class EventQueue:
         return self.schedule(self.now + self.to_internal(delay), callback, label=label)
 
     def cancel(self, event: Event) -> None:
-        event.cancelled = True
+        if not event.cancelled:
+            event.cancelled = True
+            self._cancelled_pending += 1
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Number of cancelled entries still sitting in the heap.
+
+        Preemptive platform policies cancel and re-post completion events,
+        so the count is an observable measure of preemption churn (and of
+        the lazy-prune debt :meth:`_drop_cancelled_head` still owes).
+        """
+        return self._cancelled_pending
 
     def _drop_cancelled_head(self) -> None:
         """Lazily pop cancelled events off the heap top.  Each cancelled
@@ -126,6 +139,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
+            self._cancelled_pending -= 1
 
     def empty(self) -> bool:
         self._drop_cancelled_head()
@@ -175,6 +189,7 @@ class EventQueue:
                 break
             heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self.now = event.time
             event.callback()

@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.compiler import CompilationResult
 from repro.engine.dispatcher import ExecutionEngine
@@ -40,6 +40,9 @@ from repro.runtime.sources import SinkDriver, SourceDriver
 from repro.runtime.tasks import OilRuntimeError, RuntimeTask
 from repro.runtime.trace import TraceRecorder
 from repro.util.rational import Rat, TimeBase, as_rational
+
+if TYPE_CHECKING:  # annotation only -- repro.platform imports the engine
+    from repro.platform.model import Platform
 
 #: A mode schedule: per module instance path (or module name), the cyclic list
 #: of (loop identifier, iteration quota) phases.
@@ -168,7 +171,17 @@ class Simulation:
         A :class:`~repro.engine.policies.SchedulerPolicy` deciding which
         eligible task may occupy a processor; default
         :class:`~repro.engine.policies.SelfTimedUnbounded` (one processor per
-        task, the execution model the CTA analysis bounds).
+        task, the execution model the CTA analysis bounds).  Platform
+        policies (:mod:`repro.platform.policies`) are accepted here too and
+        switch the engine to platform mode (processor assignment,
+        preemption, per-processor accounting).
+    platform:
+        A :class:`~repro.platform.model.Platform` shorthand for
+        ``scheduler=platform.policy()`` -- partitioned when the platform
+        carries an affinity mapping, greedy list scheduling otherwise.
+        Mutually exclusive with ``scheduler``.  The platform's speed-scaled
+        firing durations join the tick-base derivation, so heterogeneous
+        runs stay exact under ``time_base="auto"``/``"ticks"``.
     dispatcher:
         ``"ready-set"`` (default) or ``"polling"`` -- the brute-force
         whole-fleet reference dispatcher kept for equivalence testing and
@@ -200,12 +213,21 @@ class Simulation:
         sink_start_times: Optional[Mapping[str, Rat]] = None,
         top: Optional[str] = None,
         scheduler: Optional[SchedulerPolicy] = None,
+        platform: Optional["Platform"] = None,
         dispatcher: str = "ready-set",
         trace_level: str = "full",
         time_base: Union[str, TimeBase] = "auto",
     ) -> None:
         self.result = result
         self.registry = registry
+        if platform is not None:
+            if scheduler is not None:
+                raise OilRuntimeError("pass either scheduler= or platform=, not both")
+            scheduler = platform.policy()
+        #: the platform the run executes on (direct, or carried by a platform
+        #: policy), or None under legacy boolean policies; its speed factors
+        #: extend the tick-base duration set
+        self.platform = platform if platform is not None else getattr(scheduler, "platform", None)
         self.queue = EventQueue()
         self.trace = TraceRecorder(level=trace_level)
         self.engine = ExecutionEngine(self.queue, self.trace, policy=scheduler, mode=dispatcher)
@@ -261,14 +283,27 @@ class Simulation:
                 durations.append(sink.start_time)
             else:
                 durations.append(sink.period / 2)
-        for task in self.engine.tasks:
-            durations.append(task.wcet)
+        wcets = [task.wcet for task in self.engine.tasks]
+        durations.extend(wcets)
+        if self.platform is not None:
+            # A platform policy schedules wcet / speed (and re-posts exact
+            # remainders of those); the grid must cover the scaled set too.
+            durations.extend(self.platform.scaled_durations(wcets))
         return durations
 
     def _select_time_base(self, requested: Union[str, TimeBase]) -> Optional[TimeBase]:
         """Resolve the ``time_base`` parameter against the instantiated
         program (see the class docstring for the selection/fallback rule)."""
         if requested == "fraction":
+            return None
+        if requested == "auto" and getattr(
+            self.engine.policy, "migrates_across_speeds", False
+        ):
+            # Cross-speed resume remainders (remaining * s1 / s2) are not
+            # closed under any finite tick grid; "auto" must stay with the
+            # always-exact fraction representation for such policies.  An
+            # explicit "ticks"/TimeBase request is honoured below and may
+            # raise at the migrating resume.
             return None
         durations = self._duration_set()
         if isinstance(requested, TimeBase):

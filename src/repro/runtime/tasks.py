@@ -11,10 +11,13 @@ paper's execution model:
 * at the start of a firing the task atomically acquires its inputs, evaluates
   its guard on the values just read and -- only if the guard holds -- executes
   the coordinated function / assignment,
-* the outputs are released ``wcet`` seconds later; when the guard was false
-  the output locations are released *without writing*, so consumers observe
-  the previous values (the overlapping-window semantics of the circular
-  buffer),
+* the outputs are released after ``wcet`` worth of execution -- ``wcet``
+  seconds later on a unit-speed processor, ``wcet / speed`` on a scaled one,
+  and later still when a platform policy preempts the firing (the engine
+  parks the remaining work and the task stays busy-but-``suspended`` until
+  it resumes); when the guard was false the output locations are released
+  *without writing*, so consumers observe the previous values (the
+  overlapping-window semantics of the circular buffer),
 * statements outside any loop (initialisation) fire exactly once at start-up.
 
 The module also contains the small expression evaluator used for guards,
@@ -150,6 +153,12 @@ class RuntimeTask:
     active: bool = True
     #: True while a firing is in flight
     busy: bool = False
+    #: True while the in-flight firing is preempted (platform policies):
+    #: inputs are consumed, remaining work is parked in the engine, and the
+    #: task stays ``busy`` until the firing resumes and completes
+    suspended: bool = False
+    #: number of times a firing of this task was preempted
+    preemptions: int = 0
     #: number of completed firings (total and within the current phase)
     completed_firings: int = 0
     phase_firings: int = 0

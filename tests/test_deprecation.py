@@ -1,0 +1,112 @@
+"""Every deprecated pre-facade helper must emit a ``DeprecationWarning``
+naming its facade replacement.
+
+The aliases are kept so pre-``repro.api`` code keeps working; the warning --
+with the *correct* replacement spelled out -- is the only signpost users get,
+so each call site of :func:`repro.util.deprecation.warn_deprecated` is pinned
+here (the messages were previously untested and a renamed facade entry point
+could silently point users at nothing).
+"""
+
+import re
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.apps.modal_audio import simulate_mute, simulate_two_mode
+from repro.apps.pal_decoder import PalDecoderApp
+from repro.apps.producer_consumer import compile_quickstart, simulate_quickstart
+from repro.util.deprecation import warn_deprecated
+
+
+def assert_single_deprecation(recorded, old, replacement):
+    """Exactly one DeprecationWarning, naming both the alias and the
+    facade replacement."""
+    deprecations = [w for w in recorded if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, [str(w.message) for w in recorded]
+    message = str(deprecations[0].message)
+    assert message == f"{old} is deprecated; use {replacement} instead"
+
+
+class TestWarnDeprecated:
+    def test_message_format_and_category(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=re.escape("old_helper() is deprecated; use repro.api.New instead"),
+        ):
+            warn_deprecated("old_helper()", "repro.api.New", stacklevel=2)
+
+
+class TestQuickstartAliases:
+    def test_compile_quickstart_warns_with_replacement(self):
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            compile_quickstart()
+        assert_single_deprecation(
+            recorded, "compile_quickstart()", 'repro.api.Program.from_app("quickstart")'
+        )
+
+    def test_simulate_quickstart_warns_with_replacement(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            simulation, trace = simulate_quickstart(
+                Fraction(1, 100), result=result, sizing=sizing
+            )
+        assert_single_deprecation(
+            recorded,
+            "simulate_quickstart()",
+            'repro.api.Program.from_app("quickstart").analyze().run(...)',
+        )
+        assert len(trace.firings) > 0  # the alias still actually works
+
+
+class TestModalAliases:
+    def test_simulate_mute_warns_with_replacement(self, mute_sized):
+        result, sizing = mute_sized
+        signal = [0.5] * 64
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            simulate_mute(Fraction(1, 100), signal, result=result, sizing=sizing)
+        assert_single_deprecation(
+            recorded,
+            "simulate_mute()",
+            'repro.api.Program.from_app("modal_mute").analyze().run(...)',
+        )
+
+    def test_simulate_two_mode_warns_with_replacement(self, two_mode_sized):
+        result, sizing = two_mode_sized
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            simulate_two_mode(Fraction(1, 100), result=result, sizing=sizing)
+        assert_single_deprecation(
+            recorded,
+            "simulate_two_mode()",
+            'repro.api.Program.from_app("modal_two_mode").analyze().run(...)',
+        )
+
+
+class TestPalDecoderAliases:
+    def test_analyze_warns_with_replacement(self, pal_app):
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            result, sizing = pal_app.analyze()
+        assert_single_deprecation(
+            recorded,
+            "PalDecoderApp.analyze()",
+            'repro.api.Program.from_app("pal_decoder").analyze()',
+        )
+        assert sizing.capacities  # the alias still returns real results
+
+    def test_simulate_warns_with_replacement(self, pal_sized):
+        result, sizing = pal_sized
+        app = PalDecoderApp(scale=1000)
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            app.simulate(Fraction(1, 100), result=result, sizing=sizing)
+        assert_single_deprecation(
+            recorded,
+            "PalDecoderApp.simulate()",
+            'repro.api.Program.from_app("pal_decoder").analyze().run(...)',
+        )
