@@ -1,0 +1,125 @@
+"""Steady-state fast-forward on the PAL decoder: 1e6 -> 1e9 event horizons.
+
+The naive engine steps every event; at the PAL decoder's ~48k events per
+simulated second that caps any study of long-horizon behaviour (jitter
+accumulation, counter wraparound, retention policies) at minutes of wall
+clock per simulated minute.  The steady-state detector removes the cap: once
+the execution state recurs, the remaining horizon is covered by one O(1)
+jump that rigidly shifts the pending events and replays the per-period
+counter deltas.  Wall clock becomes a function of the *transient* length,
+not the horizon.
+
+This benchmark pins down both halves of that claim on the PAL decoder
+application:
+
+1. Exactness -- at a common horizon the fast-forwarded run's aggregate
+   metrics equal the naive run's exactly (dict equality, no tolerances),
+   per the engine's value-independence contract (guards gate data, never
+   timing).
+2. Speed -- the ~1e9-event fast-forwarded run must complete within a small
+   multiple of the ~1e6-event naive run's wall clock.  The floor is loose
+   (the measured gap is orders of magnitude) so noisy CI runners cannot
+   trip it spuriously.
+
+``BENCH_SMOKE=1`` shrinks the naive reference horizon (the only part whose
+cost scales with events) and relaxes the wall-clock floor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.api import Program
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: Naive reference horizon in simulated seconds (~48k events each).
+NAIVE_SECONDS = 2 if SMOKE else 20
+#: Fast-forward horizons: the naive reference point plus two long horizons
+#: reaching ~1e8 and ~1e9 events (fast-forward cost is horizon-independent,
+#: so these do not shrink under BENCH_SMOKE).
+FF_SECONDS = (NAIVE_SECONDS, 2000, 20000)
+#: The long-horizon fast-forwarded run must finish within this multiple of
+#: the naive reference run's wall clock.
+MAX_WALL_RATIO = 10.0 if SMOKE else 5.0
+#: Streaming-counter retention keeps the trace memory-bounded at any horizon.
+RETENTION = 4096
+
+
+def _run(seconds, fast_forward):
+    started = time.perf_counter()
+    result = (
+        Program.from_app("pal_decoder")
+        .analyze()
+        .run(
+            Fraction(seconds),
+            trace="endpoints",
+            fast_forward=fast_forward,
+            trace_retention=RETENTION,
+        )
+    )
+    return result, time.perf_counter() - started
+
+
+def test_fastforward_pal_decoder():
+    naive, naive_wall = _run(NAIVE_SECONDS, fast_forward=False)
+    assert not naive.fast_forwarded
+
+    ff_runs = [_run(seconds, fast_forward=True) for seconds in FF_SECONDS]
+
+    rows = []
+    for label, result, wall in [("naive", naive, naive_wall)] + [
+        ("fast-forward", result, wall) for result, wall in ff_runs
+    ]:
+        queue = result.simulation.queue
+        steady = result.simulation.engine.steady_state
+        rows.append(
+            [
+                label,
+                f"{float(result.duration):g}",
+                f"{queue.processed:,}",
+                0 if steady is None else steady.jumps,
+                0 if steady is None else f"{steady.skipped_events:,}",
+                f"{wall:.2f}",
+                f"{queue.processed / wall:,.0f}",
+            ]
+        )
+    print_table(
+        "PAL decoder: naive vs steady-state fast-forward",
+        ["config", "sim s", "events", "jumps", "skipped", "wall s", "events/s"],
+        rows,
+    )
+
+    # Exactness at the common horizon: aggregate metrics are *equal*, not
+    # approximately equal.  (fast_forwarded is the one metric that is
+    # supposed to differ.)
+    ff_ref, _ = ff_runs[0]
+    assert ff_ref.fast_forwarded, "detector never jumped at the reference horizon"
+    metrics_naive = naive.metrics()
+    metrics_ff = ff_ref.metrics()
+    assert metrics_naive.pop("fast_forwarded") is False
+    assert metrics_ff.pop("fast_forwarded") is True
+    assert metrics_naive == metrics_ff, "fast-forward changed aggregate metrics"
+
+    # Every long horizon is covered by jumps, and the event count scales
+    # with the horizon even though the wall clock does not: the longest run
+    # covers on the order of 1e9 events.
+    previous_processed = naive.simulation.queue.processed
+    for result, _wall in ff_runs[1:]:
+        assert result.fast_forwarded
+        processed = result.simulation.queue.processed
+        assert processed > 5 * previous_processed
+        previous_processed = processed
+    assert previous_processed >= 5 * 10**8
+
+    # The ~1e9-event run must sit within MAX_WALL_RATIO of the ~1e6-event
+    # naive run.
+    _, longest_wall = ff_runs[-1]
+    assert longest_wall <= MAX_WALL_RATIO * naive_wall, (
+        f"fast-forwarded long-horizon run took {longest_wall:.2f}s against a "
+        f"{naive_wall:.2f}s naive reference (allowed {MAX_WALL_RATIO}x)"
+    )

@@ -244,8 +244,9 @@ class Program:
             self._analysis = Analysis(self, self.compile())
         return self._analysis
 
-    def run(self, duration: RationalLike, **kwargs: Any) -> "RunResult":
-        """Shortcut for ``self.analyze().run(duration, ...)``."""
+    def run(self, duration: Optional[RationalLike] = None, **kwargs: Any) -> "RunResult":
+        """Shortcut for ``self.analyze().run(duration, ...)`` (accepts the
+        ``horizon=`` spelling as a keyword, like :meth:`Analysis.run`)."""
         return self.analyze().run(duration, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -381,6 +382,9 @@ class Analysis:
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
         time_base: Optional[TimeBaseLike] = None,
+        fast_forward: bool = False,
+        trace_retention: Optional[int] = None,
+        kernel: str = "auto",
     ) -> Simulation:
         """A fresh :class:`~repro.runtime.simulator.Simulation` of the program
         with the analysis-derived buffer capacities."""
@@ -407,12 +411,16 @@ class Analysis:
             dispatcher=dispatcher,
             trace_level=trace,
             time_base=time_base if time_base is not None else program.time_base,
+            fast_forward=fast_forward,
+            trace_retention=trace_retention,
+            kernel=kernel,
         )
 
     def run(
         self,
-        duration: RationalLike,
+        duration: Optional[RationalLike] = None,
         *,
+        horizon: Optional[RationalLike] = None,
         scheduler: Optional[SchedulerPolicy] = None,
         platform: Optional[Platform] = None,
         dispatcher: str = "ready-set",
@@ -423,6 +431,9 @@ class Analysis:
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
         time_base: Optional[TimeBaseLike] = None,
+        fast_forward: Optional[bool] = None,
+        trace_retention: Optional[int] = None,
+        kernel: str = "auto",
     ) -> "RunResult":
         """Execute the program for *duration* seconds of simulated time.
 
@@ -439,7 +450,22 @@ class Analysis:
         event-queue time representation (``"auto"`` by default: integer
         ticks when the program's -- speed-scaled -- durations fit one, exact
         fractions otherwise, observationally identical either way).
+
+        ``horizon`` is an alternative spelling of *duration* (exactly one of
+        the two must be given) that additionally turns on steady-state
+        ``fast_forward`` unless overridden -- the natural phrasing of a long
+        run whose event count would be infeasible naively.  ``fast_forward``
+        / ``trace_retention`` / ``kernel`` are forwarded to the
+        :class:`~repro.runtime.simulator.Simulation`; configurations that
+        cannot fast-forward run naively and record why in
+        :attr:`RunResult.warnings`.
         """
+        if (duration is None) == (horizon is None):
+            raise TypeError("pass exactly one of duration= or horizon=")
+        if duration is None:
+            duration = horizon
+            if fast_forward is None:
+                fast_forward = True
         simulation = self.simulation(
             scheduler=scheduler,
             platform=platform,
@@ -451,6 +477,9 @@ class Analysis:
             sink_start_times=sink_start_times,
             capacities=capacities,
             time_base=time_base,
+            fast_forward=bool(fast_forward),
+            trace_retention=trace_retention,
+            kernel=kernel,
         )
         duration = as_rational(duration)
         recorder = simulation.run(duration)
@@ -498,6 +527,18 @@ class RunResult:
         tick counts, converted back to exact rationals at this surface) or
         ``"fraction"``."""
         return "ticks" if self.simulation.time_base is not None else "fraction"
+
+    @property
+    def warnings(self) -> List[str]:
+        """Execution degradations (fast-forward refusals / give-ups); the
+        run itself fell back to exact naive simulation."""
+        return list(self.simulation.warnings)
+
+    @property
+    def fast_forwarded(self) -> bool:
+        """True when at least one steady-state jump actually skipped time."""
+        steady = self.simulation.engine.steady_state
+        return steady is not None and steady.jumps > 0
 
     # ---------------------------------------------------- platform accounting
     @property
@@ -556,7 +597,13 @@ class RunResult:
 
     @property
     def sink_counts(self) -> Dict[str, int]:
-        return {name: len(driver.consumed) for name, driver in self.simulation.sinks.items()}
+        """Values consumed per sink -- the streaming counter, which stays
+        exact through fast-forward jumps and trace-retention caps (the
+        stored :meth:`sink` lists may be shorter)."""
+        return {
+            name: driver.consumed_count
+            for name, driver in self.simulation.sinks.items()
+        }
 
     @property
     def measured_rates(self) -> Dict[str, Optional[Rat]]:
@@ -593,6 +640,7 @@ class RunResult:
             "makespan": float(self.makespan),
             "occupancy_ok": self.occupancy_ok,
             "time_base": self.time_base,
+            "fast_forwarded": self.fast_forwarded,
         }
         for name, count in sorted(self.sink_counts.items()):
             row[f"sink_count[{name}]"] = count

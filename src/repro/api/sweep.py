@@ -91,11 +91,15 @@ RUN_AXES = (
     "scheduler",
     "platform",
     "duration",
+    "horizon",
     "dispatcher",
     "trace",
     "mode_schedules",
     "sink_start_times",
     "time_base",
+    "fast_forward",
+    "trace_retention",
+    "kernel",
 )
 
 
@@ -163,12 +167,24 @@ def _execute_point(
     duration = as_rational(run_params.pop("duration", default_duration))
     if run_params.get("scheduler") is not None:
         run_params["scheduler"] = copy.deepcopy(run_params["scheduler"])
-    run = analysis.run(duration, **run_params)
+    if run_params.get("horizon") is not None:
+        # a horizon axis replaces the duration (Analysis.run takes exactly
+        # one of the two; it implies fast_forward unless the axis says no)
+        run_params["horizon"] = as_rational(run_params["horizon"])
+        run = analysis.run(**run_params)
+    else:
+        run_params.pop("horizon", None)
+        run = analysis.run(duration, **run_params)
     metrics = {
         "consistent": analysis.consistent,
         "total_capacity": analysis.total_capacity,
         **run.metrics(),
     }
+    if run.warnings:
+        # degradations travel inside the metric row so every backend --
+        # including process workers, which ship rows back by pickle -- can
+        # surface them; SweepReport hoists the key into report warnings
+        metrics["warnings"] = list(run.warnings)
     return metrics, run
 
 
@@ -228,6 +244,12 @@ class SweepReport:
         #: unaffected -- fallbacks preserve serial-identical metrics -- so
         #: warnings live beside the results, not inside them
         self.warnings: List[str] = list(warnings)
+        # Per-point run degradations (fast-forward refusals/give-ups) ride
+        # along inside the metric rows; hoist them here so one place lists
+        # everything that did not run as configured.
+        for result in self.results:
+            for message in result.metrics.get("warnings", ()):
+                self.warnings.append(f"point {result.index}: {message}")
 
     def __len__(self) -> int:
         return len(self.results)

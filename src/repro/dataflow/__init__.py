@@ -25,7 +25,11 @@ from repro.dataflow.analysis import (
 )
 from repro.dataflow.hsdf import HSDFStatistics, expansion_statistics, firing_name, to_hsdf
 from repro.dataflow.mcr import ThroughputResult, hsdf_maximum_cycle_ratio, sdf_throughput
-from repro.dataflow.statespace import StateSpaceResult, self_timed_statespace
+from repro.dataflow.statespace import (
+    StateSpaceResult,
+    canonical_state_key,
+    self_timed_statespace,
+)
 from repro.dataflow.buffer_sizing import (
     SDFBufferSizingResult,
     minimal_buffer_capacities,
@@ -51,6 +55,7 @@ __all__ = [
     "hsdf_maximum_cycle_ratio",
     "sdf_throughput",
     "StateSpaceResult",
+    "canonical_state_key",
     "self_timed_statespace",
     "SDFBufferSizingResult",
     "minimal_buffer_capacities",

@@ -19,11 +19,30 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dataflow.analysis import repetition_vector
 from repro.dataflow.sdf import SDFGraph
 from repro.util.rational import Rat
+
+
+def canonical_state_key(
+    tokens: Iterable[Tuple],
+    pendings: Iterable[Tuple],
+    counters: Iterable[Tuple],
+) -> Tuple[Tuple, Tuple, Tuple]:
+    """Canonicalise a self-timed execution state into a hashable key.
+
+    The three components are the paper's periodicity witnesses: the token
+    (buffer-fill) distribution, the *relative* completion offsets of in-flight
+    work, and the progress counters that distinguish phases of an iteration.
+    Each component is sorted so the key is independent of dict/iteration
+    order.  Both the offline state-space exploration below and the engine's
+    online steady-state detector (:mod:`repro.engine.steady_state`) build
+    their keys through this helper, which keeps the two periodicity notions
+    aligned -- the cross-check tests rely on that.
+    """
+    return (tuple(sorted(tokens)), tuple(sorted(pendings)), tuple(sorted(counters)))
 
 
 @dataclass
@@ -101,10 +120,8 @@ def self_timed_statespace(
         return started
 
     def state_key() -> Tuple:
-        pending = tuple(
-            sorted((a, (t - now)) for a, t in busy_until.items() if t is not None)
-        )
-        return (tuple(sorted(tokens.items())), pending, tuple(sorted(fired_in_iteration.items())))
+        pending = ((a, (t - now)) for a, t in busy_until.items() if t is not None)
+        return canonical_state_key(tokens.items(), pending, fired_in_iteration.items())
 
     try_start_firings()
     if not in_flight:

@@ -47,14 +47,19 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequ
 
 from repro.engine.policies import SchedulerPolicy, SelfTimedUnbounded
 from repro.graph.circular_buffer import CircularBuffer
-from repro.util.rational import Rat, TimeBase, TimeBaseError
+from repro.util.rational import Rat, TimeBase, TimeBaseError, as_rational
 from repro.util.validation import check_in
 
 if TYPE_CHECKING:  # imports only for annotations: runtime.simulator imports us
+    from repro.engine.steady_state import SteadyState
     from repro.platform.model import Platform, Processor
     from repro.runtime.events import Event, EventQueue
+    from repro.runtime.sources import SinkDriver, SourceDriver
     from repro.runtime.tasks import RuntimeTask
     from repro.runtime.trace import TraceRecorder
+
+#: Compiled-kernel requests accepted by the engine.
+KERNEL_MODES = ("auto", "on", "off")
 
 
 class ReadySet:
@@ -148,6 +153,16 @@ class ExecutionEngine:
     mode:
         ``"ready-set"`` (indexed dispatch, the default) or ``"polling"``
         (the brute-force whole-fleet reference).
+    kernel:
+        The compiled dispatch kernel specialises the per-program hot loop at
+        :meth:`wire_buffers` time: wcets pre-converted to ticks, window
+        objects pre-bound per task, dependent indices pre-resolved per
+        buffer -- the firing path then touches no dicts and no
+        :class:`~fractions.Fraction`.  It applies to ready-set dispatch
+        under boolean policies on an integer-tick queue; traces are
+        bit-identical to the interpreted path.  ``"auto"`` (default) uses
+        it whenever applicable, ``"off"`` never, ``"on"`` requires it
+        (``ValueError`` at :meth:`wire_buffers` when inapplicable).
     """
 
     MODES = ("ready-set", "polling")
@@ -159,8 +174,10 @@ class ExecutionEngine:
         *,
         policy: Optional[SchedulerPolicy] = None,
         mode: str = "ready-set",
+        kernel: str = "auto",
     ) -> None:
         check_in(mode, self.MODES, "mode")
+        check_in(kernel, KERNEL_MODES, "kernel")
         self.queue = queue
         self.trace = trace
         self.policy: SchedulerPolicy = policy if policy is not None else SelfTimedUnbounded()
@@ -193,6 +210,14 @@ class ExecutionEngine:
         #: units; maintained independently of the trace so makespans survive
         #: ``trace_level="off"``.  Read via :attr:`last_completion_time`.
         self._last_completion: Union[int, Fraction] = 0
+        #: compiled-kernel state: the request ("auto"/"on"/"off"), whether it
+        #: was activated at wire time, and whether the policy is the trivial
+        #: self-timed one (per-firing policy calls skipped entirely)
+        self._kernel_request = kernel
+        self.kernel_active = False
+        self._kernel_trivial = False
+        #: steady-state fast-forward detector (enable_fast_forward)
+        self._steady: Optional["SteadyState"] = None
         # A fresh engine is a fresh execution: drop any processor accounting
         # a previous (possibly mid-flight-stopped) run left in the policy.
         reset = getattr(self.policy, "reset", None)
@@ -230,6 +255,55 @@ class ExecutionEngine:
         """Tasks whose current firing is preempted (awaiting resume)."""
         return list(self._suspended)
 
+    @property
+    def steady_state(self) -> Optional["SteadyState"]:
+        """The installed fast-forward detector (None when disabled/refused)."""
+        return self._steady
+
+    def enable_fast_forward(
+        self,
+        horizon,
+        *,
+        extra_state=None,
+        sources: Sequence["SourceDriver"] = (),
+        sinks: Sequence["SinkDriver"] = (),
+        firing_target: Optional[int] = None,
+        max_states: int = 10_000,
+    ) -> Optional[str]:
+        """Install the steady-state detector for a run up to *horizon*.
+
+        *horizon* is in native units or rational seconds (floored to the
+        tick grid like :meth:`~repro.runtime.events.EventQueue.run_until`).
+        Returns a refusal message (and leaves the engine naive) when the
+        configuration cannot fast-forward -- see
+        :func:`repro.engine.steady_state.fast_forward_refusal`; callers
+        record it like a ``SweepReport`` warning.  Calling again (a second
+        ``run`` on the same simulation) refreshes the horizon and firing
+        target but keeps the learned state table.
+        """
+        from repro.engine.steady_state import SteadyState, fast_forward_refusal
+
+        refusal = fast_forward_refusal(self.policy, self.queue.timebase)
+        if refusal is not None:
+            self._steady = None
+            return refusal
+        if not isinstance(horizon, int):
+            horizon = self.queue.timebase.ticks_floor(as_rational(horizon))
+        if self._steady is not None:
+            self._steady.horizon = horizon
+            self._steady.firing_target = firing_target
+            return None
+        self._steady = SteadyState(
+            self,
+            horizon=horizon,
+            extra_state=extra_state,
+            sources=sources,
+            sinks=sinks,
+            firing_target=firing_target,
+            max_states=max_states,
+        )
+        return None
+
     # ------------------------------------------------------------------ build
     def register_task(self, task: RuntimeTask) -> None:
         """Add *task* to the fleet; registration order is the static priority
@@ -256,6 +330,31 @@ class ExecutionEngine:
             # time instead of being absent from the accounting.
             for processor in getattr(self.policy, "processors", ()):
                 self._busy_internal.setdefault(processor.name, 0)
+            # Partitioned policies pin every task to one processor; warming
+            # the scaled-duration cache here keeps the firing hot path free
+            # of Fraction division even on heterogeneous platforms.
+            processor_of = getattr(self.policy, "processor_of", None)
+            if callable(processor_of):
+                for task in self.tasks:
+                    self._duration_on(task, processor_of(task))
+        # The compiled kernel needs pre-resolvable state: indexed dispatch
+        # (pass order), boolean policies (no processors/preemption) and an
+        # integer-tick clock (wcets as plain ints).
+        applicable = (
+            self.mode == "ready-set"
+            and not self.platform_mode
+            and queue.timebase is not None
+        )
+        if self._kernel_request == "on" and not applicable:
+            raise ValueError(
+                "kernel='on' requires ready-set dispatch under a boolean "
+                "policy on an integer-tick time base"
+            )
+        self.kernel_active = applicable and self._kernel_request != "off"
+        if self.kernel_active:
+            self._kernel_trivial = type(self.policy) is SelfTimedUnbounded
+            for task in self.tasks:
+                task.bind_windows()
         if self.mode == "polling":
             return
         readers: Dict[CircularBuffer, List[RuntimeTask]] = {}
@@ -269,15 +368,36 @@ class ExecutionEngine:
                 dependents = writers.setdefault(task.buffers[access.buffer], [])
                 if task not in dependents:
                     dependents.append(task)
+        waker = self._index_waker if self.kernel_active else self._waker
         for buffer, dependents in readers.items():
-            buffer.watch_tokens(self._waker(dependents))
+            buffer.watch_tokens(waker(dependents))
         for buffer, dependents in writers.items():
-            buffer.watch_space(self._waker(dependents))
+            buffer.watch_space(waker(dependents))
 
     def _waker(self, dependents: Sequence[RuntimeTask]) -> Callable[[], None]:
         def wake() -> None:
             for task in dependents:
                 self.wake_task(task)
+
+        return wake
+
+    def _index_waker(self, dependents: Sequence[RuntimeTask]) -> Callable[[], None]:
+        """Compiled-kernel waker: dependent indices pre-resolved, ready-set
+        pushes inlined.  Wake-for-wake identical to :meth:`_waker` -- the
+        dispatch event is scheduled exactly when a non-busy dependent was
+        pushed (and :meth:`schedule_dispatch` is idempotent anyway)."""
+        pairs = [(task, self._index[task]) for task in dependents]
+        ready = self._ready
+
+        def wake() -> None:
+            woke = False
+            for task, index in pairs:
+                if task.busy or (task.one_shot and task.fired_once):
+                    continue
+                ready.push(index)
+                woke = True
+            if woke and not self._in_dispatch:
+                self.schedule_dispatch()
 
         return wake
 
@@ -310,7 +430,9 @@ class ExecutionEngine:
         self._dispatch_pending = False
         self._in_dispatch = True
         try:
-            if self.mode == "polling":
+            if self.kernel_active:
+                self._dispatch_compiled()
+            elif self.mode == "polling":
                 self._dispatch_polling()
             elif self.platform_mode:
                 self._dispatch_platform()
@@ -350,6 +472,60 @@ class ExecutionEngine:
             self._start_task(task)
         for index in stalled:
             self._ready.push(index)
+
+    def _dispatch_compiled(self) -> None:
+        """The compiled kernel's hot loop: :meth:`_dispatch_ready_set` with
+        eligibility inlined over pre-bound windows and cached floors.
+
+        Same pop order, same eligibility semantics (reads before writes,
+        first failure wins), same stalled re-queueing -- traces are
+        bit-identical to the interpreted loop; only dict lookups, method
+        calls and Fraction arithmetic are gone.  Under the trivial
+        self-timed policy the per-firing policy calls are skipped outright
+        (they are no-ops by definition).
+        """
+        ready = self._ready
+        tasks = self.tasks
+        policy = self.policy
+        trivial = self._kernel_trivial
+        stalled: Optional[List[int]] = None
+        while True:
+            index = ready.pop()
+            if index is None:
+                break
+            task = tasks[index]
+            if task.busy or not task.active or (task.one_shot and task.fired_once):
+                continue
+            eligible = True
+            for _, count, buffer, window in task._read_windows:
+                floor = buffer._producer_floor_cache
+                if floor is None:
+                    floor = buffer._producer_floor()
+                if window.acquired + count > floor:
+                    eligible = False
+                    break
+            if eligible:
+                for _, count, buffer, window in task._write_windows:
+                    if buffer._consumers:
+                        floor = buffer._consumer_floor_cache
+                        if floor is None:
+                            floor = buffer._consumer_floor()
+                    else:
+                        floor = 0
+                    if window.acquired + count - floor > buffer.capacity:
+                        eligible = False
+                        break
+            if not eligible:
+                continue  # re-queued by the next relevant buffer change
+            if not trivial and not policy.allow_start(task):
+                if stalled is None:
+                    stalled = []
+                stalled.append(index)
+                continue
+            self._start_task_compiled(task)
+        if stalled:
+            for index in stalled:
+                ready.push(index)
 
     def _dispatch_platform(self) -> None:
         """Ready-set dispatch under the rich platform protocol.
@@ -405,8 +581,15 @@ class ExecutionEngine:
             self._last_completion = queue.now
             trace = self.trace
             if trace.firings_enabled:
+                # The start is recomputed from the completion instant rather
+                # than closed over: a steady-state jump translates the
+                # pending completion event, and ``now - wcet`` translates
+                # with it (identical to the closed-over start otherwise).
                 trace.record_firing(
-                    task.producer_key(), queue.to_time(start), queue.to_time(queue.now), executed
+                    task.producer_key(),
+                    queue.to_time(queue.now - task.wcet_internal),
+                    queue.to_time(queue.now),
+                    executed,
                 )
             if trace.occupancy_enabled:
                 for access in task.task.writes:
@@ -417,8 +600,48 @@ class ExecutionEngine:
                 self.on_complete(task)
             self.wake_task(task)
             self.schedule_dispatch()
+            steady = self._steady
+            if steady is not None and task is steady.anchor:
+                steady.on_anchor_completion()
 
-        self.queue.schedule(start + task.wcet_internal, complete, label=f"complete:{task.name}")
+        self.queue.schedule(start + task.wcet_internal, complete, label=task._complete_label)
+
+    def _start_task_compiled(self, task: RuntimeTask) -> None:
+        """:meth:`_start_task` over the pre-bound fast paths (identical
+        event schedule, trace records and policy interaction)."""
+        queue = self.queue
+        values = task.start_firing_fast()
+        if not self._kernel_trivial:
+            self.policy.on_start(task)
+        self.started_firings += 1
+
+        def complete() -> None:
+            executed = task.finish_firing_fast(values)
+            self.completed_firings += 1
+            now = queue.now
+            self._last_completion = now
+            trace = self.trace
+            if trace.firings_enabled:
+                trace.record_firing(
+                    task._key,
+                    queue.to_time(now - task.wcet_internal),
+                    queue.to_time(now),
+                    executed,
+                )
+            if trace.occupancy_enabled:
+                for _, _, buffer, _ in task._write_windows:
+                    trace.record_occupancy(buffer.name, buffer.occupancy())
+            if not self._kernel_trivial:
+                self.policy.on_complete(task)
+            if self.on_complete is not None:
+                self.on_complete(task)
+            self.wake_task(task)
+            self.schedule_dispatch()
+            steady = self._steady
+            if steady is not None and task is steady.anchor:
+                steady.on_anchor_completion()
+
+        queue.schedule(queue.now + task.wcet_internal, complete, label=task._complete_label)
 
     # ------------------------------------------------- platform-mode execution
     def _duration_on(self, task: RuntimeTask, processor: "Processor") -> Union[int, Fraction]:
@@ -447,7 +670,7 @@ class ExecutionEngine:
         firing.event = self.queue.schedule(
             start + self._duration_on(task, processor),
             lambda: self._complete_platform(firing),
-            label=f"complete:{task.name}",
+            label=task._complete_label,
         )
 
     def _complete_platform(self, firing: ActiveFiring) -> None:
@@ -476,6 +699,9 @@ class ExecutionEngine:
         self.wake_task(task)
         self._wake_suspended()
         self.schedule_dispatch()
+        steady = self._steady
+        if steady is not None and task is steady.anchor:
+            steady.on_anchor_completion()
 
     def _preempt(self, victim: RuntimeTask) -> None:
         """Suspend the in-flight firing of *victim*: cancel its completion
@@ -515,7 +741,7 @@ class ExecutionEngine:
         firing.event = queue.schedule(
             queue.now + remaining,
             lambda: self._complete_platform(firing),
-            label=f"complete:{task.name}",
+            label=task._complete_label,
         )
         self.resumes += 1
         self.policy.on_resume(task, processor)
@@ -535,6 +761,18 @@ class EngineRun:
     engine: ExecutionEngine
     queue: EventQueue
     trace: TraceRecorder
+    #: fast-forward refusals and give-ups (empty when disabled or clean)
+    warnings: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.warnings is None:
+            self.warnings = []
+
+    @property
+    def fast_forwarded(self) -> bool:
+        """True when at least one steady-state jump skipped simulated work."""
+        steady = self.engine.steady_state
+        return steady is not None and steady.jumps > 0
 
     @property
     def makespan(self):
@@ -560,6 +798,8 @@ def run_tasks(
     horizon=Fraction(10**9),
     trace: Optional[TraceRecorder] = None,
     time_base: Union[str, TimeBase, None] = "auto",
+    fast_forward: bool = False,
+    kernel: str = "auto",
 ) -> EngineRun:
     """Execute *tasks* data-driven on a fresh event queue.
 
@@ -582,6 +822,15 @@ def run_tasks(
     ``"fraction"`` (or ``None``) keeps the legacy fraction-based queue, and a
     ready :class:`~repro.util.rational.TimeBase` is used as given.  Traces
     are bit-identical across all choices.
+
+    ``fast_forward=True`` installs the steady-state detector
+    (:mod:`repro.engine.steady_state`): once the execution state repeats,
+    the remaining horizon is skipped in O(1) per period with exactly the
+    aggregate counters and trace a naive run would produce.  Refusals
+    (speed-migrating preemptive policies, fraction-mode queues) fall back
+    to naive execution and are recorded in ``EngineRun.warnings``.
+    ``kernel`` selects the compiled dispatch kernel (see
+    :class:`ExecutionEngine`).
     """
     from repro.runtime.events import EventQueue
     from repro.runtime.trace import TraceRecorder
@@ -618,15 +867,22 @@ def run_tasks(
         raise ValueError(f"unknown time base {time_base!r}")
     queue = EventQueue(timebase)
     trace = trace if trace is not None else TraceRecorder()
-    engine = ExecutionEngine(queue, trace, policy=policy, mode=mode)
+    engine = ExecutionEngine(queue, trace, policy=policy, mode=mode, kernel=kernel)
     for task in tasks:
         engine.register_task(task)
     engine.wire_buffers()
     engine.wake_all()
     engine.schedule_dispatch()
+    warnings: List[str] = []
+    if fast_forward:
+        refusal = engine.enable_fast_forward(horizon, firing_target=stop_after_firings)
+        if refusal is not None:
+            warnings.append(refusal)
     if stop_after_firings is None:
         queue.run_until(horizon)
     else:
         target = stop_after_firings
         queue.run_until(horizon, stop=lambda: engine.completed_firings >= target)
-    return EngineRun(engine=engine, queue=queue, trace=trace)
+    if engine.steady_state is not None:
+        warnings.extend(engine.steady_state.warnings)
+    return EngineRun(engine=engine, queue=queue, trace=trace, warnings=warnings)

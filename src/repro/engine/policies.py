@@ -74,6 +74,12 @@ class SchedulerPolicy(Protocol):
         into the next one)."""
         ...
 
+    # Policies additionally expose ``steady_state_key()`` -- a hashable
+    # summary of all state that influences future scheduling decisions.  The
+    # steady-state fast-forward detector folds it into its periodicity key;
+    # a policy without the method opts out of fast-forward (the detector
+    # refuses rather than guessing what hidden state the policy carries).
+
 
 class SelfTimedUnbounded:
     """Self-timed execution on virtually unbounded parallel hardware.
@@ -94,6 +100,9 @@ class SelfTimedUnbounded:
 
     def reset(self) -> None:
         pass
+
+    def steady_state_key(self) -> tuple:
+        return ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SelfTimedUnbounded()"
@@ -139,6 +148,9 @@ class BoundedProcessors:
     def reset(self) -> None:
         self.busy = 0
         self.stale_completions = 0
+
+    def steady_state_key(self) -> tuple:
+        return (self.busy,)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoundedProcessors({self.processors})"
@@ -211,6 +223,14 @@ class StaticOrder:
     def reset(self) -> None:
         self.position = 0
         self._in_flight = False
+
+    def steady_state_key(self) -> tuple:
+        # The cyclic schedule only cares about the position modulo its
+        # length; the absolute position grows forever and would make every
+        # state unique.  A finite schedule keeps the absolute position (no
+        # two states with different remaining work may ever be identified).
+        position = self.position % len(self.order) if self.cyclic else self.position
+        return (position, self._in_flight)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StaticOrder({len(self.order)} firings, cyclic={self.cyclic})"

@@ -1,0 +1,481 @@
+"""Online steady-state detection and O(1) fast-forward.
+
+Self-timed executions of consistent programs converge to a *periodic regime*
+-- the paper's core observation, computed offline by
+:func:`repro.dataflow.statespace.self_timed_statespace` via state-space
+exploration.  This module detects the same periodicity *online*, while the
+engine simulates, and exploits it: once the execution state repeats, the
+remaining horizon is covered in O(1) per period batch instead of O(events).
+
+How it works
+------------
+Every time the *anchor* task (the first steady-state task of the fleet)
+completes a firing, the detector captures a canonical key of the entire
+execution state:
+
+* per buffer: the window positions of every producer/consumer relative to
+  the buffer's least-advanced window (absolute positions grow forever; the
+  *relative* layout is what repeats),
+* the pending event multiset in execution order, as ``(time - now, rank,
+  label)`` -- completion events, driver ticks and the dispatch event, with
+  same-instant ties kept in their sequence order (ties execute in that
+  order, so it is part of the state),
+* per task: busy/suspended/active flags, phase progress, and for platform
+  policies the occupied processor with the elapsed segment time (running)
+  or the exact remaining work and accrual speed (suspended),
+* the ready set's queued indices, the policy's
+  ``steady_state_key()`` and any simulator-supplied extra state (mode
+  schedule phases).
+
+The components are canonicalised through the same
+:func:`~repro.dataflow.statespace.canonical_state_key` helper as the offline
+analysis, so both notions of "state" agree (cross-checked by tests).  All
+components are *shift-invariant*: translating the whole execution in time
+does not change the key.
+
+When a key repeats, the time between the two occurrences is (a multiple of)
+the steady-state period ``delta`` and the counter differences are exact
+per-``delta`` increments.  The detector then *jumps* ``K`` periods at once:
+
+* every pending event and the clock advance rigidly by ``K * delta``
+  (:meth:`~repro.runtime.events.EventQueue.shift_pending`),
+* engine counters, per-task firing/preemption counters, per-processor busy
+  time, driver production/consumption counters and the trace's streaming
+  statistics advance by ``K`` times their per-period delta,
+* every buffer window advances by ``K`` times its buffer's per-period
+  advance (caches translated, no watcher fires: relative state is unchanged,
+  so nothing new is enabled),
+* with unbounded trace retention, the stored trace records and sink values
+  of the canonical period are replayed ``K`` times with shifted timestamps,
+  keeping even the stored trace bit-identical to a naive run.
+
+Afterwards the simulation resumes naively; further anchor completions hit
+the same (shift-invariant) keys and trigger further jumps until the horizon
+is within one period.
+
+Exactness contract
+------------------
+Timing in this engine is value-independent (guards gate *data*, never token
+counts or durations), so every timing-derived quantity -- completion times,
+deadline misses, measured rates, busy/utilisation/energy accounting,
+buffer high-water marks -- is *exactly* equal to a naive simulation.  Data
+values are replayed from the canonical period: source iterators are **not**
+advanced through skipped periods, so value streams are periodic-stale
+(exact for constant/periodic stimuli).  A *finite* source that would have
+exhausted mid-skip breaks the equivalence -- fast-forward is therefore
+opt-in (``fast_forward=True``).
+
+Refusals
+--------
+:func:`fast_forward_refusal` reports (as a warning string, recorded like
+``SweepReport.warnings``) why a configuration cannot fast-forward:
+speed-migrating preemptive platform policies (rescaled remainders are not
+closed under a tick grid -- the same reason their ``time_base="auto"``
+falls back to fractions), fraction-mode queues, and policies that do not
+expose ``steady_state_key()``.  Refused runs fall back to naive simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.statespace import canonical_state_key
+
+if TYPE_CHECKING:  # annotations only
+    from repro.engine.dispatcher import ExecutionEngine
+    from repro.graph.circular_buffer import CircularBuffer
+    from repro.runtime.sources import SinkDriver, SourceDriver
+    from repro.runtime.tasks import RuntimeTask
+
+
+def fast_forward_refusal(policy, timebase) -> Optional[str]:
+    """Why steady-state fast-forward cannot run this configuration (None
+    when it can)."""
+    if getattr(policy, "migrates_across_speeds", False):
+        return (
+            f"fast-forward refused: {type(policy).__name__} resumes preempted "
+            "firings across processor speeds, and rescaled remainders are not "
+            "closed under a tick grid; running naively"
+        )
+    if timebase is None:
+        return (
+            "fast-forward refused: the event queue runs on exact fractions; "
+            "steady-state detection requires an integer-tick time base; "
+            "running naively"
+        )
+    if not callable(getattr(policy, "steady_state_key", None)):
+        return (
+            f"fast-forward refused: policy {type(policy).__name__} exposes no "
+            "steady_state_key(); its hidden scheduling state cannot be folded "
+            "into the periodicity key; running naively"
+        )
+    return None
+
+
+@dataclass
+class _Snapshot:
+    """Absolute counter values at one anchor completion (one per distinct
+    state key; differences between two occurrences of a key are exact
+    per-period deltas)."""
+
+    now: int
+    processed: int
+    started: int
+    completed: int
+    preemptions: int
+    resumes: int
+    #: (completed_firings, preemptions) per task, aligned with engine.tasks
+    task_stats: Tuple[Tuple[int, int], ...]
+    #: least released window position per buffer, aligned with the detector's
+    #: buffer list; all windows of a buffer advance by the same per-period
+    #: amount (key equality pins their relative layout), so one base per
+    #: buffer captures every window's motion
+    buffer_bases: Tuple[int, ...]
+    busy: Dict[str, object]
+    #: (produced, dropped) per source driver
+    source_stats: Tuple[Tuple[int, int], ...]
+    #: (consumed_count, misses, stored-consumed-length) per sink driver
+    sink_stats: Tuple[Tuple[int, int, int], ...]
+    trace_snapshot: Dict[str, object]
+
+
+class SteadyState:
+    """Online periodicity detector and fast-forwarder for one engine run.
+
+    Installed by :meth:`ExecutionEngine.enable_fast_forward`; the engine
+    calls :meth:`on_anchor_completion` at the end of every completion of the
+    anchor task.
+    """
+
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        *,
+        horizon: int,
+        extra_state: Optional[Callable[[], tuple]] = None,
+        sources: Sequence["SourceDriver"] = (),
+        sinks: Sequence["SinkDriver"] = (),
+        firing_target: Optional[int] = None,
+        max_states: int = 10_000,
+    ) -> None:
+        self.engine = engine
+        self.queue = engine.queue
+        self.trace = engine.trace
+        self.horizon = horizon
+        self.extra_state = extra_state
+        self.sources = tuple(sources)
+        self.sinks = tuple(sinks)
+        self.firing_target = firing_target
+        self.max_states = max_states
+        #: replay stored trace records / sink values through skipped periods
+        #: only while retention is unbounded -- a capped trace would drop
+        #: them again anyway, and the streaming counters stay exact either way
+        self._replay = self.trace.retention is None
+        self.anchor: Optional["RuntimeTask"] = next(
+            (task for task in engine.tasks if not task.one_shot), None
+        )
+        #: give up: no anchor, state budget exhausted
+        self.done = self.anchor is None
+        self._seen: Dict[tuple, _Snapshot] = {}
+        self._buffers = self._collect_buffers()
+        #: producer keys of one-shot (initialisation) tasks: their windows,
+        #: once retired (``active=False``), are frozen forever and must be
+        #: ignored by the periodicity key and the jump -- a window pinned at
+        #: the end of its prefix would otherwise stretch the relative layout
+        #: without bound.  Inactive windows of *loop* tasks (deactivated mode
+        #: schedules) are real state and stay in the key: their positions
+        #: repeat once the schedule cycles.
+        self._one_shot_keys = frozenset(
+            task.producer_key() for task in engine.tasks if task.one_shot
+        )
+        self.warnings: List[str] = []
+        # Detection / jump statistics (reported by EngineRun / RunResult).
+        self.jumps = 0
+        self.skipped_ticks = 0
+        self.skipped_events = 0
+        self.period_ticks: Optional[int] = None
+        self.transient_ticks: Optional[int] = None
+        self.period_firings: Optional[int] = None
+
+    def _collect_buffers(self) -> Tuple["CircularBuffer", ...]:
+        buffers: Dict[int, "CircularBuffer"] = {}
+        for task in self.engine.tasks:
+            for _, _, buffer in task._reads:
+                buffers[id(buffer)] = buffer
+            for _, _, buffer in task._writes:
+                buffers[id(buffer)] = buffer
+        for driver in self.sources + self.sinks:
+            buffers[id(driver.buffer)] = driver.buffer
+        return tuple(sorted(buffers.values(), key=lambda b: b.name))
+
+    # -------------------------------------------------------------- state key
+    def _retired(self, window) -> bool:
+        """A permanently frozen window: the retired window of a completed
+        one-shot task (see ``_one_shot_keys``)."""
+        return not window.active and window.name in self._one_shot_keys
+
+    def _buffer_bases(self) -> Tuple[int, ...]:
+        bases = []
+        for buffer in self._buffers:
+            base = None
+            for windows in (buffer._producers, buffer._consumers):
+                for window in windows.values():
+                    if self._retired(window):
+                        continue
+                    if base is None or window.released < base:
+                        base = window.released
+            bases.append(base if base is not None else 0)
+        return tuple(bases)
+
+    def state_key(self) -> tuple:
+        """The canonical, shift-invariant execution state (see module doc)."""
+        queue = self.queue
+        engine = self.engine
+        now = queue.now
+        buffer_items = []
+        for buffer in self._buffers:
+            base = None
+            windows = []
+            for kind, table in ((0, buffer._producers), (1, buffer._consumers)):
+                for window in table.values():
+                    if self._retired(window):
+                        continue
+                    windows.append((kind, window))
+                    if base is None or window.released < base:
+                        base = window.released
+            base = base if base is not None else 0
+            layout = tuple(
+                sorted(
+                    (kind, w.name, w.released - base, w.acquired - base, w.active)
+                    for kind, w in windows
+                )
+            )
+            buffer_items.append((buffer.name, layout))
+        # Pending events in execution order; the rank keeps same-instant ties
+        # in sequence order (their execution order) through the sort.
+        live = sorted(
+            (event.time, event.sequence, event.label)
+            for event in queue._heap
+            if not event.cancelled
+        )
+        pendings = [
+            (time - now, rank, label) for rank, (time, _, label) in enumerate(live)
+        ]
+        active = engine._active
+        suspended = engine._suspended
+        task_items = []
+        for index, task in enumerate(engine.tasks):
+            firing = active.get(task)
+            if firing is not None:
+                processor, elapsed = firing.processor.name, now - firing.segment_start
+            else:
+                processor, elapsed = "", -1
+            parked = suspended.get(task)
+            if parked is not None:
+                remaining, speed = parked.remaining, str(parked.suspended_speed)
+            else:
+                remaining, speed = -1, ""
+            # ``phase_firings`` is deliberately absent: it grows without
+            # bound on unphased tasks (it only resets under a mode
+            # schedule).  Mode-schedule progress -- including the bounded
+            # phase_firings of phased instances -- arrives via the
+            # simulator's ``extra_state`` instead.
+            task_items.append(
+                (
+                    index,
+                    task.busy,
+                    task.suspended,
+                    task.active,
+                    task.fired_once,
+                    processor,
+                    elapsed,
+                    remaining,
+                    speed,
+                )
+            )
+        key = canonical_state_key(buffer_items, pendings, task_items)
+        ready = tuple(sorted(engine._ready._queued))
+        policy_key = self.engine.policy.steady_state_key()
+        extra = self.extra_state() if self.extra_state is not None else ()
+        return key + (ready, policy_key, extra)
+
+    def _snapshot(self) -> _Snapshot:
+        engine = self.engine
+        return _Snapshot(
+            now=self.queue.now,
+            processed=self.queue.processed,
+            started=engine.started_firings,
+            completed=engine.completed_firings,
+            preemptions=engine.preemptions,
+            resumes=engine.resumes,
+            task_stats=tuple(
+                (task.completed_firings, task.preemptions) for task in engine.tasks
+            ),
+            buffer_bases=self._buffer_bases(),
+            busy=dict(engine._busy_internal),
+            source_stats=tuple((s.produced, s.dropped) for s in self.sources),
+            sink_stats=tuple(
+                (s.consumed_count, s.misses, len(s.consumed)) for s in self.sinks
+            ),
+            trace_snapshot=self.trace.stream_snapshot(),
+        )
+
+    # -------------------------------------------------------------- detection
+    def on_anchor_completion(self) -> None:
+        """Sample the state after an anchor completion; jump when it repeats."""
+        if self.done:
+            return
+        key = self.state_key()
+        snapshot = self._seen.get(key)
+        if snapshot is None:
+            if len(self._seen) >= self.max_states:
+                self.done = True
+                self.warnings.append(
+                    f"fast-forward gave up: no state repetition within "
+                    f"{self.max_states} sampled anchor states; running naively"
+                )
+                return
+            self._seen[key] = self._snapshot()
+            return
+        delta = self.queue.now - snapshot.now
+        if delta <= 0:
+            # Same-instant repeat (several anchor completions at one time,
+            # e.g. zero-wcet tasks): keep the earlier snapshot.
+            return
+        if self.period_ticks is None:
+            self.period_ticks = delta
+            self.transient_ticks = snapshot.now
+            self.period_firings = self.engine.completed_firings - snapshot.completed
+        periods = (self.horizon - self.queue.now) // delta
+        completed_delta = self.engine.completed_firings - snapshot.completed
+        if self.firing_target is not None and completed_delta > 0:
+            # Stop strictly short of the firing target: the final firings run
+            # naively, so a stop=... run halts at the very same completion
+            # (and instant) a naive run would.
+            remaining = self.firing_target - 1 - self.engine.completed_firings
+            periods = min(periods, remaining // completed_delta)
+        if periods < 1:
+            return
+        self._jump(snapshot, periods, delta)
+
+    # ------------------------------------------------------------------- jump
+    def _jump(self, snapshot: _Snapshot, periods: int, delta: int) -> None:
+        engine = self.engine
+        queue = self.queue
+        shift = periods * delta
+        # Per-period deltas, all computed before any state is mutated.
+        d_processed = queue.processed - snapshot.processed
+        d_started = engine.started_firings - snapshot.started
+        d_completed = engine.completed_firings - snapshot.completed
+        d_preemptions = engine.preemptions - snapshot.preemptions
+        d_resumes = engine.resumes - snapshot.resumes
+        task_deltas = [
+            (task.completed_firings - before[0], task.preemptions - before[1])
+            for task, before in zip(engine.tasks, snapshot.task_stats)
+        ]
+        bases = self._buffer_bases()
+        buffer_deltas = [
+            now_base - before for now_base, before in zip(bases, snapshot.buffer_bases)
+        ]
+        busy_deltas = {
+            name: value - snapshot.busy.get(name, 0)
+            for name, value in engine._busy_internal.items()
+        }
+        source_deltas = [
+            (s.produced - before[0], s.dropped - before[1])
+            for s, before in zip(self.sources, snapshot.source_stats)
+        ]
+        sink_deltas = [
+            (s.consumed_count - before[0], s.misses - before[1], before[2])
+            for s, before in zip(self.sinks, snapshot.sink_stats)
+        ]
+
+        # 1. Translate the event queue (pending events + clock) rigidly.
+        queue.shift_pending(shift)
+        queue.processed += periods * d_processed
+
+        # 2. Engine counters and in-flight firing anchors.
+        engine.started_firings += periods * d_started
+        engine.completed_firings += periods * d_completed
+        engine.preemptions += periods * d_preemptions
+        engine.resumes += periods * d_resumes
+        if d_completed > 0:
+            engine._last_completion += shift
+        for firing in engine._active.values():
+            firing.start += shift
+            firing.segment_start += shift
+        for firing in engine._suspended.values():
+            firing.start += shift
+        for name, d in busy_deltas.items():
+            if d:
+                engine._busy_internal[name] += periods * d
+
+        # 3. Per-task counters.
+        for task, (d_fired, d_preempted) in zip(engine.tasks, task_deltas):
+            if d_fired:
+                task.completed_firings += periods * d_fired
+            if d_preempted:
+                task.preemptions += periods * d_preempted
+
+        # 4. Buffer windows: every window of a buffer advances by the same
+        # per-period amount; caches translate with them, and no watcher runs
+        # (the relative state is unchanged, nothing new is enabled).
+        for buffer, d in zip(self._buffers, buffer_deltas):
+            if d == 0:
+                continue
+            # Storage: token index i lives in slot i % capacity, and every
+            # index below the producer floor has been written -- unless the
+            # buffer is oversized and never wrapped, in which case the slots
+            # ahead of the floor still hold their uninitialised None.  A
+            # naive run would have filled them during the skipped periods;
+            # replicate the canonical period's d-value pattern forward so
+            # post-jump reads see period values (value-stale like every
+            # replayed datum, but shape- and type-correct).
+            if buffer._producers:
+                floor = buffer._producer_floor()
+                storage = buffer._storage
+                capacity = buffer.capacity
+                if d <= floor < capacity:
+                    pattern_start = floor - d
+                    for k in range(capacity - floor):
+                        storage[floor + k] = storage[(pattern_start + k % d) % capacity]
+            move = periods * d
+            for table in (buffer._producers, buffer._consumers):
+                for window in table.values():
+                    if self._retired(window):
+                        continue
+                    window.released += move
+                    window.acquired += move
+            if buffer._producer_floor_cache is not None:
+                buffer._producer_floor_cache += move
+            if buffer._consumer_floor_cache is not None:
+                buffer._consumer_floor_cache += move
+            if buffer._producer_ceiling_cache is not None:
+                buffer._producer_ceiling_cache += move
+
+        # 5. Driver counters and (with unbounded retention) sink values.
+        for source, (d_produced, d_dropped) in zip(self.sources, source_deltas):
+            source.produced += periods * d_produced
+            source.dropped += periods * d_dropped
+        for sink, (d_consumed, d_misses, stored_before) in zip(self.sinks, sink_deltas):
+            sink.consumed_count += periods * d_consumed
+            sink.misses += periods * d_misses
+            if self._replay and d_consumed > 0:
+                period_values = sink.consumed[stored_before:]
+                for _ in range(periods):
+                    sink.consumed.extend(period_values)
+
+        # 6. Trace: streaming counters always; stored records only when the
+        # retention is unbounded (a capped trace would drop them again).
+        shift_seconds = queue.to_time(shift)
+        self.trace.extrapolate_periodic(snapshot.trace_snapshot, periods, shift_seconds)
+        if self._replay:
+            self.trace.replay_periodic(
+                snapshot.trace_snapshot["lengths"], periods, queue.to_time(delta)
+            )
+
+        self.jumps += 1
+        self.skipped_ticks += shift
+        self.skipped_events += periods * d_processed

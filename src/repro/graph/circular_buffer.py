@@ -334,6 +334,26 @@ class CircularBuffer:
         window.released += count
         self._producers_moved(old_floor)
 
+    def produce_window(self, window: WindowState, values: Optional[Sequence[Any]], count: int) -> None:
+        """Unchecked :meth:`produce` on a pre-resolved window.
+
+        The compiled dispatch kernel resolves windows once at wire time and
+        checks eligibility itself, so the per-firing dict lookup and the
+        redundant ``can_produce`` re-check are dropped here.  Skipping the
+        check is safe for task windows: ``can_produce`` depends only on this
+        window's ``acquired`` (unchanged between the eligibility check at
+        firing start and the produce at completion -- producing acquires and
+        releases atomically) and on the consumer floor, which only grows.
+        """
+        if values is not None:
+            storage, capacity, base = self._storage, self.capacity, window.acquired
+            for offset in range(count):
+                storage[(base + offset) % capacity] = values[offset]
+        old_floor = self._producer_floor()
+        window.acquired += count
+        window.released += count
+        self._producers_moved(old_floor)
+
     # ------------------------------------------------------------- consumers
     def can_consume(self, consumer: str, count: int) -> bool:
         """True when *consumer* can acquire *count* full locations."""
@@ -352,6 +372,26 @@ class CircularBuffer:
         window.released += count
         self._consumers_moved(old_floor)
         return values
+
+    def consume_window(self, window: WindowState, count: int) -> List[Any]:
+        """Unchecked :meth:`consume` on a pre-resolved window (compiled
+        kernel fast path; the kernel verified ``can_consume`` as part of the
+        eligibility check immediately before, with no events in between)."""
+        storage, capacity, base = self._storage, self.capacity, window.acquired
+        values = [storage[(base + offset) % capacity] for offset in range(count)]
+        old_floor = self._consumer_floor()
+        window.acquired += count
+        window.released += count
+        self._consumers_moved(old_floor)
+        return values
+
+    def window_of_producer(self, name: str) -> WindowState:
+        """The producer window object itself (bound once by the kernel)."""
+        return self._producers[name]
+
+    def window_of_consumer(self, name: str) -> WindowState:
+        """The consumer window object itself (bound once by the kernel)."""
+        return self._consumers[name]
 
     def peek(self, consumer: str, count: int) -> List[Any]:
         """Read *count* tokens without releasing them (used by sinks that

@@ -169,6 +169,16 @@ class PlatformPolicyBase:
     def reset(self) -> None:
         self._running.clear()
 
+    def steady_state_key(self) -> tuple:
+        """Hashable occupancy summary for the steady-state detector.
+
+        The *insertion order* of the occupancy table is part of the key, not
+        just its contents: :class:`FixedPriorityPreemptive` scans the table
+        in that order when selecting a preemption victim, so two states with
+        equal contents but different order can schedule differently.
+        """
+        return tuple((name, task.producer_key()) for name, task in self._running.items())
+
 
 class SelfTimedPlatform(PlatformPolicyBase):
     """Self-timed execution on virtually unbounded hardware: every task owns
@@ -200,6 +210,11 @@ class SelfTimedPlatform(PlatformPolicyBase):
 
     def decide_start(self, task: "RuntimeTask") -> Optional[PlatformDecision]:
         return PlatformDecision(self._processor_of[task])
+
+    def steady_state_key(self) -> tuple:
+        # One virtual processor per task: the occupancy table mirrors the
+        # tasks' busy flags, which the detector's state key already covers.
+        return ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SelfTimedPlatform()"
@@ -276,6 +291,10 @@ class StaticOrderPlatform(PlatformPolicyBase):
     def reset(self) -> None:
         super().reset()
         self.position = 0
+
+    def steady_state_key(self) -> tuple:
+        position = self.position % len(self.order) if self.cyclic else self.position
+        return super().steady_state_key() + (position,)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StaticOrderPlatform({len(self.order)} firings, cyclic={self.cyclic})"

@@ -116,6 +116,24 @@ class EventQueue:
         time."""
         return self.schedule(self.now + self.to_internal(delay), callback, label=label)
 
+    def shift_pending(self, shift: InternalTime) -> None:
+        """Advance ``now`` *and* every pending event by ``shift`` native
+        units.
+
+        This is the O(pending) primitive behind steady-state fast-forward: a
+        uniform translation preserves the heap order (times move rigidly,
+        sequence numbers are untouched), so after the shift the queue behaves
+        exactly as if the skipped periods had been simulated.  Cancelled
+        entries are shifted too -- they only wait to be lazily dropped.
+        """
+        if shift < 0:
+            raise ValueError(f"cannot shift the pending events backwards ({shift})")
+        if shift == 0:
+            return
+        for event in self._heap:
+            event.time += shift
+        self.now = self.now + shift
+
     def cancel(self, event: Event) -> None:
         if not event.cancelled:
             event.cancelled = True

@@ -199,6 +199,28 @@ class Simulation:
         :class:`~repro.util.rational.TimeBase` is validated against the
         program's durations and used as given.  Traces are bit-identical
         across all choices.
+    fast_forward:
+        Enable online steady-state detection and O(1) period skipping
+        (:mod:`repro.engine.steady_state`) for :meth:`run`.  Timing-derived
+        results (completion times, misses, rates, busy accounting) stay
+        exactly equal to a naive run; data values are replayed from the
+        canonical period, so finite or aperiodic source signals are the
+        caller's responsibility -- hence opt-in.  Configurations that cannot
+        fast-forward (fraction-mode queues, speed-migrating preemptive
+        policies) fall back to naive execution and record the reason in
+        :attr:`warnings`.
+    trace_retention:
+        Keep only the most recent N records per trace stream (see
+        :class:`~repro.runtime.trace.TraceRecorder`); ``None`` (default)
+        stores everything.  Streaming counters and rates remain exact either
+        way; long fast-forwarded horizons need a cap (or a coarser
+        ``trace_level``) to avoid materialising billions of records.
+    kernel:
+        ``"auto"`` (default), ``"on"`` or ``"off"`` -- the engine's compiled
+        integer dispatch kernel (flat window bindings, no dict lookups in
+        the hot loop).  ``"auto"`` engages it whenever applicable
+        (ready-set dispatcher, tick time base, non-platform policy); traces
+        are bit-identical with the kernel on or off.
     """
 
     def __init__(
@@ -217,6 +239,9 @@ class Simulation:
         dispatcher: str = "ready-set",
         trace_level: str = "full",
         time_base: Union[str, TimeBase] = "auto",
+        fast_forward: bool = False,
+        trace_retention: Optional[int] = None,
+        kernel: str = "auto",
     ) -> None:
         self.result = result
         self.registry = registry
@@ -229,9 +254,15 @@ class Simulation:
         #: extend the tick-base duration set
         self.platform = platform if platform is not None else getattr(scheduler, "platform", None)
         self.queue = EventQueue()
-        self.trace = TraceRecorder(level=trace_level)
-        self.engine = ExecutionEngine(self.queue, self.trace, policy=scheduler, mode=dispatcher)
+        self.trace = TraceRecorder(level=trace_level, retention=trace_retention)
+        self.engine = ExecutionEngine(
+            self.queue, self.trace, policy=scheduler, mode=dispatcher, kernel=kernel
+        )
         self.engine.on_complete = self._after_firing
+        self.fast_forward = fast_forward
+        #: fast-forward refusals recorded for this simulation (see the
+        #: ``warnings`` property for the merged view)
+        self._warnings: List[str] = []
         self.default_capacity = default_capacity
         self.mode_schedules = dict(mode_schedules or {})
         self.sink_start_times = {k: as_rational(v) for k, v in (sink_start_times or {}).items()}
@@ -625,6 +656,51 @@ class Simulation:
         for driver in self.sinks.values():
             driver.notify_data_available()
 
+    # ---------------------------------------------------------- fast-forward
+    @property
+    def warnings(self) -> List[str]:
+        """Fast-forward refusals and give-ups recorded so far (the same
+        strings a :class:`~repro.api.sweep.SweepReport` collects)."""
+        steady = self.engine.steady_state
+        extra = list(steady.warnings) if steady is not None else []
+        return self._warnings + extra
+
+    def _mode_state(self) -> tuple:
+        """Mode-schedule progress, folded into the fast-forward state key.
+
+        The engine's detector deliberately excludes ``task.phase_firings``
+        (it grows without bound on unphased tasks); under a mode schedule the
+        counter is bounded -- reset at every quota boundary and deactivation
+        -- and, together with the cyclic phase index, it *is* the schedule's
+        progress, so phased instances contribute exactly that here.
+        """
+        items = []
+        for instance in self.instances:
+            if not instance.phases:
+                continue
+            items.append(
+                (
+                    instance.path,
+                    instance.phase_index % len(instance.phases),
+                    tuple(
+                        task.phase_firings
+                        for task in instance.tasks
+                        if not task.one_shot
+                    ),
+                )
+            )
+        return tuple(items)
+
+    def _install_fast_forward(self, horizon: Rat) -> None:
+        refusal = self.engine.enable_fast_forward(
+            horizon,
+            extra_state=self._mode_state,
+            sources=list(self.sources.values()),
+            sinks=list(self.sinks.values()),
+        )
+        if refusal is not None and refusal not in self._warnings:
+            self._warnings.append(refusal)
+
     # ------------------------------------------------------------------- run
     def _start_drivers(self) -> None:
         """Launch sources and sinks (idempotently) and queue the task fleet.
@@ -655,15 +731,26 @@ class Simulation:
         """
         duration = as_rational(duration)
         self._start_drivers()
+        if self.fast_forward:
+            self._install_fast_forward(duration)
         self.queue.run_until(duration)
         return self.trace
 
     def run_until_sink_count(
         self, sink: str, count: int, *, max_time: Rat = Fraction(10)
     ) -> TraceRecorder:
-        """Run until *sink* consumed *count* values (or *max_time* elapsed)."""
+        """Run until *sink* consumed *count* values (or *max_time* elapsed).
+
+        Always steps naively: a steady-state jump could overshoot the
+        requested count, so fast-forward applies to :meth:`run` only (a
+        detector installed by an earlier ``run`` is parked by zeroing its
+        horizon; the next ``run`` re-arms it).
+        """
         max_time = as_rational(max_time)
         self._start_drivers()
+        steady = self.engine.steady_state
+        if steady is not None:
+            steady.horizon = 0
         target = self.sinks[sink]
         queue = self.queue
         # Step in the queue's native units: on a tick base the step is at
@@ -676,7 +763,7 @@ class Simulation:
         else:
             end = max_time
             step = max_time / 64
-        while queue.now < end and len(target.consumed) < count:
+        while queue.now < end and target.consumed_count < count:
             queue.run_until(min(queue.now + step, end))
             if queue.empty():
                 break

@@ -110,6 +110,9 @@ class SinkDriver:
     start_time: Optional[Rat] = None
     started: bool = False
     consumed: List[Any] = field(default_factory=list)
+    #: streaming count of consumed samples; stays exact when the stored
+    #: ``consumed`` list is extrapolated (or skipped) under fast-forward
+    consumed_count: int = 0
     misses: int = 0
     on_change: Optional[Callable[[], None]] = None
     #: True once the consumer window is registered (distinct from ``started``,
@@ -156,6 +159,7 @@ class SinkDriver:
         if self.buffer.can_consume(self.name, 1):
             value = self.buffer.consume(self.name, 1)[0]
             self.consumed.append(value)
+            self.consumed_count += 1
             if trace.endpoints_enabled:
                 trace.record_endpoint(self.name, "sink", queue.now_time, value)
             if self.on_change is not None:

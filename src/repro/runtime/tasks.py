@@ -181,9 +181,32 @@ class RuntimeTask:
             (access.buffer, access.count, self.buffers[access.buffer])
             for access in self.task.writes
         ]
+        #: completion-event label; unique per task instance so the pending
+        #: events of the queue identify the firing in the steady-state key
+        self._complete_label = f"complete:{self._key}"
+        # Window bindings for the compiled kernel (see bind_windows).
+        self._read_windows: List[tuple] = []
+        self._write_windows: List[tuple] = []
 
     def producer_key(self) -> str:
         return self._key
+
+    def bind_windows(self) -> None:
+        """Resolve this task's window objects once (compiled-kernel setup).
+
+        Called by the engine after every window is registered: the per-firing
+        fast paths then mutate the :class:`WindowState` objects directly
+        instead of looking them up by producer key in the buffer's dicts.
+        """
+        key = self._key
+        self._read_windows = [
+            (name, count, buffer, buffer.window_of_consumer(key))
+            for name, count, buffer in self._reads
+        ]
+        self._write_windows = [
+            (name, count, buffer, buffer.window_of_producer(key))
+            for name, count, buffer in self._writes
+        ]
 
     # ------------------------------------------------------------ eligibility
     def can_fire(self) -> bool:
@@ -246,6 +269,48 @@ class RuntimeTask:
             for _, _, buffer in self._writes:
                 buffer.retire_producer(key, scope=scope)
             for _, _, buffer in self._reads:
+                buffer.retire_consumer(key, scope=scope)
+        return execute
+
+    # ---------------------------------------------- compiled-kernel fast paths
+    def start_firing_fast(self) -> Dict[str, Any]:
+        """:meth:`start_firing` on pre-bound windows (no dict lookups)."""
+        values: Dict[str, Any] = {}
+        for name, count, buffer, window in self._read_windows:
+            data = buffer.consume_window(window, count)
+            values[name] = data if count > 1 else data[0]
+        self.busy = True
+        return values
+
+    def finish_firing_fast(self, values: Dict[str, Any]) -> bool:
+        """:meth:`finish_firing` on pre-bound windows.  Bit-identical
+        semantics: guard, body, output-length check and one-shot retirement
+        are the same code paths; only the window resolution is precomputed."""
+        execute = True
+        if self.task.guard is not None:
+            execute = bool(evaluate_expression(self.task.guard, values, self.registry))
+
+        outputs: Optional[Dict[str, List[Any]]] = self._run_body(values) if execute else None
+
+        for name, count, buffer, window in self._write_windows:
+            produced = outputs.get(name) if outputs is not None else None
+            if produced is not None and len(produced) != count:
+                raise OilRuntimeError(
+                    f"task {self.name!r}: function produced {len(produced)} values for "
+                    f"{name!r}, expected {count}"
+                )
+            buffer.produce_window(window, produced, count)
+
+        self.busy = False
+        self.completed_firings += 1
+        self.phase_firings += 1
+        if self.one_shot:
+            self.fired_once = True
+            key = self._key
+            scope = f"{self.instance}:"
+            for _, _, buffer, _ in self._write_windows:
+                buffer.retire_producer(key, scope=scope)
+            for _, _, buffer, _ in self._read_windows:
                 buffer.retire_consumer(key, scope=scope)
         return execute
 

@@ -27,13 +27,22 @@ do not pay for bookkeeping they never read:
 The ``*_enabled`` properties let hot paths skip computing a measurement (for
 example a buffer occupancy) before handing it to a recorder that would drop
 it anyway.
+
+Long horizons need bounded memory: ``retention`` caps how many of each stored
+record kind are kept (oldest dropped first) while *streaming* counters --
+per-endpoint and per-task counts with first/last timestamps -- keep the
+derived measurements (:meth:`measured_rate`, :meth:`task_throughput`,
+:meth:`deadline_miss_count`, :meth:`summary`) exact over the whole run even
+after the stored lists were trimmed.  The steady-state fast-forward engine
+drives the same counters through :meth:`extrapolate_periodic` /
+:meth:`replay_periodic` so skipped periods stay accounted for.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.util.rational import Rat
 from repro.util.validation import check_in
@@ -66,18 +75,70 @@ class DeadlineViolation:
     detail: str = ""
 
 
-@dataclass
+class _Stat:
+    """Streaming (count, first time, last time) triple for one name."""
+
+    __slots__ = ("count", "first", "last")
+
+    def __init__(self, count: int = 0, first: Optional[Rat] = None, last: Optional[Rat] = None):
+        self.count = count
+        self.first = first
+        self.last = last
+
+    def add(self, time: Rat) -> None:
+        if self.first is None:
+            self.first = time
+        self.last = time
+        self.count += 1
+
+    def rate(self) -> Optional[Rat]:
+        if self.count < 2 or self.first is None or self.last is None:
+            return None
+        span = self.last - self.first
+        if span <= 0:
+            return None
+        return Fraction(self.count - 1) / span
+
+
 class TraceRecorder:
-    """Accumulates simulation events and derives measurements."""
+    """Accumulates simulation events and derives measurements.
 
-    firings: List[Firing] = field(default_factory=list)
-    endpoint_events: List[EndpointEvent] = field(default_factory=list)
-    violations: List[DeadlineViolation] = field(default_factory=list)
-    buffer_high_water: Dict[str, int] = field(default_factory=dict)
-    level: str = "full"
+    ``retention=None`` (the default) stores every record, preserving the
+    historic list semantics exactly; an integer caps each stored list to the
+    most recent ``retention`` entries while the streaming counters continue
+    to cover the full run.
+    """
 
-    def __post_init__(self) -> None:
-        check_in(self.level, TRACE_LEVELS, "trace level")
+    def __init__(
+        self,
+        firings: Optional[List[Firing]] = None,
+        endpoint_events: Optional[List[EndpointEvent]] = None,
+        violations: Optional[List[DeadlineViolation]] = None,
+        buffer_high_water: Optional[Dict[str, int]] = None,
+        level: str = "full",
+        retention: Optional[int] = None,
+    ):
+        check_in(level, TRACE_LEVELS, "trace level")
+        if retention is not None and retention < 0:
+            raise ValueError(f"trace retention must be >= 0, got {retention}")
+        self.level = level
+        self.retention = retention
+        self._firings: List[Firing] = list(firings) if firings else []
+        self._endpoint_events: List[EndpointEvent] = (
+            list(endpoint_events) if endpoint_events else []
+        )
+        self._violations: List[DeadlineViolation] = list(violations) if violations else []
+        self.buffer_high_water: Dict[str, int] = dict(buffer_high_water) if buffer_high_water else {}
+        #: streaming per-endpoint / per-task statistics covering the full run
+        self._endpoint_stats: Dict[str, _Stat] = {}
+        self._task_stats: Dict[str, _Stat] = {}
+        self._firing_total = len(self._firings)
+        self._endpoint_total = len(self._endpoint_events)
+        self._violation_total = len(self._violations)
+        for firing in self._firings:
+            self._task_stats.setdefault(firing.task, _Stat()).add(firing.start)
+        for event in self._endpoint_events:
+            self._endpoint_stats.setdefault(event.name, _Stat()).add(event.time)
 
     # ----------------------------------------------------------------- levels
     @property
@@ -96,18 +157,69 @@ class TraceRecorder:
     def violations_enabled(self) -> bool:
         return self.level != "off"
 
+    # -------------------------------------------------------------- retention
+    def _trim(self, records: List) -> List:
+        retention = self.retention
+        if retention is not None and len(records) > retention:
+            del records[: len(records) - retention]
+        return records
+
+    def _appended(self, records: List) -> None:
+        # Chunked trimming: deleting the head of a list is O(n), so let the
+        # list grow to twice the cap before cutting it back to size.
+        retention = self.retention
+        if retention is not None and len(records) > 2 * retention:
+            del records[: len(records) - retention]
+
+    @property
+    def firing_total(self) -> int:
+        """Firings recorded over the whole run -- the streaming counter,
+        unaffected by the retention cap and exact through fast-forward."""
+        return self._firing_total
+
+    @property
+    def endpoint_total(self) -> int:
+        """Endpoint events recorded over the whole run (streaming)."""
+        return self._endpoint_total
+
+    @property
+    def firings(self) -> List[Firing]:
+        return self._trim(self._firings)
+
+    @property
+    def endpoint_events(self) -> List[EndpointEvent]:
+        return self._trim(self._endpoint_events)
+
+    @property
+    def violations(self) -> List[DeadlineViolation]:
+        return self._trim(self._violations)
+
     # ------------------------------------------------------------- recording
     def record_firing(self, task: str, start: Rat, end: Rat, executed_body: bool) -> None:
         if self.firings_enabled:
-            self.firings.append(Firing(task, start, end, executed_body))
+            self._firing_total += 1
+            stat = self._task_stats.get(task)
+            if stat is None:
+                stat = self._task_stats[task] = _Stat()
+            stat.add(start)
+            self._firings.append(Firing(task, start, end, executed_body))
+            self._appended(self._firings)
 
     def record_endpoint(self, name: str, kind: str, time: Rat, value: object) -> None:
         if self.endpoints_enabled:
-            self.endpoint_events.append(EndpointEvent(name, kind, time, value))
+            self._endpoint_total += 1
+            stat = self._endpoint_stats.get(name)
+            if stat is None:
+                stat = self._endpoint_stats[name] = _Stat()
+            stat.add(time)
+            self._endpoint_events.append(EndpointEvent(name, kind, time, value))
+            self._appended(self._endpoint_events)
 
     def record_violation(self, name: str, kind: str, time: Rat, detail: str = "") -> None:
         if self.violations_enabled:
-            self.violations.append(DeadlineViolation(name, kind, time, detail))
+            self._violation_total += 1
+            self._violations.append(DeadlineViolation(name, kind, time, detail))
+            self._appended(self._violations)
 
     def record_occupancy(self, buffer: str, occupancy: int) -> None:
         if not self.occupancy_enabled:
@@ -115,6 +227,70 @@ class TraceRecorder:
         current = self.buffer_high_water.get(buffer, 0)
         if occupancy > current:
             self.buffer_high_water[buffer] = occupancy
+
+    # ----------------------------------------------------- fast-forward hooks
+    def stream_snapshot(self) -> Dict[str, object]:
+        """Capture the streaming counters (used by the steady-state detector
+        to compute exact per-period deltas)."""
+        return {
+            "endpoint": {n: (s.count, s.first, s.last) for n, s in self._endpoint_stats.items()},
+            "task": {n: (s.count, s.first, s.last) for n, s in self._task_stats.items()},
+            "totals": (self._firing_total, self._endpoint_total, self._violation_total),
+            "lengths": (len(self._firings), len(self._endpoint_events), len(self._violations)),
+        }
+
+    def extrapolate_periodic(self, snapshot: Mapping[str, object], copies: int, shift: Rat) -> None:
+        """Account ``copies`` extra repetitions of the period since
+        ``snapshot`` into the streaming counters.
+
+        ``shift`` is the total simulated-time advance (``copies`` periods) in
+        seconds; last-seen timestamps of names that progressed during the
+        period move forward by it, first-seen timestamps stay (they fell in
+        the transient or the single simulated canonical period).
+        """
+        for name, stat in self._endpoint_stats.items():
+            before = snapshot["endpoint"].get(name, (0, None, None))  # type: ignore[index]
+            delta = stat.count - before[0]
+            if delta > 0:
+                stat.count += copies * delta
+                stat.last = stat.last + shift  # type: ignore[operator]
+        for name, stat in self._task_stats.items():
+            before = snapshot["task"].get(name, (0, None, None))  # type: ignore[index]
+            delta = stat.count - before[0]
+            if delta > 0:
+                stat.count += copies * delta
+                stat.last = stat.last + shift  # type: ignore[operator]
+        totals_before = snapshot["totals"]  # type: ignore[index]
+        self._firing_total += copies * (self._firing_total - totals_before[0])
+        self._endpoint_total += copies * (self._endpoint_total - totals_before[1])
+        self._violation_total += copies * (self._violation_total - totals_before[2])
+
+    def replay_periodic(
+        self, lengths: Tuple[int, int, int], copies: int, period: Rat
+    ) -> None:
+        """Append ``copies`` time-shifted repetitions of the records stored
+        since ``lengths`` (a :meth:`stream_snapshot` ``lengths`` triple).
+
+        Only meaningful with unbounded retention: the stored lists then stay
+        bit-identical to a naive simulation of the skipped periods (values
+        repeat the canonical period -- timing is value-independent, data is
+        periodic by construction of the detector's state key).  The streaming
+        counters are *not* touched here; :meth:`extrapolate_periodic` already
+        accounted for the copies.
+        """
+        firing_slice = self._firings[lengths[0]:]
+        endpoint_slice = self._endpoint_events[lengths[1]:]
+        violation_slice = self._violations[lengths[2]:]
+        for copy_index in range(1, copies + 1):
+            offset = period * copy_index
+            for firing in firing_slice:
+                self._firings.append(
+                    replace(firing, start=firing.start + offset, end=firing.end + offset)
+                )
+            for event in endpoint_slice:
+                self._endpoint_events.append(replace(event, time=event.time + offset))
+            for violation in violation_slice:
+                self._violations.append(replace(violation, time=violation.time + offset))
 
     # ----------------------------------------------------------- measurements
     def firings_of(self, task: str) -> List[Firing]:
@@ -125,27 +301,17 @@ class TraceRecorder:
 
     def measured_rate(self, name: str) -> Optional[Rat]:
         """Average events per second of a source or sink over the simulation."""
-        events = self.events_of(name)
-        if len(events) < 2:
-            return None
-        span = events[-1].time - events[0].time
-        if span <= 0:
-            return None
-        return Fraction(len(events) - 1) / span
+        stat = self._endpoint_stats.get(name)
+        return stat.rate() if stat is not None else None
 
     def task_throughput(self, task: str) -> Optional[Rat]:
         """Average firings per second of a task."""
-        firings = self.firings_of(task)
-        if len(firings) < 2:
-            return None
-        span = firings[-1].start - firings[0].start
-        if span <= 0:
-            return None
-        return Fraction(len(firings) - 1) / span
+        stat = self._task_stats.get(task)
+        return stat.rate() if stat is not None else None
 
     def first_output_time(self, name: str) -> Optional[Rat]:
-        events = self.events_of(name)
-        return events[0].time if events else None
+        stat = self._endpoint_stats.get(name)
+        return stat.first if stat is not None else None
 
     def end_to_end_latency(self, source: str, sink: str) -> Optional[Rat]:
         """Time between the first source production and the first sink
@@ -157,18 +323,29 @@ class TraceRecorder:
         return first_out - first_in
 
     def deadline_miss_count(self) -> int:
-        return len(self.violations)
+        return self._violation_total
+
+    def endpoint_count(self, name: str) -> int:
+        """Total events of one endpoint over the whole run (streaming)."""
+        stat = self._endpoint_stats.get(name)
+        return stat.count if stat is not None else 0
+
+    def task_firing_count(self, task: str) -> int:
+        """Total recorded firings of one task over the whole run (streaming)."""
+        stat = self._task_stats.get(task)
+        return stat.count if stat is not None else 0
 
     def summary(self) -> str:
         lines = [
-            f"trace: {len(self.firings)} firings, {len(self.endpoint_events)} endpoint events, "
-            f"{len(self.violations)} violations"
+            f"trace: {self._firing_total} firings, {self._endpoint_total} endpoint events, "
+            f"{self._violation_total} violations"
         ]
-        names = sorted({e.name for e in self.endpoint_events})
-        for name in names:
+        for name in sorted(self._endpoint_stats):
             rate = self.measured_rate(name)
             rendered = "n/a" if rate is None else f"{float(rate):.6g} Hz"
-            lines.append(f"  {name}: {len(self.events_of(name))} events, measured rate {rendered}")
+            lines.append(
+                f"  {name}: {self.endpoint_count(name)} events, measured rate {rendered}"
+            )
         if self.buffer_high_water:
             lines.append("  buffer high-water marks:")
             for buffer, occupancy in sorted(self.buffer_high_water.items()):

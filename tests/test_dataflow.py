@@ -171,6 +171,57 @@ class TestThroughput:
         assert hsdf_maximum_cycle_ratio(to_hsdf(g)) == 5
 
 
+class TestOnlinePeriodicityCrossCheck:
+    """The engine's online steady-state detector must agree with the exact
+    offline state-space split computed by ``self_timed_statespace``."""
+
+    def _steady(self, graph, horizon):
+        from repro.engine import run_tasks
+        from repro.engine.synthetic import tasks_from_sdf
+
+        run = run_tasks(
+            tasks_from_sdf(graph, iterations=64),
+            horizon=Fraction(horizon),
+            fast_forward=True,
+        )
+        return run, run.engine.steady_state
+
+    def test_online_period_is_integer_iteration_multiple(self):
+        graph = fig2_task_graph()
+        offline = self_timed_statespace(graph)
+        run, steady = self._steady(graph, 500)
+        assert steady.jumps >= 1 and steady.period_ticks is not None
+        # The detected anchor period spans a whole number of graph
+        # iterations: its span in seconds is an exact integer multiple of
+        # the offline iteration period, and its firing count is the same
+        # multiple of the repetition-vector total.
+        period_seconds = run.queue.to_time(steady.period_ticks)
+        multiple = period_seconds / offline.iteration_period
+        assert multiple.denominator == 1 and multiple >= 1
+        q = repetition_vector(graph)
+        assert steady.period_firings == multiple * q.total_firings()
+
+    def test_online_transient_bounded_by_horizon(self):
+        graph = fig2_task_graph()
+        run, steady = self._steady(graph, 500)
+        assert steady.transient_ticks is not None
+        # Detection happens strictly inside the naive prefix of the run.
+        transient_seconds = run.queue.to_time(steady.transient_ticks)
+        assert 0 <= transient_seconds < Fraction(500)
+
+    def test_online_throughput_matches_offline(self):
+        graph = fig2_task_graph(f_duration=2, g_duration=3)
+        offline = self_timed_statespace(graph)
+        run, steady = self._steady(graph, 700)
+        assert steady.period_ticks is not None
+        period_seconds = run.queue.to_time(steady.period_ticks)
+        q = repetition_vector(graph)
+        online_period_per_iteration = (
+            period_seconds * q.total_firings() / steady.period_firings
+        )
+        assert online_period_per_iteration == offline.iteration_period
+
+
 class TestSDFBufferSizing:
     def test_minimal_capacities(self):
         graph = fig2_task_graph()

@@ -1,0 +1,458 @@
+"""Steady-state fast-forward and the compiled dispatch kernel.
+
+The contract under test (see :mod:`repro.engine.steady_state`): with
+``fast_forward=True`` every timing-derived quantity -- trace records,
+completion counters, makespan, deadline misses, measured rates, busy
+accounting -- is *exactly* equal to a naive run, while whole periods of the
+steady-state regime are skipped in O(1).  Data values are replayed from the
+canonical period, so full value equality additionally requires constant
+stimuli and stateless actor functions.  The compiled kernel must be
+observationally invisible: bit-identical traces with ``kernel="on"`` and
+``"off"``.
+"""
+
+import itertools
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.api import Program
+from repro.api.sweep import Sweep
+from repro.apps.rate_converter import fig2_task_graph
+from repro.dataflow import repetition_vector, self_timed_statespace
+from repro.engine.dispatcher import run_tasks
+from repro.engine.policies import BoundedProcessors, SelfTimedUnbounded, StaticOrder
+from repro.engine.synthetic import fork_join_program, ring_program, tasks_from_sdf
+from repro.platform.model import Platform
+from repro.platform.policies import FixedPriorityPreemptive, ListScheduledPlatform
+from repro.runtime.trace import TraceRecorder
+
+
+def assert_traces_identical(a, b):
+    assert a.firings == b.firings
+    assert a.endpoint_events == b.endpoint_events
+    assert a.violations == b.violations
+    assert a.buffer_high_water == b.buffer_high_water
+
+
+def assert_timing_identical(a, b):
+    """Bit-identical timing: everything except the replayed data values."""
+    assert a.firings == b.firings
+    assert a.violations == b.violations
+    assert [replace(e, value=None) for e in a.endpoint_events] == [
+        replace(e, value=None) for e in b.endpoint_events
+    ]
+    assert a.buffer_high_water == b.buffer_high_water
+
+
+APPS = ["quickstart", "pal_decoder", "rate_converter", "modal_mute", "modal_two_mode"]
+#: apps whose actor functions are stateless, so even the *values* survive a
+#: jump under constant stimuli (pal_decoder / modal_two_mode carry oscillator
+#: and filter state outside the execution state -- values are periodic-stale)
+VALUE_EXACT_APPS = ["quickstart", "rate_converter", "modal_mute"]
+
+
+def _constant_signals(app):
+    names = list(Program.from_app(app).analyze().compilation.source_ports)
+    return {name: itertools.repeat(1.0) for name in names}
+
+
+# ---------------------------------------------------------------------------
+# Engine-level fast-forward (run_tasks)
+# ---------------------------------------------------------------------------
+
+class TestEngineFastForward:
+    def test_ring_long_horizon_exact(self):
+        horizon = Fraction(100)
+        naive = run_tasks(ring_program(20, tokens=3, stagger=3), horizon=horizon)
+        ff = run_tasks(
+            ring_program(20, tokens=3, stagger=3), horizon=horizon, fast_forward=True
+        )
+        steady = ff.engine.steady_state
+        assert ff.fast_forwarded and steady.jumps >= 1
+        assert steady.skipped_events > 0
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        assert ff.makespan == naive.makespan
+        # processed is replayed through jumps, so it matches naive exactly;
+        # the actually executed events are the difference
+        assert ff.queue.processed == naive.queue.processed
+        assert steady.skipped_events < naive.queue.processed
+        assert_traces_identical(naive.trace, ff.trace)
+
+    def test_short_horizon_is_bit_identical_without_jumps(self):
+        # A horizon inside the transient: the detector is armed but never
+        # jumps, and the run is trivially bit-identical.
+        naive = run_tasks(ring_program(20, tokens=3), horizon=Fraction(1, 500))
+        ff = run_tasks(
+            ring_program(20, tokens=3), horizon=Fraction(1, 500), fast_forward=True
+        )
+        assert not ff.fast_forwarded
+        assert_traces_identical(naive.trace, ff.trace)
+
+    def test_stop_after_firings_halts_at_naive_instant(self):
+        naive = run_tasks(ring_program(20, tokens=3), stop_after_firings=5000)
+        ff = run_tasks(
+            ring_program(20, tokens=3), stop_after_firings=5000, fast_forward=True
+        )
+        assert ff.fast_forwarded
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        assert ff.makespan == naive.makespan
+        assert_traces_identical(naive.trace, ff.trace)
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: BoundedProcessors(2),
+            lambda: StaticOrder([f"t{i}" for i in range(10)]),
+        ],
+        ids=["bounded", "static-order"],
+    )
+    def test_policies_fast_forward_exactly(self, policy_factory):
+        horizon = Fraction(50)
+        naive = run_tasks(
+            ring_program(10, tokens=2), policy=policy_factory(), horizon=horizon
+        )
+        ff = run_tasks(
+            ring_program(10, tokens=2),
+            policy=policy_factory(),
+            horizon=horizon,
+            fast_forward=True,
+        )
+        assert ff.fast_forwarded
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        assert ff.makespan == naive.makespan
+        assert_traces_identical(naive.trace, ff.trace)
+
+    def test_platform_policy_fast_forwards_with_busy_accounting(self):
+        platform = Platform.homogeneous(2)
+        horizon = Fraction(50)
+        naive = run_tasks(
+            fork_join_program(4), policy=ListScheduledPlatform(platform), horizon=horizon
+        )
+        ff = run_tasks(
+            fork_join_program(4),
+            policy=ListScheduledPlatform(Platform.homogeneous(2)),
+            horizon=horizon,
+            fast_forward=True,
+        )
+        assert ff.fast_forwarded
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        assert ff.engine.processor_busy_time == naive.engine.processor_busy_time
+        assert_traces_identical(naive.trace, ff.trace)
+
+    def test_trace_retention_keeps_streaming_counters_exact(self):
+        horizon = Fraction(200)
+        naive = run_tasks(ring_program(12, tokens=2), horizon=horizon)
+        capped = TraceRecorder(level="full", retention=50)
+        ff = run_tasks(
+            ring_program(12, tokens=2), horizon=horizon, fast_forward=True, trace=capped
+        )
+        assert ff.fast_forwarded
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        # stored records are capped, the totals and per-task counters are not
+        assert len(capped.firings) <= 50
+        assert capped.firing_total == len(naive.trace.firings)
+        for i in range(12):
+            key = f"ring:t{i}"
+            assert capped.task_firing_count(key) == naive.trace.task_firing_count(key)
+            assert capped.task_throughput(key) == naive.trace.task_throughput(key)
+
+    def test_multiple_jumps_across_repeated_horizon_extensions(self):
+        tasks = tasks_from_sdf(fig2_task_graph(), iterations=50)
+        naive = run_tasks(tasks_from_sdf(fig2_task_graph(), iterations=50), horizon=Fraction(400))
+        ff = run_tasks(tasks, horizon=Fraction(400), fast_forward=True)
+        assert ff.fast_forwarded
+        assert ff.engine.completed_firings == naive.engine.completed_firings
+        assert_traces_identical(naive.trace, ff.trace)
+
+
+# ---------------------------------------------------------------------------
+# Compiled dispatch kernel
+# ---------------------------------------------------------------------------
+
+class TestCompiledKernel:
+    def test_kernel_on_off_bit_identical(self):
+        on = run_tasks(ring_program(30, tokens=4, stagger=2), kernel="on",
+                       stop_after_firings=2000)
+        off = run_tasks(ring_program(30, tokens=4, stagger=2), kernel="off",
+                        stop_after_firings=2000)
+        assert on.engine.kernel_active and not off.engine.kernel_active
+        assert_traces_identical(on.trace, off.trace)
+
+    def test_kernel_with_gating_policy_bit_identical(self):
+        on = run_tasks(ring_program(10, tokens=2), policy=BoundedProcessors(2),
+                       kernel="on", stop_after_firings=500)
+        off = run_tasks(ring_program(10, tokens=2), policy=BoundedProcessors(2),
+                        kernel="off", stop_after_firings=500)
+        assert on.engine.kernel_active
+        assert_traces_identical(on.trace, off.trace)
+
+    def test_kernel_on_raises_when_inapplicable(self):
+        with pytest.raises(ValueError):
+            run_tasks(
+                ring_program(10, tokens=2),
+                policy=ListScheduledPlatform(Platform.homogeneous(2)),
+                kernel="on",
+                stop_after_firings=10,
+            )
+        with pytest.raises(ValueError):
+            run_tasks(ring_program(10, tokens=2), kernel="sometimes")
+
+    def test_kernel_auto_disengages_for_platform_and_fraction_modes(self):
+        platform_run = run_tasks(
+            ring_program(10, tokens=2),
+            policy=ListScheduledPlatform(Platform.homogeneous(2)),
+            stop_after_firings=50,
+        )
+        assert not platform_run.engine.kernel_active
+        fraction_run = run_tasks(
+            ring_program(10, tokens=2), time_base="fraction", stop_after_firings=50
+        )
+        assert not fraction_run.engine.kernel_active
+
+    def test_kernel_composes_with_fast_forward(self):
+        horizon = Fraction(100)
+        reference = run_tasks(ring_program(16, tokens=3), kernel="off", horizon=horizon)
+        combined = run_tasks(
+            ring_program(16, tokens=3), kernel="on", horizon=horizon, fast_forward=True
+        )
+        assert combined.fast_forwarded and combined.engine.kernel_active
+        assert combined.engine.completed_firings == reference.engine.completed_firings
+        assert_traces_identical(reference.trace, combined.trace)
+
+
+# ---------------------------------------------------------------------------
+# Refusals: configurations that must fall back to naive execution
+# ---------------------------------------------------------------------------
+
+class TestRefusals:
+    def test_speed_migrating_preemptive_policy_refuses(self):
+        run = run_tasks(
+            ring_program(10, tokens=2),
+            policy=FixedPriorityPreemptive(Platform.heterogeneous([1, 2])),
+            stop_after_firings=100,
+            fast_forward=True,
+        )
+        assert run.engine.steady_state is None
+        assert not run.fast_forwarded
+        assert any("refused" in w and "speeds" in w for w in run.warnings)
+        assert run.engine.completed_firings == 100
+
+    def test_fraction_time_base_refuses(self):
+        run = run_tasks(
+            ring_program(10, tokens=2),
+            time_base="fraction",
+            stop_after_firings=100,
+            fast_forward=True,
+        )
+        assert run.engine.steady_state is None
+        assert any("integer-tick" in w for w in run.warnings)
+
+    def test_policy_without_steady_state_key_refuses(self):
+        class OpaquePolicy:
+            def allow_start(self, task):
+                return True
+
+            def on_start(self, task):
+                pass
+
+            def on_complete(self, task):
+                pass
+
+            def reset(self):
+                pass
+
+        run = run_tasks(
+            ring_program(10, tokens=2),
+            policy=OpaquePolicy(),
+            stop_after_firings=100,
+            fast_forward=True,
+        )
+        assert run.engine.steady_state is None
+        assert any("steady_state_key" in w for w in run.warnings)
+
+    def test_refused_run_matches_naive(self):
+        naive = run_tasks(ring_program(10, tokens=2), time_base="fraction",
+                          stop_after_firings=200)
+        refused = run_tasks(ring_program(10, tokens=2), time_base="fraction",
+                            stop_after_firings=200, fast_forward=True)
+        assert_traces_identical(naive.trace, refused.trace)
+
+
+# ---------------------------------------------------------------------------
+# API layer: Simulation / Analysis.run / Sweep
+# ---------------------------------------------------------------------------
+
+class TestApiFastForward:
+    @pytest.mark.parametrize("app", APPS)
+    def test_timing_and_metrics_exact_for_all_apps(self, app):
+        duration = Fraction(1, 2)
+        naive = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app)
+        )
+        ff = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app), fast_forward=True
+        )
+        steady = ff.simulation.engine.steady_state
+        assert ff.fast_forwarded and steady.jumps >= 1
+        assert_timing_identical(naive.trace, ff.trace)
+        metrics_naive, metrics_ff = naive.metrics(), ff.metrics()
+        assert metrics_naive.pop("fast_forwarded") is False
+        assert metrics_ff.pop("fast_forwarded") is True
+        assert metrics_naive == metrics_ff
+        assert ff.warnings == []
+
+    @pytest.mark.parametrize("app", VALUE_EXACT_APPS)
+    def test_stateless_apps_reproduce_values_too(self, app):
+        duration = Fraction(1, 2)
+        naive = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app)
+        )
+        ff = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app), fast_forward=True
+        )
+        assert ff.fast_forwarded
+        assert_traces_identical(naive.trace, ff.trace)
+        for sink in naive.simulation.sinks:
+            assert naive.sink(sink) == ff.sink(sink)
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_default_signal_metrics_exact(self, app):
+        # Counting stimuli make values periodic-stale after a jump, but every
+        # timing-derived metric must still be exactly the naive one.
+        duration = Fraction(1, 2)
+        naive = Program.from_app(app).analyze().run(duration)
+        ff = Program.from_app(app).analyze().run(duration, fast_forward=True)
+        metrics_naive, metrics_ff = naive.metrics(), ff.metrics()
+        metrics_naive.pop("fast_forwarded")
+        metrics_ff.pop("fast_forwarded")
+        assert metrics_naive == metrics_ff
+
+    def test_short_horizon_traces_bit_identical_with_default_signals(self):
+        # Inside the transient no jump fires, so even counting stimuli give
+        # bit-identical traces with fast-forward enabled.
+        duration = Fraction(1, 400)
+        naive = Program.from_app("quickstart").analyze().run(duration)
+        ff = Program.from_app("quickstart").analyze().run(duration, fast_forward=True)
+        assert not ff.fast_forwarded
+        assert_traces_identical(naive.trace, ff.trace)
+        for sink in naive.simulation.sinks:
+            assert naive.sink(sink) == ff.sink(sink)
+
+    def test_horizon_keyword_implies_fast_forward(self):
+        run = Program.from_app("quickstart").run(horizon=Fraction(20))
+        assert run.fast_forwarded
+        assert run.duration == Fraction(20)
+        explicit = Program.from_app("quickstart").run(
+            horizon=Fraction(1, 10), fast_forward=False
+        )
+        assert explicit.simulation.engine.steady_state is None
+
+    def test_duration_and_horizon_are_exclusive(self):
+        analysis = Program.from_app("quickstart").analyze()
+        with pytest.raises(TypeError):
+            analysis.run(Fraction(1), horizon=Fraction(1))
+        with pytest.raises(TypeError):
+            analysis.run()
+
+    def test_trace_retention_through_api(self):
+        run = Program.from_app("quickstart").analyze().run(
+            Fraction(2), fast_forward=True, trace_retention=100
+        )
+        assert run.fast_forwarded
+        assert len(run.trace.firings) <= 100
+        naive = Program.from_app("quickstart").analyze().run(Fraction(2))
+        assert run.completed_firings == naive.completed_firings
+        assert run.sink_counts == naive.sink_counts
+        assert run.deadline_misses == naive.deadline_misses
+
+    def test_run_until_sink_count_uses_streaming_counter(self):
+        simulation = Program.from_app("quickstart").analyze().simulation(
+            fast_forward=True
+        )
+        simulation.run(Fraction(1, 10))  # arms (and uses) the detector
+        simulation.run_until_sink_count("averages", 150, max_time=Fraction(1))
+        assert simulation.sinks["averages"].consumed_count >= 150
+
+    def test_refusal_surfaces_in_run_result_and_sweep(self):
+        run = Program.from_app("quickstart").analyze().run(
+            Fraction(1, 10), fast_forward=True, time_base="fraction"
+        )
+        assert not run.fast_forwarded
+        assert any("refused" in w for w in run.warnings)
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 10))
+            .add_axis("fast_forward", [True])
+            .add_axis("time_base", ["fraction"])
+            .run()
+        )
+        assert report.ok
+        assert any("refused" in w for w in report.warnings)
+
+    def test_sweep_fast_forward_axis_matches_naive_rows(self):
+        report = (
+            Sweep("rate_converter", duration=Fraction(1, 2))
+            .add_axis("fast_forward", [False, True])
+            .run()
+        )
+        assert report.ok
+        rows = report.rows()
+        assert rows[0]["fast_forwarded"] is False
+        assert rows[1]["fast_forwarded"] is True
+        for key, value in rows[0].items():
+            if key in ("point", "fast_forward", "fast_forwarded"):
+                continue
+            assert rows[1][key] == value, key
+
+    def test_sweep_horizon_axis(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("horizon", [Fraction(10)])
+            .add_axis("trace", ["endpoints"])
+            .add_axis("trace_retention", [50])
+            .run()
+        )
+        assert report.ok
+        assert report.rows()[0]["fast_forwarded"] is True
+
+
+# ---------------------------------------------------------------------------
+# Cross-check against the offline state-space analysis
+# ---------------------------------------------------------------------------
+
+class TestOfflineCrossCheck:
+    @pytest.mark.parametrize("graph_factory", [fig2_task_graph], ids=["fig2"])
+    def test_online_period_matches_statespace_throughput(self, graph_factory):
+        graph = graph_factory()
+        offline = self_timed_statespace(graph)
+        assert offline.iteration_period is not None and not offline.deadlocked
+
+        run = run_tasks(
+            tasks_from_sdf(graph, iterations=64), horizon=Fraction(500),
+            fast_forward=True,
+        )
+        steady = run.engine.steady_state
+        assert run.fast_forwarded and steady.period_ticks is not None
+
+        # The online anchor-period spans an integer number of graph
+        # iterations, so firings-per-second must agree exactly with the
+        # offline periodic phase: period_firings / period_seconds ==
+        # sum(repetition vector) / iteration_period.
+        q = repetition_vector(graph)
+        period_seconds = run.queue.to_time(steady.period_ticks)
+        assert (
+            Fraction(steady.period_firings) * offline.iteration_period
+            == Fraction(q.total_firings()) * period_seconds
+        )
+
+    def test_online_transient_is_finite_and_period_positive(self):
+        graph = fig2_task_graph()
+        run = run_tasks(
+            tasks_from_sdf(graph, iterations=64), horizon=Fraction(500),
+            fast_forward=True,
+        )
+        steady = run.engine.steady_state
+        assert steady.transient_ticks >= 0
+        assert steady.period_ticks > 0
+        assert steady.skipped_events > 0
