@@ -1,0 +1,110 @@
+"""Sweep-service cache economics: cold vs warm vs overlapping grids.
+
+The service's whole value proposition is that a point is paid for once:
+the first (cold) run of a grid compiles and executes everything and fills
+the content-addressed store; a repeated (warm) run must answer every
+point from the store without compiling or executing anything; a widened
+(overlapping) grid must pay only for its genuinely new points.  This
+benchmark measures all three wall clocks on the PAL-decoder grid -- the
+Fig. 4 scenario, the sweep this repo re-runs most -- and asserts the
+correctness half outright: the warm report is bit-identical to the cold
+one and executed exactly zero points.
+
+BENCH_SMOKE=1 (the gating CI job) shrinks the grid and enforces a
+relaxed warm-vs-cold floor: answering a PAL grid from the store must be
+at least 3x faster than computing it.  Locally the ratio is orders of
+magnitude higher (a warm hit is a JSONL seek+read; a cold point is a
+full compile + simulation), so only a genuine regression -- e.g. cache
+hits accidentally re-entering the compiler -- can trip the floor.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from fractions import Fraction
+
+from _reporting import print_table
+
+from repro.api import Sweep
+from repro.engine import BoundedProcessors
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: simulated seconds per grid point; BENCH_SMOKE halves the per-point work
+DURATION = Fraction(1, 4) if SMOKE else Fraction(1, 2)
+#: processor-count axis of the base grid
+PROCESSOR_COUNTS = tuple(range(1, 5)) if SMOKE else tuple(range(1, 9))
+#: extra processor counts the overlapping grid adds (its only new points)
+WIDENED_EXTRA = (12, 16)
+
+#: Acceptance floor: a fully cached PAL grid must be served at least this
+#: many times faster than it was computed.  Real ratios are far higher --
+#: the floor only guards against hits silently re-entering the
+#: compile/execute path.
+REQUIRED_WARM_SPEEDUP = 3.0
+
+
+def _grid(counts) -> Sweep:
+    return Sweep("pal_decoder", duration=DURATION).add_axis(
+        "scheduler", [BoundedProcessors(n) for n in counts]
+    )
+
+
+def _timed_run(counts, store):
+    sweep = _grid(counts)
+    started = time.perf_counter()
+    report = sweep.run(store=store, keep_runs=False)
+    elapsed = time.perf_counter() - started
+    assert report.ok, [failure.error for failure in report.failures]
+    return elapsed, report
+
+
+def test_sweep_cache_economics():
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = os.path.join(root, "store")
+        cold_time, cold = _timed_run(PROCESSOR_COUNTS, store)
+        warm_time, warm = _timed_run(PROCESSOR_COUNTS, store)
+        widened_counts = PROCESSOR_COUNTS + WIDENED_EXTRA
+        widened_time, widened = _timed_run(widened_counts, store)
+
+        # correctness half of the economics: the cache serves, never skews
+        assert warm.to_json() == cold.to_json(), "warm report diverged"
+        assert warm.service_stats["executed"] == 0, warm.service_stats
+        assert widened.service_stats["executed"] == len(WIDENED_EXTRA), (
+            widened.service_stats
+        )
+        assert widened.service_stats["store_hits"] == len(PROCESSOR_COUNTS)
+
+        per_new_point = cold_time / len(PROCESSOR_COUNTS)
+        rows = [
+            ("cold", len(cold), cold.service_stats["executed"],
+             f"{cold_time:.3f}", "1.00x"),
+            ("warm", len(warm), warm.service_stats["executed"],
+             f"{warm_time:.3f}", f"{cold_time / warm_time:.2f}x"),
+            ("overlapping", len(widened), widened.service_stats["executed"],
+             f"{widened_time:.3f}",
+             f"{cold_time / widened_time:.2f}x"),
+        ]
+        print_table(
+            f"sweep cache, PAL-decoder grid ({len(PROCESSOR_COUNTS)} points, "
+            f"duration {DURATION}, ~{per_new_point:.2f}s/new point)",
+            ("run", "points", "executed", "seconds", "vs cold"),
+            rows,
+        )
+
+        warm_speedup = cold_time / warm_time
+        assert warm_speedup >= REQUIRED_WARM_SPEEDUP, (
+            f"fully cached PAL grid served only {warm_speedup:.2f}x faster "
+            f"than the cold run (floor {REQUIRED_WARM_SPEEDUP}x) -- are "
+            f"cache hits re-entering the compiler?"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_sweep_cache_economics()

@@ -21,6 +21,9 @@ Sub-packages
 ------------
 ``repro.api``       the unified facade (Program -> Analysis -> RunResult)
                     and the batched Sweep runner
+``repro.service``   the sweep service: content-addressed result store,
+                    resumable checkpoints, shardable grids, job spool and
+                    the ``python -m repro sweep`` CLI
 ``repro.lang``      OIL frontend (lexer, parser, AST, semantics, printer)
 ``repro.graph``     task-graph extraction and circular buffers
 ``repro.dataflow``  SDF substrate and exact baselines
@@ -41,6 +44,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "api",
+    "service",
     "lang",
     "graph",
     "dataflow",

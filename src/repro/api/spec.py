@@ -38,11 +38,96 @@ registry factory, an open file in the params, ...) cannot travel.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import pickle
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from fractions import Fraction
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.api.program import Program, TimeBaseLike
+
+
+# --------------------------------------------------------------------------
+# Stable content digests.
+#
+# The sweep dedup key (`repro.api.sweep._program_key`) compares by pickle
+# bytes, which is sound *within* one sweep run but useless as a persistent
+# identity: pickle serialises sets in hash-iteration order, which varies with
+# PYTHONHASHSEED, so the same value can produce different bytes in different
+# processes.  The content-addressed result store needs the opposite property
+# -- the same value must digest identically in every process, on every run,
+# on every host -- so digests are computed over a *canonical* recursive
+# encoding instead and hashed with sha256.
+# --------------------------------------------------------------------------
+
+
+def _sort_key(encoded: Any) -> str:
+    """A total order over canonical encodings (JSON render, deterministic)."""
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def _canonical(value: Any) -> Any:
+    """*value* as a nested JSON-native structure with deterministic order.
+
+    Containers are tagged so structurally different values can never encode
+    equal (``True`` vs ``1``, ``"1"`` vs ``1`` are distinct under JSON
+    already; floats go through ``repr`` for exact round-trip identity;
+    ``list`` and ``tuple`` deliberately share a tag -- equal contents build
+    the same program).  Sets and mapping items are sorted by their canonical
+    JSON render, so hash-iteration order -- the thing that makes pickle
+    bytes unstable across processes -- never reaches the digest.
+
+    Objects encode as class qualname + canonical instance state: dataclass
+    fields, or ``vars()`` for plain classes (covers scheduler policies,
+    platforms, time bases).  Functions and classes encode by module+qualname,
+    mirroring how pickle ships them by reference.  Anything else falls back
+    to ``repr`` -- a default repr embeds the instance id, which digests
+    differently every run and therefore only ever causes cache *misses*,
+    never wrong hits.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["float", repr(value)]
+    if isinstance(value, Fraction):
+        return ["fraction", value.numerator, value.denominator]
+    if isinstance(value, (bytes, bytearray)):
+        return ["bytes", bytes(value).hex()]
+    if isinstance(value, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in value.items()]
+        return ["map", sorted(items, key=lambda item: _sort_key(item[0]))]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [_canonical(item) for item in value]]
+    if isinstance(value, (set, frozenset)):
+        return ["set", sorted((_canonical(item) for item in value), key=_sort_key)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        state = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        qualname = f"{type(value).__module__}.{type(value).__qualname__}"
+        return ["obj", qualname, _canonical(state)]
+    if isinstance(value, type) or callable(value):
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if module is not None and qualname is not None and "<locals>" not in qualname:
+            return ["ref", module, qualname]
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        qualname = f"{type(value).__module__}.{type(value).__qualname__}"
+        return ["obj", qualname, _canonical(state)]
+    return ["repr", type(value).__qualname__, repr(value)]
+
+
+def stable_digest(value: Any) -> str:
+    """A process-stable sha256 hex digest of *value* by content.
+
+    Equal values digest equal in every process (no PYTHONHASHSEED
+    dependence, no pickle memo effects); unequal values digest unequal up
+    to the documented collapses of :func:`_canonical` (list vs tuple).
+    This is the identity the sweep service stores results under.
+    """
+    rendered = _sort_key(_canonical(value))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
 
 class SweepConfigError(ValueError):
@@ -176,6 +261,18 @@ class ProgramSpec:
         if self.platform is not None:
             program.platform = self.platform
         return program
+
+    def digest(self) -> str:
+        """The spec's stable content digest (see :func:`stable_digest`).
+
+        Equal recipes -- same app/source, same parameter bindings, same time
+        base and platform -- digest equal in every process and across runs,
+        which is what lets the sweep service's content-addressed store
+        answer repeated grids without rebuilding anything.  Unlike
+        :meth:`ensure_picklable` this never touches pickle, so it works (and
+        stays stable) even for specs that cannot ship to workers.
+        """
+        return stable_digest(self)
 
     # ----------------------------------------------------------- validation
     def ensure_picklable(self) -> bytes:

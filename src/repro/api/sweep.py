@@ -73,6 +73,7 @@ import itertools
 import json
 import math
 import pickle
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -226,6 +227,37 @@ class SweepResult:
             row["error"] = self.error
         return row
 
+    def payload(self) -> Dict[str, Any]:
+        """The point as one structured JSON-safe mapping -- the persistence
+        encoding shared by :meth:`SweepReport.to_json`, the sweep service's
+        checkpoints and the content-addressed result store.
+
+        Unlike :meth:`row` (the flattened tabular view) this keeps params
+        and metrics separate, so :meth:`from_payload` can reconstruct the
+        :class:`SweepResult` exactly.  ``_json_safe`` is idempotent, which
+        is what makes restored results *bit-identical* in every rendering:
+        a re-encoded payload, row or report JSON equals the original.
+        """
+        return {
+            "point": self.index,
+            "ok": self.ok,
+            "error": self.error,
+            "params": {k: _json_safe(v) for k, v in self.params.items()},
+            "metrics": {k: _json_safe(v) for k, v in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """The inverse of :meth:`payload` (the full ``run`` object is gone
+        for good -- simulations are never persisted, only metric rows)."""
+        return cls(
+            index=data["point"],
+            params=dict(data["params"]),
+            ok=data["ok"],
+            error=data["error"],
+            metrics=dict(data["metrics"]),
+        )
+
 
 class SweepReport:
     """Aggregated results of one sweep, in grid order."""
@@ -244,6 +276,12 @@ class SweepReport:
         #: unaffected -- fallbacks preserve serial-identical metrics -- so
         #: warnings live beside the results, not inside them
         self.warnings: List[str] = list(warnings)
+        #: how the sweep service satisfied each point (``executed`` /
+        #: ``store_hits`` / ``resumed`` counts), set by
+        #: ``Sweep.run(store=..., checkpoint=...)``; None for plain runs.
+        #: Deliberately NOT serialised: a cache-served report must stay
+        #: bit-identical to the uncached one.
+        self.service_stats: Optional[Dict[str, int]] = None
         # Per-point run degradations (fast-forward refusals/give-ups) ride
         # along inside the metric rows; hoist them here so one place lists
         # everything that did not run as configured.
@@ -295,11 +333,37 @@ class SweepReport:
         return "\n".join([f"=== {self.name} ({len(rows)} points) ===", header, divider, *body])
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
-        """The whole report as JSON (parameters + metrics per point)."""
+        """The whole report as JSON -- one structured entry per point
+        (``point`` / ``ok`` / ``error`` / ``params`` / ``metrics``), plus the
+        report-level warnings.  :meth:`from_json` is the exact inverse."""
         return json.dumps(
-            {"name": self.name, "warnings": self.warnings, "points": self.rows()},
+            {
+                "name": self.name,
+                "warnings": self.warnings,
+                "points": [result.payload() for result in self.results],
+            },
             indent=indent,
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        """Reconstruct a report from :meth:`to_json` output.
+
+        Round-trips results, warnings and failures exactly:
+        ``from_json(report.to_json()).to_json() == report.to_json()``.  The
+        serialised warnings already *include* the per-point run warnings the
+        constructor hoists out of metric rows, so this path bypasses the
+        constructor (re-hoisting would duplicate them) and restores the
+        warnings list verbatim.  The sweep service's ``merge`` step and the
+        job spool's ``result`` read rest on this inverse.
+        """
+        data = json.loads(text)
+        report = cls.__new__(cls)
+        report.name = data["name"]
+        report.results = [SweepResult.from_payload(entry) for entry in data["points"]]
+        report.warnings = list(data["warnings"])
+        report.service_stats = None
+        return report
 
     def speedup_table(
         self,
@@ -601,6 +665,8 @@ class Sweep:
         executor: str = "thread",
         keep_runs: bool = True,
         strict: bool = False,
+        store: Any = None,
+        checkpoint: Any = None,
     ) -> SweepReport:
         """Execute every grid point and aggregate a :class:`SweepReport`.
 
@@ -633,6 +699,16 @@ class Sweep:
         The process backend implies it: simulations stay in the workers and
         only metric rows travel back, so its results always have
         ``run=None``.
+
+        ``store`` (a :class:`~repro.service.store.ResultStore` or a
+        directory path) and ``checkpoint`` (a JSONL file path) engage the
+        sweep service: points whose content digest is already in the store
+        are answered without compiling or executing anything, completed
+        rows are appended to the checkpoint as they finish, and a re-run
+        with the same checkpoint resumes instead of restarting.  The
+        resulting report is bit-identical to an uninterrupted plain run;
+        :attr:`SweepReport.service_stats` records how many points were
+        executed vs served.  See :mod:`repro.service`.
         """
         check_positive(workers, "workers")
         if executor not in EXECUTORS:
@@ -646,35 +722,95 @@ class Sweep:
                 "each run takes exactly one of them"
             )
         points = self.points()
+        if store is not None or checkpoint is not None:
+            from repro.service.runner import run_service_sweep
+
+            return run_service_sweep(
+                self,
+                points,
+                store=store,
+                checkpoint=checkpoint,
+                executor=executor,
+                workers=workers,
+                keep_runs=keep_runs,
+                strict=strict,
+            )
+        results, warnings = self._execute_points(
+            list(enumerate(points)),
+            executor=executor,
+            workers=workers,
+            keep_runs=keep_runs,
+            strict=strict,
+        )
+        return SweepReport(results, name=self.name, warnings=warnings)
+
+    def _execute_points(
+        self,
+        indexed_points: List[Tuple[int, Dict[str, Any]]],
+        *,
+        executor: str,
+        workers: int,
+        keep_runs: bool,
+        strict: bool,
+        on_result: Optional[Callable[[SweepResult], None]] = None,
+    ) -> Tuple[List[SweepResult], List[str]]:
+        """Execute ``(grid index, params)`` pairs on the selected backend.
+
+        The shared engine behind :meth:`run` and the sweep service: indices
+        are caller-assigned (the service passes only the cache-missed subset
+        of a grid, with their original positions), results come back in the
+        given order alongside the backend's degradation warnings, and
+        ``on_result`` fires exactly once per point as it completes -- the
+        checkpoint-append hook, called under a lock on the thread backend
+        and from the parent process on the process backend.
+        """
         if executor == "process":
             # Even with workers=1 the process path is taken: the backend's
             # contract (strict validation, run=None results, pickle-probed
             # shipping) must not silently vary with the worker count.
-            return self._run_process(points, workers, strict=strict)
-        analyses = self._analyses(points, strict=strict) if self._runner is None else {}
-        if executor == "serial" or workers == 1 or len(points) <= 1:
-            results = [
-                self._run_point(index, params, analyses, keep_runs)
-                for index, params in enumerate(points)
-            ]
+            return self._run_process(
+                indexed_points, workers, strict=strict, on_result=on_result
+            )
+        if self._runner is None:
+            analyses = self._analyses(
+                [params for _, params in indexed_points], strict=strict
+            )
         else:
-            results = self._run_threads(points, workers, analyses, keep_runs)
-        return SweepReport(results, name=self.name)
+            analyses = {}
+        if executor == "serial" or workers == 1 or len(indexed_points) <= 1:
+            results = []
+            for index, params in indexed_points:
+                result = self._run_point(index, params, analyses, keep_runs)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+        else:
+            results = self._run_threads(
+                indexed_points, workers, analyses, keep_runs, on_result
+            )
+        return results, []
 
     def _run_threads(
         self,
-        points: Sequence[Dict[str, Any]],
+        indexed_points: Sequence[Tuple[int, Dict[str, Any]]],
         workers: int,
         analyses: Dict[Tuple, Analysis],
         keep_runs: bool,
+        on_result: Optional[Callable[[SweepResult], None]] = None,
     ) -> List[SweepResult]:
+        lock = threading.Lock()
+
+        def execute(item: Tuple[int, Dict[str, Any]]) -> SweepResult:
+            result = self._run_point(item[0], item[1], analyses, keep_runs)
+            if on_result is not None:
+                # checkpoint/store writers are plain appenders, not
+                # thread-safe objects -- serialise the callback
+                with lock:
+                    on_result(result)
+            return result
+
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    lambda item: self._run_point(item[0], item[1], analyses, keep_runs),
-                    enumerate(points),
-                )
-            )
+            return list(pool.map(execute, indexed_points))
 
     # ------------------------------------------------------- process backend
     def _spec_for(self, program_params: Dict[str, Any]) -> ProgramSpec:
@@ -686,23 +822,32 @@ class Sweep:
 
     def _run_process(
         self,
-        points: List[Dict[str, Any]],
+        indexed_points: List[Tuple[int, Dict[str, Any]]],
         workers: int,
         *,
         strict: bool,
-    ) -> SweepReport:
+        on_result: Optional[Callable[[SweepResult], None]] = None,
+    ) -> Tuple[List[SweepResult], List[str]]:
         """The ``executor="process"`` backend (see :meth:`run`)."""
         warnings: List[str] = []
+        params_by_index = dict(indexed_points)
 
-        def degrade_to_threads(reason: str, error: Exception) -> SweepReport:
+        def degrade_to_threads(
+            reason: str, error: Exception
+        ) -> Tuple[List[SweepResult], List[str]]:
             if strict:
                 if isinstance(error, SweepConfigError):
                     raise error
                 raise SweepConfigError(reason) from error
             warnings.append(f"{reason}; falling back to the thread executor")
-            analyses = self._analyses(points) if self._runner is None else {}
-            results = self._run_threads(points, workers, analyses, keep_runs=False)
-            return SweepReport(results, name=self.name, warnings=warnings)
+            if self._runner is None:
+                analyses = self._analyses([params for _, params in indexed_points])
+            else:
+                analyses = {}
+            results = self._run_threads(
+                indexed_points, workers, analyses, keep_runs=False, on_result=on_result
+            )
+            return results, warnings
 
         # -- 1. shared state must be picklable: specs (or the runner).  An
         # unsound dedup key / unshippable program degrades the whole sweep.
@@ -711,7 +856,7 @@ class Sweep:
         # then reference programs by id instead of re-shipping (potentially
         # huge) key bytes once per point.
         specs: Dict[int, ProgramSpec] = {}
-        point_spec_ids: List[Optional[int]] = []
+        spec_id_by_index: Dict[int, Optional[int]] = {}
         if self._runner is not None:
             try:
                 pickle.dumps(self._runner)
@@ -721,11 +866,11 @@ class Sweep:
                     f"({type(error).__name__}: {error})",
                     error,
                 )
-            point_spec_ids = [None] * len(points)
+            spec_id_by_index = {index: None for index, _ in indexed_points}
         else:
             try:
                 spec_ids: Dict[Tuple, int] = {}
-                for params in points:
+                for index, params in indexed_points:
                     program_params, _ = self._split(params)
                     key = _program_key(program_params, strict=True)
                     if key not in spec_ids:
@@ -733,7 +878,7 @@ class Sweep:
                         spec.ensure_picklable()
                         spec_ids[key] = len(specs)
                         specs[spec_ids[key]] = spec
-                    point_spec_ids.append(spec_ids[key])
+                    spec_id_by_index[index] = spec_ids[key]
             except SweepConfigError as error:
                 return degrade_to_threads(str(error), error)
 
@@ -742,14 +887,14 @@ class Sweep:
         # the parent instead; everything else is chunked out to the pool.
         shippable: List[Tuple[int, Optional[int], Dict[str, Any]]] = []
         local_indices: List[int] = []
-        for index, params in enumerate(points):
+        for index, params in indexed_points:
             if self._runner is not None:
                 run_params = dict(params)
             else:
                 _, run_params = self._split(params)
             offending = _unpicklable_param(run_params)
             if offending is None:
-                shippable.append((index, point_spec_ids[index], run_params))
+                shippable.append((index, spec_id_by_index[index], run_params))
             else:
                 name, value, error = offending
                 message = (
@@ -769,7 +914,22 @@ class Sweep:
         # still fails is re-run in the parent.  Aggregation is by point
         # index throughout, so the row order -- and the rows -- are
         # identical to a serial run.
-        outcomes: Dict[int, Tuple[bool, Optional[str], Dict[str, Any]]] = {}
+        outcomes: Dict[int, SweepResult] = {}
+
+        def record(index: int, ok: bool, error_text: Optional[str], metrics) -> None:
+            # a row arrives from a worker exactly once per index (a broken
+            # or failed chunk never delivered its rows), so on_result fires
+            # once per point, as the checkpoint contract requires
+            result = SweepResult(
+                index=index,
+                params=params_by_index[index],
+                ok=ok,
+                error=error_text,
+                metrics=metrics,
+            )
+            outcomes[index] = result
+            if on_result is not None:
+                on_result(result)
 
         def run_pool(
             chunks: List[List[Tuple[int, Optional[int], Dict[str, Any]]]],
@@ -791,7 +951,9 @@ class Sweep:
                     # instead of an opaque pool-breakage message.
                     pool.shutdown(cancel_futures=True)
                     if self._runner is None:
-                        self._analyses([points[index] for index, _, _ in chunk])
+                        self._analyses(
+                            [params_by_index[index] for index, _, _ in chunk]
+                        )
                     raise SweepConfigError(message) from error
                 return message
 
@@ -804,7 +966,7 @@ class Sweep:
                 for future, chunk in futures:
                     try:
                         for index, ok, error_text, metrics in future.result():
-                            outcomes[index] = (ok, error_text, metrics)
+                            record(index, ok, error_text, metrics)
                     except BrokenExecutor as error:
                         fail(chunk, error, "process pool broke")
                         broken.append(chunk)
@@ -841,29 +1003,16 @@ class Sweep:
                 local_indices.extend(index for index, _, _ in chunk)
 
         # -- 4. in-parent fallback for whatever could not be shipped, then
-        # assembly in grid order.
-        local_results: Dict[int, SweepResult] = {}
+        # assembly in the caller's order.
         if local_indices:
             local_indices.sort()
-            local_points = [points[index] for index in local_indices]
+            local_points = [params_by_index[index] for index in local_indices]
             analyses = self._analyses(local_points) if self._runner is None else {}
             for index in local_indices:
-                local_results[index] = self._run_point(
-                    index, points[index], analyses, keep_runs=False
+                result = self._run_point(
+                    index, params_by_index[index], analyses, keep_runs=False
                 )
-        results: List[SweepResult] = []
-        for index, params in enumerate(points):
-            if index in local_results:
-                results.append(local_results[index])
-            else:
-                ok, error_text, metrics = outcomes[index]
-                results.append(
-                    SweepResult(
-                        index=index,
-                        params=params,
-                        ok=ok,
-                        error=error_text,
-                        metrics=metrics,
-                    )
-                )
-        return SweepReport(results, name=self.name, warnings=warnings)
+                outcomes[index] = result
+                if on_result is not None:
+                    on_result(result)
+        return [outcomes[index] for index, _ in indexed_points], warnings

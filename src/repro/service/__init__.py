@@ -1,0 +1,58 @@
+"""The sweep service: cached, resumable, shardable parameter-grid serving.
+
+Layered on :class:`repro.api.Sweep` (which stays usable without it), this
+package turns sweep execution into a serving problem:
+
+``store``
+    content-addressed result store -- a stable sha256 digest of
+    *(program identity, point parameters, code/schema version)* maps to a
+    persisted metric row, so repeated or overlapping grids only execute
+    points never seen before, and cache hits skip compilation entirely.
+``checkpoint``
+    append-only JSONL journal of completed rows; a killed sweep resumes
+    from it, bit-identical to an uninterrupted run.
+``runner``
+    the orchestration behind ``Sweep.run(store=..., checkpoint=...)``.
+``shard``
+    split a grid into self-contained shard specs for independent
+    processes/hosts, and merge their checkpoints back bit-identically.
+``jobs``
+    a directory-spool job facade (submit / status / run / resume /
+    result) with one shared store across jobs.
+``cli``
+    ``python -m repro sweep`` over all of the above.
+"""
+
+from repro.service.checkpoint import (
+    CheckpointMismatchError,
+    SweepCheckpoint,
+    read_checkpoint,
+)
+from repro.service.jobs import JobError, JobQueue
+from repro.service.runner import run_service_sweep
+from repro.service.shard import ShardSpec, merge, run_shard, shard
+from repro.service.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    grid_digest,
+    point_key,
+    point_keys,
+)
+
+__all__ = [
+    "STORE_SCHEMA",
+    "CheckpointMismatchError",
+    "JobError",
+    "JobQueue",
+    "ResultStore",
+    "ShardSpec",
+    "SweepCheckpoint",
+    "grid_digest",
+    "merge",
+    "point_key",
+    "point_keys",
+    "read_checkpoint",
+    "run_service_sweep",
+    "run_shard",
+    "shard",
+]

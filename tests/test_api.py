@@ -7,6 +7,7 @@ import pickle
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.api import (
     Analysis,
@@ -17,6 +18,7 @@ from repro.api import (
     available_apps,
     build_app,
 )
+from repro.api.sweep import SweepReport, SweepResult
 from repro.apps.producer_consumer import (
     QUICKSTART_OIL_SOURCE,
     quickstart_registry,
@@ -534,6 +536,137 @@ class TestSweep:
         assert policy.busy == 0  # the caller's instance was never mutated
         rows = report.rows()
         assert rows[0]["completed_firings"] == rows[1]["completed_firings"]
+
+
+class TestSweepReportJson:
+    """SweepReport.from_json is the exact inverse of to_json."""
+
+    def test_roundtrip_with_failures_and_warnings(self):
+        def point(n):
+            if n == 2:
+                raise ValueError("boom")
+            return {"value": n * n, "warnings": ["synthetic degradation"]}
+
+        report = Sweep.from_callable(point, name="rt").add_axis("n", [1, 2, 3]).run()
+        restored = SweepReport.from_json(report.to_json())
+        assert restored.name == report.name
+        assert restored.warnings == report.warnings  # incl. hoisted per-point
+        assert restored.rows() == report.rows()
+        assert [r.ok for r in restored.results] == [True, False, True]
+        assert restored.results[1].error == "ValueError: boom"
+        # idempotent: the restored report re-serialises byte-identically,
+        # and a second round trip is a fixed point
+        assert restored.to_json() == report.to_json()
+        assert SweepReport.from_json(restored.to_json()).to_json() == report.to_json()
+
+    def test_real_sweep_roundtrip_every_rendering(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 50))
+            .add_axis("scheduler", [None, BoundedProcessors(1)])
+            .run()
+        )
+        restored = SweepReport.from_json(report.to_json())
+        assert restored.to_json() == report.to_json()
+        assert restored.rows() == report.rows()
+        assert restored.table() == report.table()
+        assert restored.speedup_table() == report.speedup_table()
+
+    _json_scalars = st.none() | st.booleans() | st.integers() | st.text(max_size=20) | st.floats(allow_nan=False, allow_infinity=False)
+    _values = st.recursive(
+        _json_scalars,
+        lambda children: st.lists(children, max_size=3)
+        | st.dictionaries(st.text(max_size=8), children, max_size=3),
+        max_leaves=8,
+    )
+    _keys = st.text(max_size=12).filter(lambda k: k != "warnings")
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.booleans(),
+                st.dictionaries(_keys, _values, max_size=4),
+                st.dictionaries(_keys, _values, max_size=4),
+            ),
+            max_size=6,
+        ),
+        warnings=st.lists(st.text(max_size=30), max_size=3),
+        name=st.text(max_size=20),
+    )
+    def test_roundtrip_property(self, points, warnings, name):
+        results = [
+            SweepResult(
+                index=i,
+                params=params,
+                ok=ok,
+                error=None if ok else "Error: synthetic",
+                metrics=metrics if ok else {},
+            )
+            for i, (ok, params, metrics) in enumerate(points)
+        ]
+        report = SweepReport(results, name=name, warnings=warnings)
+        restored = SweepReport.from_json(report.to_json())
+        assert restored.to_json() == report.to_json()
+        assert restored.rows() == report.rows()
+        assert restored.warnings == report.warnings
+        assert [r.ok for r in restored.results] == [r.ok for r in report.results]
+
+
+class TestWarningsPropagation:
+    """Per-point run warnings must survive every process-backend degradation
+    path, alongside the degradation's own warning (the happy path is covered
+    elsewhere; these pin the fallback paths)."""
+
+    @staticmethod
+    def _fraction_ff_axes(sweep):
+        # fast_forward on a fraction time base is refused with a per-point
+        # "integer-tick" warning on every point -- a deterministic marker
+        return sweep.add_axis("fast_forward", [True]).add_axis(
+            "time_base", ["fraction"]
+        )
+
+    def test_thread_fallback_keeps_point_warnings(self):
+        sweep = self._fraction_ff_axes(
+            Sweep("quickstart", duration=Fraction(1, 100)).add_axis(
+                "signal", [(float(i) for i in range(100))]  # unpicklable axis
+            )
+        )
+        report = sweep.run(executor="process", workers=2)
+        assert report.ok, [failure.error for failure in report.failures]
+        assert any("thread executor" in w for w in report.warnings)
+        assert any("integer-tick" in w for w in report.warnings)
+        # the run warning also stays inside the point's metric row
+        assert any(
+            "integer-tick" in w for w in report.results[0].metrics["warnings"]
+        )
+
+    def test_in_parent_rerun_keeps_point_warnings(self):
+        class LocalPolicy(SelfTimedUnbounded):
+            """Unpicklable run-axis value: forces the in-parent re-run."""
+
+        sweep = self._fraction_ff_axes(
+            Sweep("quickstart", duration=Fraction(1, 100)).add_axis(
+                "scheduler", [LocalPolicy(), BoundedProcessors(1)]
+            )
+        )
+        report = sweep.run(executor="process", workers=2)
+        assert report.ok, [failure.error for failure in report.failures]
+        assert any("running the point in-process" in w for w in report.warnings)
+        # both the degraded point and the worker-run point kept their
+        # fast-forward refusal warning
+        point_warnings = [
+            w for w in report.warnings if w.startswith("point ") and "integer-tick" in w
+        ]
+        assert len(point_warnings) == 2
+
+    def test_worker_crash_rerun_keeps_report_order(self):
+        report = (
+            Sweep.from_callable(_crash_in_worker)
+            .add_axis("n", [1, 2, 3, 4])
+            .run(executor="process", workers=2)
+        )
+        restored = SweepReport.from_json(report.to_json())
+        assert any("re-running" in w for w in restored.warnings)
+        assert restored.column("value") == [1, 2, 3, 4]
 
 
 class TestDeprecatedAliases:
