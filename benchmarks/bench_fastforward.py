@@ -21,6 +21,14 @@ application:
    (the measured gap is orders of magnitude) so noisy CI runners cannot
    trip it spuriously.
 
+3. Value-exactness -- under ``fast_forward="auto"`` (the default) the PAL
+   decoder qualifies for value-exact jumps: its RF stimulus is one declared
+   period of the composite signal and every filter/mixer/resampler exposes
+   ``get_state``.  At a short common horizon the jumped run's *sink sample
+   values* are bit-identical to the naive run's (list equality, no
+   tolerances), and the auto row covers a >= 1e6-event horizon at
+   fast-forward speed.
+
 ``BENCH_SMOKE=1`` shrinks the naive reference horizon (the only part whose
 cost scales with events) and relaxes the wall-clock floor.
 """
@@ -48,6 +56,12 @@ FF_SECONDS = (NAIVE_SECONDS, 2000, 20000)
 MAX_WALL_RATIO = 10.0 if SMOKE else 5.0
 #: Streaming-counter retention keeps the trace memory-bounded at any horizon.
 RETENTION = 4096
+#: Shortest horizon the value-exact detector jumps at (transient plus two
+#: value periods of the composite RF stimulus); sink values are compared at
+#: this horizon with unbounded retention, so it does not shrink under smoke.
+VALUE_SECONDS = 4
+#: The auto-mode table row covers at least this many events fast-forwarded.
+AUTO_SECONDS = NAIVE_SECONDS if SMOKE else 2000
 
 
 def _run(seconds, fast_forward):
@@ -65,16 +79,31 @@ def _run(seconds, fast_forward):
     return result, time.perf_counter() - started
 
 
+def _run_for_values(seconds, fast_forward):
+    # Unbounded retention: the sinks keep every consumed sample, which is
+    # what the bit-identity comparison needs.
+    started = time.perf_counter()
+    result = (
+        Program.from_app("pal_decoder")
+        .analyze()
+        .run(Fraction(seconds), trace="off", fast_forward=fast_forward)
+    )
+    return result, time.perf_counter() - started
+
+
 def test_fastforward_pal_decoder():
     naive, naive_wall = _run(NAIVE_SECONDS, fast_forward=False)
     assert not naive.fast_forwarded
 
     ff_runs = [_run(seconds, fast_forward=True) for seconds in FF_SECONDS]
+    auto_run, auto_wall = _run(AUTO_SECONDS, fast_forward="auto")
 
     rows = []
-    for label, result, wall in [("naive", naive, naive_wall)] + [
-        ("fast-forward", result, wall) for result, wall in ff_runs
-    ]:
+    for label, result, wall in (
+        [("naive", naive, naive_wall)]
+        + [("fast-forward", result, wall) for result, wall in ff_runs]
+        + [("auto (value-exact)", auto_run, auto_wall)]
+    ):
         queue = result.simulation.queue
         steady = result.simulation.engine.steady_state
         rows.append(
@@ -123,3 +152,25 @@ def test_fastforward_pal_decoder():
         f"fast-forwarded long-horizon run took {longest_wall:.2f}s against a "
         f"{naive_wall:.2f}s naive reference (allowed {MAX_WALL_RATIO}x)"
     )
+
+    # Auto mode (the default) runs the value-exact detector; the table row
+    # covers a long horizon at fast-forward speed.
+    auto_steady = auto_run.simulation.engine.steady_state
+    assert auto_steady is not None and auto_steady.value_exact
+    if not SMOKE:
+        assert auto_run.fast_forwarded
+        assert auto_run.simulation.queue.processed >= 10**6
+        assert auto_wall <= MAX_WALL_RATIO * naive_wall
+
+    # Value-exactness: at a short horizon spanning a jump, the sink sample
+    # values of the auto run are bit-identical to the naive run's.
+    naive_values, _ = _run_for_values(VALUE_SECONDS, fast_forward=False)
+    auto_values, _ = _run_for_values(VALUE_SECONDS, fast_forward="auto")
+    steady = auto_values.simulation.engine.steady_state
+    assert auto_values.fast_forwarded and steady.value_exact and steady.jumps >= 1
+    for name in naive_values.simulation.sinks:
+        naive_sink = naive_values.simulation.sinks[name].consumed
+        auto_sink = auto_values.simulation.sinks[name].consumed
+        assert naive_sink == auto_sink, (
+            f"sink {name!r}: fast_forward='auto' changed sample values"
+        )

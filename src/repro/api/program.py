@@ -83,15 +83,22 @@ class FixedSignals:
     """A stimulus factory that copies one fixed name -> signal mapping.
 
     Every run gets its own shallow copy of the mapping (the pre-facade
-    semantics for plain-dict stimuli).  A class instead of a closure for the
-    same reason as :class:`SharedRegistry`: picklability by value.
+    semantics for plain-dict stimuli); entries exposing ``fresh()``
+    (:class:`~repro.runtime.sources.Stimulus`) are rewound per run so
+    repeated runs and sweep points draw identical streams instead of
+    sharing a mutated position.  A class instead of a closure for the same
+    reason as :class:`SharedRegistry`: picklability by value.
     """
 
     def __init__(self, signals: Mapping[str, Any]) -> None:
         self.signals = dict(signals)
 
     def __call__(self) -> Dict[str, Any]:
-        return dict(self.signals)
+        copied: Dict[str, Any] = {}
+        for name, signal in self.signals.items():
+            fresh = getattr(signal, "fresh", None)
+            copied[name] = fresh() if callable(fresh) else signal
+        return copied
 
 
 def _registry_factory(registry: Optional[RegistryLike]) -> Callable[[], FunctionRegistry]:
@@ -382,7 +389,7 @@ class Analysis:
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
         time_base: Optional[TimeBaseLike] = None,
-        fast_forward: bool = False,
+        fast_forward: Union[bool, str] = "auto",
         trace_retention: Optional[int] = None,
         kernel: str = "auto",
     ) -> Simulation:
@@ -431,7 +438,7 @@ class Analysis:
         sink_start_times: Optional[Mapping[str, RationalLike]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
         time_base: Optional[TimeBaseLike] = None,
-        fast_forward: Optional[bool] = None,
+        fast_forward: Optional[Union[bool, str]] = None,
         trace_retention: Optional[int] = None,
         kernel: str = "auto",
     ) -> "RunResult":
@@ -452,13 +459,18 @@ class Analysis:
         fractions otherwise, observationally identical either way).
 
         ``horizon`` is an alternative spelling of *duration* (exactly one of
-        the two must be given) that additionally turns on steady-state
-        ``fast_forward`` unless overridden -- the natural phrasing of a long
-        run whose event count would be infeasible naively.  ``fast_forward``
-        / ``trace_retention`` / ``kernel`` are forwarded to the
-        :class:`~repro.runtime.simulator.Simulation`; configurations that
-        cannot fast-forward run naively and record why in
-        :attr:`RunResult.warnings`.
+        the two must be given) that additionally turns on timing-exact
+        steady-state ``fast_forward=True`` unless overridden -- the natural
+        phrasing of a long run whose event count would be infeasible
+        naively.  ``fast_forward`` defaults to ``"auto"`` otherwise:
+        programs whose stimuli and functions declare their jump behaviour
+        fast-forward *value-exactly* (bit-identical to a naive run), all
+        others step naively, recording structured warnings on the
+        undeclared paths (see
+        :class:`~repro.runtime.simulator.Simulation`).  ``fast_forward`` /
+        ``trace_retention`` / ``kernel`` are forwarded to the simulation;
+        configurations that cannot fast-forward run naively and record why
+        in :attr:`RunResult.warnings`.
         """
         if (duration is None) == (horizon is None):
             raise TypeError("pass exactly one of duration= or horizon=")
@@ -466,6 +478,8 @@ class Analysis:
             duration = horizon
             if fast_forward is None:
                 fast_forward = True
+        if fast_forward is None:
+            fast_forward = "auto"
         simulation = self.simulation(
             scheduler=scheduler,
             platform=platform,
@@ -477,7 +491,7 @@ class Analysis:
             sink_start_times=sink_start_times,
             capacities=capacities,
             time_base=time_base,
-            fast_forward=bool(fast_forward),
+            fast_forward=fast_forward,
             trace_retention=trace_retention,
             kernel=kernel,
         )

@@ -82,6 +82,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.api.program import Analysis, Program, RunResult
 from repro.api.spec import ProgramSpec, SweepConfigError
 from repro.util.rational import RationalLike, as_rational
+from repro.util.runwarnings import RunWarning, warning_code
 from repro.util.validation import check_positive
 
 #: Supported Sweep.run backends.
@@ -284,10 +285,16 @@ class SweepReport:
         self.service_stats: Optional[Dict[str, int]] = None
         # Per-point run degradations (fast-forward refusals/give-ups) ride
         # along inside the metric rows; hoist them here so one place lists
-        # everything that did not run as configured.
+        # everything that did not run as configured.  The hoisted copy keeps
+        # the stable warning_code of structured entries.
         for result in self.results:
             for message in result.metrics.get("warnings", ()):
-                self.warnings.append(f"point {result.index}: {message}")
+                self.warnings.append(
+                    RunWarning(
+                        f"point {result.index}: {message}",
+                        warning_code(message),
+                    )
+                )
 
     def __len__(self) -> int:
         return len(self.results)

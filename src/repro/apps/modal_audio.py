@@ -30,12 +30,32 @@ from repro.core.compiler import CompilationResult, compile_program
 from repro.cta.buffer_sizing import BufferSizingResult
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
+from repro.runtime.sources import PeriodicStimulus, Stimulus
 from repro.runtime.trace import TraceRecorder
 from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat
 
 #: Default mode schedule of the two-mode application (calibrate 3, process 5).
 DEFAULT_TWO_MODE_SCHEDULE: Tuple[Tuple[str, int], ...] = (("loop0", 3), ("loop1", 5))
+
+
+def _fixed_signal(signal):
+    """Capture a user-supplied signal once (list copy, or the stimulus)."""
+    if signal is None:
+        return None
+    if isinstance(signal, Stimulus):
+        return signal
+    return list(signal)
+
+
+def _run_signal(fixed, default):
+    """A per-run signal: the default stimulus, a rewound copy of a fixed
+    stimulus, or a fresh copy of a fixed list."""
+    if fixed is None:
+        return default()
+    if isinstance(fixed, Stimulus):
+        return fixed.fresh()
+    return list(fixed)
 
 # --------------------------------------------------------------------------
 # Application 1: mute / emit modes inside one loop (Fig. 4 pattern)
@@ -81,28 +101,33 @@ def mute_registry() -> FunctionRegistry:
         "block_level",
         lambda samples: sum(samples) / len(samples),
         description="average level of a 4-sample block (negative = bad reception)",
+        stateless=True,
     )
-    registry.register("silence", lambda: 0.0, description="emit silence")
-    registry.register("emit", lambda level: level, description="pass the level through")
+    registry.register("silence", lambda: 0.0, description="emit silence", stateless=True)
+    registry.register(
+        "emit", lambda level: level, description="pass the level through", stateless=True
+    )
     return registry
 
 
-def default_mute_signal() -> List[float]:
-    """Default stimulus: good reception / bad reception alternating per 20 ms."""
-    return ([1.0] * 160 + [-1.0] * 160) * 100
+def default_mute_signal() -> Stimulus:
+    """Default stimulus: good reception / bad reception alternating per 20 ms,
+    declared as an endless :class:`PeriodicStimulus` (the old helper returned
+    100 repetitions of the same 320-sample block as a finite list)."""
+    return PeriodicStimulus([1.0] * 160 + [-1.0] * 160)
 
 
 def mute_program(utilisation: float = 0.4, signal: Optional[Sequence[float]] = None):
     """The mute pipeline as a :class:`repro.api.Program`."""
     from repro.api.program import Program
 
-    fixed = list(signal) if signal is not None else None
+    fixed = _fixed_signal(signal)
     return Program.from_source(
         MUTE_OIL_SOURCE,
         name="modal_mute",
         function_wcets=mute_wcets(utilisation),
         registry=mute_registry,
-        signals=lambda: {"mic": list(fixed) if fixed is not None else default_mute_signal()},
+        signals=lambda: {"mic": _run_signal(fixed, default_mute_signal)},
         params={"utilisation": utilisation},
     )
 
@@ -170,19 +195,25 @@ def two_mode_registry() -> FunctionRegistry:
         "calibrate",
         lambda samples: sum(samples) / len(samples) + 100.0,
         description="calibration mode: offset output marks the mode",
+        stateless=True,
     )
     registry.register(
         "process",
         lambda samples: sum(samples) / len(samples),
         description="normal processing mode",
+        stateless=True,
     )
-    registry.register("in_calibration", lambda: False, description="mode predicate")
+    registry.register(
+        "in_calibration", lambda: False, description="mode predicate", stateless=True
+    )
     return registry
 
 
-def default_two_mode_signal() -> List[float]:
-    """Default stimulus: a repeating 16-step ramp."""
-    return [float(i % 16) for i in range(100000)]
+def default_two_mode_signal() -> Stimulus:
+    """Default stimulus: a repeating 16-step ramp, declared as an endless
+    :class:`PeriodicStimulus` (the old helper returned the same values as a
+    finite 100000-entry list)."""
+    return PeriodicStimulus([float(i) for i in range(16)])
 
 
 def two_mode_program(
@@ -197,15 +228,13 @@ def two_mode_program(
     """
     from repro.api.program import Program
 
-    fixed = list(signal) if signal is not None else None
+    fixed = _fixed_signal(signal)
     return Program.from_source(
         TWO_MODE_OIL_SOURCE,
         name="modal_two_mode",
         function_wcets=two_mode_wcets(utilisation),
         registry=two_mode_registry,
-        signals=lambda: {
-            "adc": list(fixed) if fixed is not None else default_two_mode_signal()
-        },
+        signals=lambda: {"adc": _run_signal(fixed, default_two_mode_signal)},
         mode_schedules={"TwoMode": list(mode_schedule)},
         params={"utilisation": utilisation, "mode_schedule": tuple(mode_schedule)},
     )

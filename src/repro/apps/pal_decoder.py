@@ -190,7 +190,7 @@ class PalDecoderApp:
     def program(self):
         """The decoder as a :class:`repro.api.Program` (the facade front)."""
         from repro.api.program import Program
-        from repro.dsp.pal import PALSignalGenerator
+        from repro.dsp.pal import periodic_composite_stimulus
 
         return Program.from_source(
             self.source_text(),
@@ -198,7 +198,7 @@ class PalDecoderApp:
             function_wcets=self.function_wcets(),
             black_boxes=self.black_boxes(),
             registry=self.registry,
-            signals=lambda: {"rf": PALSignalGenerator(self.signal)},
+            signals=lambda: {"rf": periodic_composite_stimulus(self.signal)},
             params={
                 "scale": self.scale,
                 "utilisation": self.utilisation,
@@ -230,30 +230,39 @@ class PalDecoderApp:
             lambda sample: mixer.process([sample])[0],
             wcet=self._wcet_for_rate(self.rf_rate),
             description="mix the audio carrier down to baseband",
+            get_state=mixer.get_state,
+            set_state=mixer.set_state,
         )
         registry.register(
             "LPF_V",
             lambda sample: video_filter.process([sample])[0],
             wcet=self._wcet_for_rate(self.rf_rate),
             description="low-pass filter keeping the video band",
+            get_state=video_filter.get_state,
+            set_state=video_filter.set_state,
         )
         registry.register(
             "LPF",
             lambda samples: audio_decimator.process(samples)[0],
             wcet=self.function_wcets()["LPF"],
             description="anti-alias filter + decimation by 25 (SRC_A)",
+            get_state=audio_decimator.get_state,
+            set_state=audio_decimator.set_state,
         )
         registry.register(
             "resamp",
             lambda samples: video_resampler.process(samples),
             wcet=self.function_wcets()["resamp"],
             description="10/16 rational resampler (SRC_V)",
+            get_state=video_resampler.get_state,
+            set_state=video_resampler.set_state,
         )
         registry.register(
             "Video",
             lambda sample: float(sample),
             wcet=self._wcet_for_rate(self.video_rate),
             description="black-box video processing (pass-through)",
+            stateless=True,
         )
 
         def audio_box(samples):
@@ -269,6 +278,8 @@ class PalDecoderApp:
             audio_box,
             wcet=self._wcet_for_rate(self.audio_rate),
             description="black-box audio processing with mute mode (decimation by 8)",
+            get_state=final_decimator.get_state,
+            set_state=final_decimator.set_state,
         )
         return registry
 

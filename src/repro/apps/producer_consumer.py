@@ -20,6 +20,7 @@ from repro.core.compiler import CompilationResult
 from repro.cta.buffer_sizing import BufferSizingResult
 from repro.runtime.functions import FunctionRegistry
 from repro.runtime.simulator import Simulation
+from repro.runtime.sources import RampStimulus, Stimulus
 from repro.runtime.trace import TraceRecorder
 from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat
@@ -55,13 +56,18 @@ def quickstart_registry() -> FunctionRegistry:
         "average2",
         lambda pair: sum(pair) / len(pair),
         description="average two consecutive sensor samples",
+        stateless=True,
     )
     return registry
 
 
-def default_signal() -> List[float]:
-    """The deterministic default stimulus: the integers, as floats."""
-    return [float(i) for i in range(1000000)]
+def default_signal() -> Stimulus:
+    """The deterministic default stimulus: the integers, as floats.
+
+    Declared as a :class:`RampStimulus` (value ``n`` is ``0.0 + n * 1.0``,
+    computed by multiplication) -- an infinite stream replacing the old
+    1e6-entry list, identical value for value over that prefix."""
+    return RampStimulus(0.0, 1.0)
 
 
 def quickstart_program(
@@ -70,13 +76,24 @@ def quickstart_program(
     """The quickstart pipeline as a :class:`repro.api.Program`."""
     from repro.api.program import Program
 
-    fixed = list(signal) if signal is not None else None
+    if signal is None:
+        fixed = None
+    elif isinstance(signal, Stimulus):
+        fixed = signal
+    else:
+        fixed = list(signal)
     return Program.from_source(
         QUICKSTART_OIL_SOURCE,
         name="quickstart",
         function_wcets=quickstart_wcets(utilisation),
         registry=quickstart_registry,
-        signals=lambda: {"samples": list(fixed) if fixed is not None else default_signal()},
+        signals=lambda: {
+            "samples": (
+                default_signal()
+                if fixed is None
+                else fixed.fresh() if isinstance(fixed, Stimulus) else list(fixed)
+            )
+        },
         params={"utilisation": utilisation},
     )
 

@@ -146,17 +146,22 @@ def fig2_registry(initial_tokens: int = INITIAL_TOKENS) -> FunctionRegistry:
     and scales its inputs, ``g`` accumulates pairs, ``init`` seeds the stream."""
     registry = FunctionRegistry()
     registry.register(
-        "init", lambda: [0.0] * initial_tokens, description="seed the initial values"
+        "init",
+        lambda: [0.0] * initial_tokens,
+        description="seed the initial values",
+        stateless=True,
     )
     registry.register(
         "f",
         lambda values: [2.0 * v + 1.0 for v in values],
         description="per-triple transformation",
+        stateless=True,
     )
     registry.register(
         "g",
         lambda values: [sum(values) / len(values)] * G_TOKENS,
         description="per-pair smoothing",
+        stateless=True,
     )
     return registry
 

@@ -71,6 +71,14 @@ class StreamingFIR:
         """Clear the delay line."""
         self._history = [0.0] * (self.taps.size - 1)
 
+    def get_state(self):
+        """The delay line as a serialisable tuple (raw input copies, so a
+        periodic input makes the state exactly periodic)."""
+        return tuple(self._history)
+
+    def set_state(self, state) -> None:
+        self._history = list(state)
+
     def process(self, samples: Sequence[float]) -> List[float]:
         """Filter *samples* and return one output per input sample."""
         if np.isscalar(samples):

@@ -9,13 +9,21 @@ persists between calls, so block-wise operation equals sample-wise operation.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from fractions import Fraction
+from typing import Any, List, Sequence
 
 import numpy as np
 
 
 class Mixer:
     """Multiply a real signal with a cosine local oscillator.
+
+    The oscillator phase argument is ``2*pi*frequency*n``; for a rational
+    ``frequency = p/q`` (read off the decimal spelling) the value stream is
+    made *exactly* periodic by wrapping the sample index modulo ``q`` --
+    ``cos`` of the very same float argument repeats bit for bit, which is
+    what lets the fast-forwarder fold :meth:`get_state` into a finite
+    periodicity key.
 
     Parameters
     ----------
@@ -29,10 +37,20 @@ class Mixer:
     def __init__(self, frequency: float, *, amplitude: float = 2.0) -> None:
         self.frequency = float(frequency)
         self.amplitude = float(amplitude)
+        #: oscillator period in samples (the denominator of the decimal
+        #: spelling of the frequency; 1.0/3 etc. just get a huge period)
+        self.period = Fraction(str(self.frequency)).denominator
         self._sample_index = 0
 
     def reset(self) -> None:
         self._sample_index = 0
+
+    def get_state(self) -> int:
+        """The oscillator position (serialisable, bounded by :attr:`period`)."""
+        return self._sample_index
+
+    def set_state(self, state: Any) -> None:
+        self._sample_index = int(state) % self.period
 
     def process(self, samples: Sequence[float]) -> List[float]:
         if np.isscalar(samples):
@@ -42,7 +60,7 @@ class Mixer:
         for sample in samples:
             phase = 2.0 * math.pi * self.frequency * self._sample_index
             outputs.append(self.amplitude * sample * math.cos(phase))
-            self._sample_index += 1
+            self._sample_index = (self._sample_index + 1) % self.period
         return outputs
 
     def __call__(self, samples: Sequence[float]) -> List[float]:

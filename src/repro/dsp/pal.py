@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from fractions import Fraction
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
+
+from repro.runtime.sources import PeriodicStimulus
 
 
 @dataclass(frozen=True)
@@ -103,6 +106,37 @@ def synthesize_composite_at(config: PALSignalConfig, start: int, count: int) -> 
         rng = np.random.default_rng(config.seed + start)
         signal += config.noise_amplitude * rng.standard_normal(count)
     return signal
+
+
+def composite_period(config: Optional[PALSignalConfig] = None) -> int:
+    """Samples per exact period of the deterministic part of the signal.
+
+    Every tone argument is ``2*pi*f*n`` with ``f`` a decimal rational
+    ``p/q``; the sum of tones repeats bit for bit after ``lcm`` of the
+    denominators (5000 samples for the default configuration)."""
+    config = config or PALSignalConfig()
+    period = 1
+    for frequency in (*config.video_tones, config.audio_carrier, config.audio_tone):
+        period = math.lcm(period, Fraction(str(float(frequency))).denominator)
+    return period
+
+
+def periodic_composite_stimulus(
+    config: Optional[PALSignalConfig] = None, *, period: Optional[int] = None
+) -> PeriodicStimulus:
+    """One period of the composite signal as a declared cyclic stimulus.
+
+    The deterministic part (tones + modulated carrier) is exactly periodic
+    in :func:`composite_period` samples; the dither noise is not, so the
+    one precomputed block freezes the first period's noise and cycles it --
+    spectrally equivalent at ``noise_amplitude`` 0.01, and *declared*, which
+    is what lets a simulation fast-forward the RF source value-exactly
+    instead of draining an opaque generator (:class:`PALSignalGenerator`,
+    kept for streaming use)."""
+    config = config or PALSignalConfig()
+    count = period if period is not None else composite_period(config)
+    block = synthesize_composite(config, count)
+    return PeriodicStimulus([float(sample) for sample in block])
 
 
 def dominant_frequency(signal: Sequence[float]) -> float:

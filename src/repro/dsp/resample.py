@@ -48,6 +48,15 @@ class RationalResampler:
         self._phase = 0
         self._pending = []
 
+    def get_state(self):
+        """Filter delay line + decimation phase as a serialisable tuple."""
+        return (self._filter.get_state(), self._phase)
+
+    def set_state(self, state) -> None:
+        history, phase = state
+        self._filter.set_state(history)
+        self._phase = int(phase)
+
     def process(self, samples: Sequence[float]) -> List[float]:
         """Resample *samples*; returns the newly available output samples."""
         if np.isscalar(samples):
@@ -93,6 +102,12 @@ class Decimator:
 
     def reset(self) -> None:
         self._resampler.reset()
+
+    def get_state(self):
+        return self._resampler.get_state()
+
+    def set_state(self, state) -> None:
+        self._resampler.set_state(state)
 
     def process(self, samples: Sequence[float]) -> List[float]:
         return self._resampler.process(samples)

@@ -269,6 +269,8 @@ class ExecutionEngine:
         sinks: Sequence["SinkDriver"] = (),
         firing_target: Optional[int] = None,
         max_states: int = 10_000,
+        value_exact: bool = False,
+        functions=None,
     ) -> Optional[str]:
         """Install the steady-state detector for a run up to *horizon*.
 
@@ -280,6 +282,13 @@ class ExecutionEngine:
         record it like a ``SweepReport`` warning.  Calling again (a second
         ``run`` on the same simulation) refreshes the horizon and firing
         target but keeps the learned state table.
+
+        ``value_exact=True`` folds buffer contents, stimulus state and the
+        state of the *functions* mapping (name -> ``FunctionSpec`` with
+        ``get_state``) into the periodicity key, making jumps exact for
+        data values too; callers must have qualified the configuration
+        first (every stimulus declared periodic, every function
+        ``jump_exact``).
         """
         from repro.engine.steady_state import SteadyState, fast_forward_refusal
 
@@ -301,6 +310,8 @@ class ExecutionEngine:
             sinks=sinks,
             firing_target=firing_target,
             max_states=max_states,
+            value_exact=value_exact,
+            functions=functions,
         )
         return None
 
@@ -798,7 +809,7 @@ def run_tasks(
     horizon=Fraction(10**9),
     trace: Optional[TraceRecorder] = None,
     time_base: Union[str, TimeBase, None] = "auto",
-    fast_forward: bool = False,
+    fast_forward: Union[bool, str] = "auto",
     kernel: str = "auto",
 ) -> EngineRun:
     """Execute *tasks* data-driven on a fresh event queue.
@@ -823,12 +834,26 @@ def run_tasks(
     ready :class:`~repro.util.rational.TimeBase` is used as given.  Traces
     are bit-identical across all choices.
 
-    ``fast_forward=True`` installs the steady-state detector
-    (:mod:`repro.engine.steady_state`): once the execution state repeats,
-    the remaining horizon is skipped in O(1) per period with exactly the
-    aggregate counters and trace a naive run would produce.  Refusals
-    (speed-migrating preemptive policies, fraction-mode queues) fall back
-    to naive execution and are recorded in ``EngineRun.warnings``.
+    ``fast_forward`` selects the steady-state detector
+    (:mod:`repro.engine.steady_state`):
+
+    * ``"auto"`` (the default) installs a *value-exact* detector when every
+      function the fleet invokes declares jump-exact behaviour
+      (``stateless``, ``jump_invariant`` or ``get_state`` -- see
+      :class:`~repro.runtime.functions.FunctionSpec`); the run is then
+      bit-identical to naive execution, data values included.  Fleets with
+      undeclared functions run naively, recording an
+      ``undeclared-function`` :class:`~repro.util.runwarnings.RunWarning`;
+      engine-level refusals fall back silently (auto never promised a
+      jump).
+    * ``True`` installs the legacy *timing-exact* detector: once the
+      execution state repeats, the remaining horizon is skipped in O(1)
+      per period with exactly the aggregate counters and trace a naive run
+      would produce, but replayed data values are periodic-stale.
+      Refusals (speed-migrating preemptive policies, fraction-mode queues)
+      are recorded in ``EngineRun.warnings``.
+    * ``False`` runs naively.
+
     ``kernel`` selects the compiled dispatch kernel (see
     :class:`ExecutionEngine`).
     """
@@ -874,7 +899,48 @@ def run_tasks(
     engine.wake_all()
     engine.schedule_dispatch()
     warnings: List[str] = []
-    if fast_forward:
+    if fast_forward == "auto":
+        from repro.util.runwarnings import RunWarning
+
+        specs = {}
+        qualified = True
+        undeclared: List[str] = []
+        for task in tasks:
+            for name in task.function_names():
+                if name in specs:
+                    continue
+                try:
+                    spec = task.registry.get(name)
+                except KeyError:
+                    # A synthetic fleet whose fallback name is unregistered:
+                    # nothing to declare on, fall back silently.
+                    qualified = False
+                    continue
+                specs[name] = spec
+                if not spec.jump_exact:
+                    qualified = False
+                    undeclared.append(name)
+        if undeclared:
+            warnings.append(
+                RunWarning(
+                    "fast-forward (auto) fell back to naive execution: "
+                    f"function(s) {', '.join(sorted(undeclared))} declare no "
+                    "jump behaviour (stateless, jump_invariant or get_state)",
+                    "undeclared-function",
+                )
+            )
+        if qualified:
+            # Value periods are multiples of the timing period, so the
+            # value-exact detector gets a larger state budget; refusals are
+            # silent -- "auto" never promised a jump.
+            engine.enable_fast_forward(
+                horizon,
+                firing_target=stop_after_firings,
+                max_states=16_384,
+                value_exact=True,
+                functions=specs,
+            )
+    elif fast_forward:
         refusal = engine.enable_fast_forward(horizon, firing_target=stop_after_firings)
         if refusal is not None:
             warnings.append(refusal)

@@ -58,58 +58,88 @@ Exactness contract
 Timing in this engine is value-independent (guards gate *data*, never token
 counts or durations), so every timing-derived quantity -- completion times,
 deadline misses, measured rates, busy/utilisation/energy accounting,
-buffer high-water marks -- is *exactly* equal to a naive simulation.  Data
-values are replayed from the canonical period: source iterators are **not**
-advanced through skipped periods, so value streams are periodic-stale
-(exact for constant/periodic stimuli).  A *finite* source that would have
-exhausted mid-skip breaks the equivalence -- fast-forward is therefore
-opt-in (``fast_forward=True``).
+buffer high-water marks -- is *exactly* equal to a naive simulation in
+either mode.  Data values come in two flavours:
+
+* **timing-exact** (legacy, ``fast_forward=True``): the key covers timing
+  state only; values are replayed from the canonical period, so streams
+  are periodic-stale (exact for constant/periodic stimuli, approximate
+  otherwise).  Finite sources that would exhaust mid-skip break the
+  equivalence -- this mode stays explicitly opt-in.
+* **value-exact** (``value_exact=True``, the ``fast_forward="auto"``
+  path): the key additionally folds in every buffer's stored values
+  (rotation-anchored, so the fold is shift-invariant), every source
+  stimulus's ``state()``, the ``get_state()`` of every declared stateful
+  function, and the in-flight input values of busy tasks.  A repeat of
+  this key proves the skipped periods are exact copies *including data*,
+  so the existing replay machinery (buffer pattern replication, sink-value
+  replay, trace replay) reproduces a naive run bit-for-bit; at the jump
+  each stimulus is advanced by ``K * per-period draws`` (an exact O(1)
+  index move for declared-periodic stimuli -- a semantic no-op modulo
+  their period, which the key repeat guarantees).  Declared function
+  state needs no touching at all: the fold guarantees the live state *is*
+  the canonical state on both sides of the jump.  Value-exact keys are
+  sha256-digested (buffer contents would make exact tuples large), and the
+  caller grants a larger ``max_states`` budget because value periods are
+  multiples of timing periods.
 
 Refusals
 --------
-:func:`fast_forward_refusal` reports (as a warning string, recorded like
-``SweepReport.warnings``) why a configuration cannot fast-forward:
-speed-migrating preemptive platform policies (rescaled remainders are not
-closed under a tick grid -- the same reason their ``time_base="auto"``
-falls back to fractions), fraction-mode queues, and policies that do not
-expose ``steady_state_key()``.  Refused runs fall back to naive simulation.
+:func:`fast_forward_refusal` reports (as a :class:`RunWarning` with a
+stable ``warning_code``, recorded like ``SweepReport.warnings``) why a
+configuration cannot fast-forward: speed-migrating preemptive platform
+policies (rescaled remainders are not closed under a tick grid -- the same
+reason their ``time_base="auto"`` falls back to fractions), fraction-mode
+queues, and policies that do not expose ``steady_state_key()``.  Refused
+runs fall back to naive simulation.  The *value-exact qualification*
+(every stimulus ``value_periodic``, every used function ``jump_exact``) is
+checked by the callers (:mod:`repro.engine.dispatcher`,
+:mod:`repro.runtime.simulator`), which emit ``undeclared-source`` /
+``undeclared-function`` warnings on the fallback paths.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dataflow.statespace import canonical_state_key
+from repro.util.runwarnings import RunWarning
 
 if TYPE_CHECKING:  # annotations only
     from repro.engine.dispatcher import ExecutionEngine
     from repro.graph.circular_buffer import CircularBuffer
+    from repro.runtime.functions import FunctionSpec
     from repro.runtime.sources import SinkDriver, SourceDriver
     from repro.runtime.tasks import RuntimeTask
 
 
 def fast_forward_refusal(policy, timebase) -> Optional[str]:
     """Why steady-state fast-forward cannot run this configuration (None
-    when it can)."""
+    when it can).  Returned values are :class:`RunWarning` strings carrying
+    a stable ``warning_code``."""
     if getattr(policy, "migrates_across_speeds", False):
-        return (
+        return RunWarning(
             f"fast-forward refused: {type(policy).__name__} resumes preempted "
             "firings across processor speeds, and rescaled remainders are not "
-            "closed under a tick grid; running naively"
+            "closed under a tick grid; running naively",
+            "speed-migrating-policy",
         )
     if timebase is None:
-        return (
+        return RunWarning(
             "fast-forward refused: the event queue runs on exact fractions; "
             "steady-state detection requires an integer-tick time base; "
-            "running naively"
+            "running naively",
+            "fraction-time-base",
         )
     if not callable(getattr(policy, "steady_state_key", None)):
-        return (
+        return RunWarning(
             f"fast-forward refused: policy {type(policy).__name__} exposes no "
             "steady_state_key(); its hidden scheduling state cannot be folded "
-            "into the periodicity key; running naively"
+            "into the periodicity key; running naively",
+            "no-steady-state-key",
         )
     return None
 
@@ -159,6 +189,8 @@ class SteadyState:
         sinks: Sequence["SinkDriver"] = (),
         firing_target: Optional[int] = None,
         max_states: int = 10_000,
+        value_exact: bool = False,
+        functions: Optional[Mapping[str, "FunctionSpec"]] = None,
     ) -> None:
         self.engine = engine
         self.queue = engine.queue
@@ -169,6 +201,20 @@ class SteadyState:
         self.sinks = tuple(sinks)
         self.firing_target = firing_target
         self.max_states = max_states
+        #: fold values, stimulus state and declared function state into the
+        #: key so a repeat proves skipped periods are exact copies (see
+        #: module doc).  The callers only enable this after qualification.
+        self.value_exact = value_exact
+        self._stateful_functions: Tuple[Tuple[str, "FunctionSpec"], ...] = tuple(
+            sorted(
+                ((name, spec) for name, spec in (functions or {}).items()
+                 if spec.get_state is not None),
+                key=lambda item: item[0],
+            )
+        )
+        #: (sink index, count): cap jumps strictly short of a
+        #: run_until_sink_count target, mirroring ``firing_target``
+        self.sink_target: Optional[Tuple[int, int]] = None
         #: replay stored trace records / sink values through skipped periods
         #: only while retention is unbounded -- a capped trace would drop
         #: them again anyway, and the streaming counters stay exact either way
@@ -252,7 +298,21 @@ class SteadyState:
                     for kind, w in windows
                 )
             )
-            buffer_items.append((buffer.name, layout))
+            if self.value_exact:
+                # Stored values, rotation-anchored at the producer floor so
+                # the fold is shift-invariant like the window layout: token
+                # index i lives in slot i % capacity, and the floor advances
+                # with the windows, so two period-equivalent states read the
+                # same sequence regardless of absolute position.
+                storage = buffer._storage
+                capacity = buffer.capacity
+                anchor = buffer._producer_floor() if buffer._producers else base
+                values = tuple(
+                    repr(storage[(anchor + k) % capacity]) for k in range(capacity)
+                )
+                buffer_items.append((buffer.name, layout, values))
+            else:
+                buffer_items.append((buffer.name, layout))
         # Pending events in execution order; the rank keeps same-instant ties
         # in sequence order (their execution order) through the sort.
         live = sorted(
@@ -299,7 +359,26 @@ class SteadyState:
         ready = tuple(sorted(engine._ready._queued))
         policy_key = self.engine.policy.steady_state_key()
         extra = self.extra_state() if self.extra_state is not None else ()
-        return key + (ready, policy_key, extra)
+        full = key + (ready, policy_key, extra)
+        if not self.value_exact:
+            return full
+        # Value-exact mode additionally folds every mutable value state in
+        # the system; the fat tuple is digested so the state table stays
+        # small even with large buffer contents and long value periods.
+        stimulus_states = tuple(
+            repr(source.values.state()) for source in self.sources
+        )
+        function_states = tuple(
+            (name, repr(spec.get_state()))
+            for name, spec in self._stateful_functions
+        )
+        inflight = tuple(
+            (index, repr(task.inflight_values))
+            for index, task in enumerate(engine.tasks)
+            if task.busy and task.inflight_values is not None
+        )
+        fat = full + (stimulus_states, function_states, inflight)
+        return (hashlib.sha256(repr(fat).encode()).digest(),)
 
     def _snapshot(self) -> _Snapshot:
         engine = self.engine
@@ -333,8 +412,11 @@ class SteadyState:
             if len(self._seen) >= self.max_states:
                 self.done = True
                 self.warnings.append(
-                    f"fast-forward gave up: no state repetition within "
-                    f"{self.max_states} sampled anchor states; running naively"
+                    RunWarning(
+                        f"fast-forward gave up: no state repetition within "
+                        f"{self.max_states} sampled anchor states; running naively",
+                        "state-table-overflow",
+                    )
                 )
                 return
             self._seen[key] = self._snapshot()
@@ -356,6 +438,16 @@ class SteadyState:
             # (and instant) a naive run would.
             remaining = self.firing_target - 1 - self.engine.completed_firings
             periods = min(periods, remaining // completed_delta)
+        if self.sink_target is not None:
+            # Same stop-short rule for run_until_sink_count: leave at least
+            # the final consumption to naive stepping so the run halts at
+            # the exact instant a naive run would.
+            sink_index, count = self.sink_target
+            sink = self.sinks[sink_index]
+            d_consumed = sink.consumed_count - snapshot.sink_stats[sink_index][0]
+            if d_consumed > 0:
+                remaining = count - 1 - sink.consumed_count
+                periods = min(periods, remaining // d_consumed)
         if periods < 1:
             return
         self._jump(snapshot, periods, delta)
@@ -433,15 +525,37 @@ class SteadyState:
             # replicate the canonical period's d-value pattern forward so
             # post-jump reads see period values (value-stale like every
             # replayed datum, but shape- and type-correct).
+            move = periods * d
             if buffer._producers:
-                floor = buffer._producer_floor()
                 storage = buffer._storage
                 capacity = buffer.capacity
-                if d <= floor < capacity:
-                    pattern_start = floor - d
-                    for k in range(capacity - floor):
-                        storage[floor + k] = storage[(pattern_start + k % d) % capacity]
-            move = periods * d
+                if self.value_exact:
+                    # Token index i lives in slot i % capacity, and every
+                    # window advances by `move`: values resident across the
+                    # jump must move to the slots their new indices map to.
+                    # The canonical period guarantees value(i) == value(i -
+                    # move), so rotating the whole ring forward by `move`
+                    # realigns every live token (and touches only slots that
+                    # are either rewritten before the next read or outside
+                    # the readable window).
+                    rotation = move % capacity
+                    if rotation:
+                        storage[:] = storage[-rotation:] + storage[:-rotation]
+                else:
+                    # Value-stale mode: indices below the producer floor have
+                    # been written -- unless the buffer is oversized and
+                    # never wrapped, in which case the slots ahead of the
+                    # floor still hold their uninitialised None.  A naive run
+                    # would have filled them during the skipped periods;
+                    # replicate the canonical period's d-value pattern
+                    # forward so post-jump reads see period values
+                    # (value-stale like every replayed datum, but shape- and
+                    # type-correct).
+                    floor = buffer._producer_floor()
+                    if d <= floor < capacity:
+                        pattern_start = floor - d
+                        for k in range(capacity - floor):
+                            storage[floor + k] = storage[(pattern_start + k % d) % capacity]
             for table in (buffer._producers, buffer._consumers):
                 for window in table.values():
                     if self._retired(window):
@@ -459,6 +573,12 @@ class SteadyState:
         for source, (d_produced, d_dropped) in zip(self.sources, source_deltas):
             source.produced += periods * d_produced
             source.dropped += periods * d_dropped
+            if self.value_exact:
+                # One draw per tick, hit or dropped.  For the declared
+                # periodic stimuli that qualify for value-exact mode this is
+                # an O(1) index move -- and a provable no-op modulo the
+                # stimulus period, since the key repeat folded its state.
+                source.values.advance(periods * (d_produced + d_dropped))
         for sink, (d_consumed, d_misses, stored_before) in zip(self.sinks, sink_deltas):
             sink.consumed_count += periods * d_consumed
             sink.misses += periods * d_misses

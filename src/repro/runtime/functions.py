@@ -37,7 +37,30 @@ from repro.util.rational import Rat, RationalLike, as_rational
 
 @dataclass
 class FunctionSpec:
-    """A registered coordination function."""
+    """A registered coordination function.
+
+    The jump-behaviour declarations (``stateless``, ``jump_invariant``,
+    ``get_state`` / ``set_state`` / ``replay``) tell the steady-state
+    fast-forwarder (:mod:`repro.engine.steady_state`) how the function's
+    internal state behaves when firings are skipped:
+
+    * ``stateless`` -- the callable holds no mutable state at all,
+    * ``jump_invariant`` -- it has state, but the state after ``k`` skipped
+      invocations equals the state now for every ``k`` the detector would
+      skip (e.g. a saturating flag that has long converged),
+    * ``get_state`` / ``set_state`` -- expose the state as a serialisable
+      value; the fast-forwarder folds it into its periodicity key, so a
+      jump is only taken when the state provably repeats -- making the jump
+      exact without touching the state,
+    * ``replay(k)`` -- re-derive the state of ``k`` skipped invocations for
+      input-independent state evolutions (offered for completeness; replay
+      alone does **not** qualify for value-exact jumps, because a state that
+      is not folded into the key could differ between period instances).
+
+    Functions declaring none of these are *undeclared*: under
+    ``fast_forward="auto"`` the run falls back to naive stepping with an
+    ``undeclared-function`` warning.
+    """
 
     name: str
     callable: Callable[..., Any]
@@ -46,6 +69,24 @@ class FunctionSpec:
     side_effect_free: bool = True
     #: free-form description for reports
     description: str = ""
+    #: declared jump behaviour (see class docstring)
+    stateless: bool = False
+    jump_invariant: bool = False
+    get_state: Optional[Callable[[], Any]] = None
+    set_state: Optional[Callable[[Any], None]] = None
+    replay: Optional[Callable[[int], None]] = None
+
+    @property
+    def jump_exact(self) -> bool:
+        """True when a steady-state jump provably preserves this function's
+        semantics: no state, state invariant under jumps, or state exposed
+        for folding into the periodicity key."""
+        return self.stateless or self.jump_invariant or self.get_state is not None
+
+    @property
+    def declared(self) -> bool:
+        """True when any jump behaviour was declared at all."""
+        return self.jump_exact or self.replay is not None
 
 
 class FunctionRegistry:
@@ -62,14 +103,28 @@ class FunctionRegistry:
         wcet: RationalLike = 0,
         side_effect_free: bool = True,
         description: str = "",
+        stateless: bool = False,
+        jump_invariant: bool = False,
+        get_state: Optional[Callable[[], Any]] = None,
+        set_state: Optional[Callable[[Any], None]] = None,
+        replay: Optional[Callable[[int], None]] = None,
     ) -> FunctionSpec:
-        """Register (or replace) a function implementation."""
+        """Register (or replace) a function implementation.
+
+        The keyword-only jump declarations are documented on
+        :class:`FunctionSpec`; leaving them all unset marks the function
+        *undeclared* (value-exact fast-forward then falls back to naive)."""
         spec = FunctionSpec(
             name=name,
             callable=callable,
             wcet=as_rational(wcet),
             side_effect_free=side_effect_free,
             description=description,
+            stateless=stateless,
+            jump_invariant=jump_invariant,
+            get_state=get_state,
+            set_state=set_state,
+            replay=replay,
         )
         self._functions[name] = spec
         return spec
@@ -139,9 +194,12 @@ def default_registry(extra: Optional[Mapping[str, Callable[..., Any]]] = None) -
     """A registry pre-populated with trivial pass-through helpers used by the
     small examples (``init``, ``copy``, ``ident``)."""
     registry = FunctionRegistry()
-    registry.register("ident", lambda value: value, description="identity")
+    registry.register("ident", lambda value: value, description="identity", stateless=True)
     registry.register(
-        "copy", lambda value: value, description="copy a value to an output stream"
+        "copy",
+        lambda value: value,
+        description="copy a value to an output stream",
+        stateless=True,
     )
     for name, func in (extra or {}).items():
         registry.register(name, func)

@@ -22,7 +22,6 @@ supplied by the caller -- the adversarial mode sequences of experiment E10.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
@@ -35,11 +34,12 @@ from repro.graph.taskgraph import Access, Task, TaskGraph
 from repro.lang import ast
 from repro.lang.semantics import BlackBoxModule
 from repro.runtime.events import EventQueue
-from repro.runtime.functions import FunctionRegistry
-from repro.runtime.sources import SinkDriver, SourceDriver
+from repro.runtime.functions import FunctionRegistry, FunctionSpec
+from repro.runtime.sources import SinkDriver, SourceDriver, Stimulus
 from repro.runtime.tasks import OilRuntimeError, RuntimeTask
 from repro.runtime.trace import TraceRecorder
 from repro.util.rational import Rat, TimeBase, as_rational
+from repro.util.runwarnings import RunWarning
 
 if TYPE_CHECKING:  # annotation only -- repro.platform imports the engine
     from repro.platform.model import Platform
@@ -47,10 +47,6 @@ if TYPE_CHECKING:  # annotation only -- repro.platform imports the engine
 #: A mode schedule: per module instance path (or module name), the cyclic list
 #: of (loop identifier, iteration quota) phases.
 ModeSchedule = Mapping[str, Sequence[Tuple[str, int]]]
-
-
-def _counting_signal() -> Iterator[int]:
-    return itertools.count()
 
 
 @dataclass
@@ -200,15 +196,28 @@ class Simulation:
         program's durations and used as given.  Traces are bit-identical
         across all choices.
     fast_forward:
-        Enable online steady-state detection and O(1) period skipping
-        (:mod:`repro.engine.steady_state`) for :meth:`run`.  Timing-derived
-        results (completion times, misses, rates, busy accounting) stay
-        exactly equal to a naive run; data values are replayed from the
-        canonical period, so finite or aperiodic source signals are the
-        caller's responsibility -- hence opt-in.  Configurations that cannot
-        fast-forward (fraction-mode queues, speed-migrating preemptive
-        policies) fall back to naive execution and record the reason in
-        :attr:`warnings`.
+        Online steady-state detection and O(1) period skipping
+        (:mod:`repro.engine.steady_state`):
+
+        * ``"auto"`` (default) engages a *value-exact* detector when the
+          program qualifies -- every source stimulus declared periodic in
+          value (:class:`~repro.runtime.sources.Stimulus`) and every
+          coordinated function declaring jump-exact behaviour
+          (:class:`~repro.runtime.functions.FunctionSpec`).  Qualified
+          runs are bit-identical to naive execution, data values
+          included.  Unqualified runs step naively; auto-wrapped bare
+          iterators and undeclared functions record ``undeclared-source``
+          / ``undeclared-function`` warnings, while declared-but-aperiodic
+          stimuli and engine-level refusals fall back silently.
+        * ``True`` engages the legacy *timing-exact* detector for
+          :meth:`run`.  Timing-derived results (completion times, misses,
+          rates, busy accounting) stay exactly equal to a naive run; data
+          values are replayed from the canonical period, so finite or
+          aperiodic source signals are the caller's responsibility.
+          Configurations that cannot fast-forward (fraction-mode queues,
+          speed-migrating preemptive policies) record the reason in
+          :attr:`warnings`.
+        * ``False`` always steps naively.
     trace_retention:
         Keep only the most recent N records per trace stream (see
         :class:`~repro.runtime.trace.TraceRecorder`); ``None`` (default)
@@ -228,7 +237,7 @@ class Simulation:
         result: CompilationResult,
         registry: FunctionRegistry,
         *,
-        source_signals: Optional[Mapping[str, Union[Iterable, Callable[[], Iterator]]]] = None,
+        source_signals: Optional[Mapping[str, Union[Stimulus, Iterable, Callable[[], Iterator]]]] = None,
         capacities: Optional[Mapping[str, Optional[int]]] = None,
         default_capacity: int = 64,
         mode_schedules: Optional[ModeSchedule] = None,
@@ -239,7 +248,7 @@ class Simulation:
         dispatcher: str = "ready-set",
         trace_level: str = "full",
         time_base: Union[str, TimeBase] = "auto",
-        fast_forward: bool = False,
+        fast_forward: Union[bool, str] = "auto",
         trace_retention: Optional[int] = None,
         kernel: str = "auto",
     ) -> None:
@@ -263,6 +272,9 @@ class Simulation:
         #: fast-forward refusals recorded for this simulation (see the
         #: ``warnings`` property for the merged view)
         self._warnings: List[str] = []
+        #: cached auto-mode qualification: (qualified, function specs);
+        #: computed once at the first install so warnings appear once
+        self._auto_setup: Optional[Tuple[bool, Dict[str, FunctionSpec]]] = None
         self.default_capacity = default_capacity
         self.mode_schedules = dict(mode_schedules or {})
         self.sink_start_times = {k: as_rational(v) for k, v in (sink_start_times or {}).items()}
@@ -494,18 +506,14 @@ class Simulation:
             buffer = CircularBuffer(f"{path}/{source.name}", capacity)
             self.buffers[buffer.name] = buffer
             local[source.name] = buffer
-            signal = self._signals.get(source.name)
-            if signal is None:
-                iterator: Iterator = _counting_signal()
-            elif callable(signal) and not hasattr(signal, "__next__") and not hasattr(signal, "__iter__"):
-                iterator = signal()
-            else:
-                iterator = iter(signal)  # type: ignore[arg-type]
+            # SourceDriver normalises any legacy signal spelling (None,
+            # list, factory, bare iterator) into a Stimulus; see
+            # repro.runtime.sources.as_stimulus.
             driver = SourceDriver(
                 name=source.name,
                 buffer=buffer,
                 period=Fraction(1) / Fraction(source.frequency_hz),
-                values=iterator,
+                values=self._signals.get(source.name),
                 trace=self.trace,
                 queue=self.queue,
                 on_change=self._schedule_dispatch,
@@ -691,7 +699,85 @@ class Simulation:
             )
         return tuple(items)
 
+    def _value_exact_qualification(self) -> Tuple[bool, Dict[str, FunctionSpec]]:
+        """Qualify the program for value-exact fast-forward.
+
+        Qualified means: every source stimulus is declared value-periodic
+        and every function the fleet can invoke declares jump-exact
+        behaviour.  The two *undeclared* situations -- a deprecated bare
+        iterator that had to be auto-wrapped, and a function with no
+        declaration at all -- record structured warnings; declared-but-
+        aperiodic stimuli (ramps, generator factories, finite lists) and
+        unregistered fallback names disqualify silently (the user declared
+        exactly what the stream is; auto simply cannot jump it).
+        """
+        qualified = True
+        undeclared_sources: List[str] = []
+        for name, driver in sorted(self.sources.items()):
+            stimulus = driver.values
+            if getattr(stimulus, "auto_wrapped", False):
+                qualified = False
+                undeclared_sources.append(name)
+            elif not stimulus.value_periodic:
+                qualified = False
+        specs: Dict[str, FunctionSpec] = {}
+        undeclared_functions: List[str] = []
+        for task in self.engine.tasks:
+            for fname in task.function_names():
+                if fname in specs:
+                    continue
+                try:
+                    spec = self.registry.get(fname)
+                except KeyError:
+                    qualified = False
+                    continue
+                specs[fname] = spec
+                if not spec.jump_exact:
+                    qualified = False
+                    if fname not in undeclared_functions:
+                        undeclared_functions.append(fname)
+        if undeclared_sources:
+            self._warnings.append(
+                RunWarning(
+                    "fast-forward (auto) fell back to naive execution: "
+                    f"source(s) {', '.join(undeclared_sources)} wrap a bare "
+                    "iterator that cannot be advanced through a jump; pass a "
+                    "Stimulus (or a zero-argument factory) instead",
+                    "undeclared-source",
+                )
+            )
+        if undeclared_functions:
+            self._warnings.append(
+                RunWarning(
+                    "fast-forward (auto) fell back to naive execution: "
+                    f"function(s) {', '.join(sorted(undeclared_functions))} "
+                    "declare no jump behaviour (stateless, jump_invariant or "
+                    "get_state)",
+                    "undeclared-function",
+                )
+            )
+        return qualified, specs
+
     def _install_fast_forward(self, horizon: Rat) -> None:
+        if self.fast_forward == "auto":
+            if self._auto_setup is None:
+                self._auto_setup = self._value_exact_qualification()
+            qualified, specs = self._auto_setup
+            if not qualified:
+                return
+            # Engine-level refusals are silent under auto ("auto" never
+            # promised a jump); the value-exact detector gets a larger state
+            # budget because value periods are multiples of timing periods.
+            self.engine.enable_fast_forward(
+                horizon,
+                extra_state=self._mode_state,
+                sources=list(self.sources.values()),
+                sinks=list(self.sinks.values()),
+                max_states=16_384,
+                value_exact=True,
+                functions=specs,
+            )
+            return
         refusal = self.engine.enable_fast_forward(
             horizon,
             extra_state=self._mode_state,
@@ -741,16 +827,25 @@ class Simulation:
     ) -> TraceRecorder:
         """Run until *sink* consumed *count* values (or *max_time* elapsed).
 
-        Always steps naively: a steady-state jump could overshoot the
-        requested count, so fast-forward applies to :meth:`run` only (a
-        detector installed by an earlier ``run`` is parked by zeroing its
-        horizon; the next ``run`` re-arms it).
+        Value-exact programs (``fast_forward="auto"``, qualified) may
+        fast-forward here too: jumps are capped strictly short of the
+        requested count (the final consumptions run naively), so the run
+        halts at the exact instant -- with the exact sink values -- a naive
+        run would.  A *timing-exact* detector (``fast_forward=True``) could
+        overshoot with stale values, so it is parked by zeroing its horizon
+        for the duration of this call; the next :meth:`run` re-arms it.
         """
         max_time = as_rational(max_time)
         self._start_drivers()
+        if self.fast_forward == "auto":
+            self._install_fast_forward(max_time)
         steady = self.engine.steady_state
+        value_exact = steady is not None and steady.value_exact
         if steady is not None:
-            steady.horizon = 0
+            if value_exact:
+                steady.sink_target = (list(self.sinks).index(sink), count)
+            else:
+                steady.horizon = 0
         target = self.sinks[sink]
         queue = self.queue
         # Step in the queue's native units: on a tick base the step is at
@@ -763,8 +858,19 @@ class Simulation:
         else:
             end = max_time
             step = max_time / 64
-        while queue.now < end and target.consumed_count < count:
-            queue.run_until(min(queue.now + step, end))
-            if queue.empty():
-                break
+        try:
+            while queue.now < end and target.consumed_count < count:
+                # Chunk boundaries are absolute multiples of the step, not
+                # ``now + step``: a fast-forward jump lands between grid
+                # points, and anchoring at ``now`` would shift every later
+                # boundary -- the run would halt at a different instant (and
+                # with a different overshoot) than a naive run.  On the
+                # absolute grid both runs stop at the same boundary.
+                boundary = (queue.now // step + 1) * step
+                queue.run_until(min(boundary, end))
+                if queue.empty():
+                    break
+        finally:
+            if value_exact:
+                steady.sink_target = None
         return self.trace

@@ -6,7 +6,7 @@ communicate with the rest of the application through circular buffers with
 FIFO semantics.  The runtime drivers implemented here:
 
 * a :class:`SourceDriver` produces one sample per period, taking the values
-  from a user-supplied generator (e.g. the synthetic PAL RF signal); when the
+  from a :class:`Stimulus` (e.g. the synthetic PAL RF signal); when the
   buffer is full at a trigger instant the sample is *dropped* and a
   ``source-overflow`` violation is recorded -- this is exactly the real-time
   failure the buffer-sizing analysis must exclude,
@@ -20,18 +20,281 @@ Both drivers convert their period (and offsets) into the event queue's native
 time units once, at :meth:`start`: on a tick-based queue the per-period hot
 path then only adds integers.  Trace timestamps are recorded as exact
 rational seconds regardless of the queue's representation.
+
+The stimulus model
+------------------
+A source's value stream is a :class:`Stimulus`: ``next()`` draws the next
+sample, ``advance(k)`` skips ``k`` draws -- in O(1) for the closed-form
+stimuli (:class:`ConstantStimulus`, :class:`PeriodicStimulus`,
+:class:`RampStimulus`), by replaying ``k`` draws for generator-backed ones
+(:class:`GeneratorStimulus`) -- and ``state()`` / ``restore()`` round-trip
+the stream position through a serialisable value.  The declaration is what
+lets the steady-state fast-forwarder (:mod:`repro.engine.steady_state`)
+fold the stream position into its periodicity key and advance the stream
+exactly through a jump, making jumps *value*-exact and not just
+timing-exact.  :func:`as_stimulus` adapts the legacy signal spellings
+(``None``, lists, factories); bare iterators still work behind a
+deprecation shim.
 """
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.graph.circular_buffer import CircularBuffer
 from repro.runtime.events import EventQueue
 from repro.runtime.trace import TraceRecorder
+from repro.util.deprecation import warn_deprecated
 from repro.util.rational import Rat, as_rational
+
+
+# --------------------------------------------------------------------------
+# Stimuli
+# --------------------------------------------------------------------------
+
+class Stimulus:
+    """A declared source value stream.
+
+    Subclasses implement ``next()`` (draw one sample) and the jump support:
+    ``advance(k)`` must leave the stream in exactly the state ``k``
+    sequential ``next()`` calls would -- the closed-form stimuli do this in
+    O(1) -- and ``state()`` / ``restore(state)`` round-trip the stream
+    position through a serialisable value.
+
+    ``value_periodic`` declares that the stream's *state space* is finite
+    and the values exactly periodic in it: only then can the steady-state
+    detector fold ``state()`` into its periodicity key and prove a jump
+    value-exact.  Aperiodic stimuli (ramps, generators) keep working --
+    they simply disqualify the value-exact path and the run falls back to
+    naive stepping under ``fast_forward="auto"``.
+    """
+
+    #: True when the stream is exactly periodic in value (finite state
+    #: space folded into the fast-forward periodicity key)
+    value_periodic: bool = False
+
+    def next(self) -> Any:
+        """Draw the next sample.  Raises :class:`StopIteration` when a
+        finite stream is exhausted (the driver then stops producing)."""
+        raise NotImplementedError
+
+    def advance(self, k: int) -> None:
+        """Skip *k* draws, exactly as if ``next()`` had been called *k*
+        times (values discarded).  Closed-form subclasses override this
+        with an O(1) computation."""
+        for _ in range(k):
+            self.next()
+
+    def state(self) -> Any:
+        """The serialisable stream position (see :meth:`restore`)."""
+        raise NotImplementedError
+
+    def restore(self, state: Any) -> None:
+        """Reset the stream to a position captured by :meth:`state`."""
+        raise NotImplementedError
+
+    def fresh(self) -> "Stimulus":
+        """An independent, rewound copy for a new run.  Stimuli that cannot
+        rewind (bare-iterator adapters) return themselves -- the legacy
+        shared-iterator semantics."""
+        return self
+
+
+class ConstantStimulus(Stimulus):
+    """The same value on every draw (``itertools.repeat`` declared)."""
+
+    value_periodic = True
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def next(self) -> Any:
+        return self.value
+
+    def advance(self, k: int) -> None:
+        pass
+
+    def state(self) -> Any:
+        return None
+
+    def restore(self, state: Any) -> None:
+        pass
+
+    def fresh(self) -> "ConstantStimulus":
+        return self  # stateless: safe to share between runs
+
+
+class PeriodicStimulus(Stimulus):
+    """An endless cycle over a finite block of values (``itertools.cycle``
+    declared): draw ``n`` is ``values[n % len(values)]``."""
+
+    value_periodic = True
+
+    def __init__(self, values: Iterable[Any], *, index: int = 0) -> None:
+        self.values = list(values)
+        if not self.values:
+            raise ValueError("PeriodicStimulus needs at least one value")
+        #: draws per value period
+        self.period = len(self.values)
+        self._start_index = index % self.period
+        self._index = self._start_index
+
+    def next(self) -> Any:
+        value = self.values[self._index]
+        self._index = (self._index + 1) % self.period
+        return value
+
+    def advance(self, k: int) -> None:
+        self._index = (self._index + k) % self.period
+
+    def state(self) -> int:
+        return self._index
+
+    def restore(self, state: Any) -> None:
+        self._index = int(state) % self.period
+
+    def fresh(self) -> "PeriodicStimulus":
+        clone = _copy.copy(self)
+        clone._index = clone._start_index
+        return clone
+
+
+class RampStimulus(Stimulus):
+    """The affine stream ``start + n * step`` (draw index ``n``).
+
+    The value of draw ``n`` is *defined* as ``start + n * step`` -- computed
+    by multiplication, so ``advance(k)`` and ``k`` sequential ``next()``
+    calls are bit-identical even for float steps.  With the default
+    ``RampStimulus(0, 1)`` this reproduces the legacy ``itertools.count()``
+    source.  Never ``value_periodic``: the values do not repeat, so ramps
+    disqualify value-exact fast-forward (the run steps naively).
+    """
+
+    value_periodic = False
+
+    def __init__(self, start: Any = 0, step: Any = 1) -> None:
+        self.start = start
+        self.step = step
+        self._index = 0
+
+    def next(self) -> Any:
+        value = self.start + self._index * self.step
+        self._index += 1
+        return value
+
+    def advance(self, k: int) -> None:
+        self._index += k
+
+    def state(self) -> int:
+        return self._index
+
+    def restore(self, state: Any) -> None:
+        self._index = int(state)
+
+    def fresh(self) -> "RampStimulus":
+        return RampStimulus(self.start, self.step)
+
+
+class GeneratorStimulus(Stimulus):
+    """Adapter for iterator- or factory-backed streams.
+
+    Construct it from a zero-argument *factory* (``lambda: iter(...)`` or a
+    generator function) to get the full protocol: ``advance(k)`` replays
+    ``k`` draws and ``state()`` / ``restore()`` record and re-derive the
+    draw count from a fresh iterator.  Construct it from a bare iterator
+    and the stream still drains normally, but ``state()`` / ``restore()``
+    raise (the iterator cannot be rewound) -- this is the adapter
+    :func:`as_stimulus` auto-wraps deprecated bare-iterator signals in.
+    """
+
+    value_periodic = False
+
+    def __init__(self, source: Union[Iterator[Any], Callable[[], Iterable[Any]]],
+                 *, auto_wrapped: bool = False) -> None:
+        if callable(source) and not hasattr(source, "__next__") and not hasattr(source, "__iter__"):
+            self._factory: Optional[Callable[[], Iterable[Any]]] = source
+            self._iterator = iter(source())
+        else:
+            self._factory = None
+            self._iterator = iter(source)  # type: ignore[arg-type]
+        #: draws taken so far (the serialisable position of factory streams)
+        self.draws = 0
+        #: True when :func:`as_stimulus` wrapped a deprecated bare iterator;
+        #: the auto fast-forward path reports these as ``undeclared-source``
+        self.auto_wrapped = auto_wrapped
+
+    def next(self) -> Any:
+        value = next(self._iterator)  # StopIteration propagates: finite stream
+        self.draws += 1
+        return value
+
+    def advance(self, k: int) -> None:
+        iterator = self._iterator
+        for _ in range(k):
+            next(iterator)
+        self.draws += k
+
+    def _require_factory(self) -> None:
+        if self._factory is None:
+            raise ValueError(
+                "a GeneratorStimulus wrapped around a bare iterator cannot "
+                "serialise its position; construct it from a zero-argument "
+                "factory to enable state()/restore()"
+            )
+
+    def state(self) -> int:
+        self._require_factory()
+        return self.draws
+
+    def restore(self, state: Any) -> None:
+        self._require_factory()
+        self._iterator = iter(self._factory())  # type: ignore[misc]
+        self.draws = 0
+        self.advance(int(state))
+
+    def fresh(self) -> "GeneratorStimulus":
+        if self._factory is None:
+            return self  # cannot rewind: legacy shared-iterator semantics
+        return GeneratorStimulus(self._factory, auto_wrapped=self.auto_wrapped)
+
+
+def as_stimulus(signal: Any) -> Stimulus:
+    """Normalise a source signal argument into a :class:`Stimulus`.
+
+    Resolution order:
+
+    * ``None`` -- the counting default: ``RampStimulus(0, 1)``,
+    * a :class:`Stimulus` -- used as given,
+    * a zero-argument callable (no ``__next__`` / ``__iter__``) -- the
+      factory spelling: wrapped in a :class:`GeneratorStimulus` that keeps
+      the factory, enabling ``state()`` / ``restore()``; a factory
+      returning a :class:`Stimulus` yields that stimulus directly,
+    * an object with ``__next__`` (a bare iterator / generator) --
+      **deprecated**: auto-wrapped in a :class:`GeneratorStimulus` with a
+      :class:`DeprecationWarning`; declare a stimulus (or pass a factory)
+      instead,
+    * any other iterable (list, tuple, array) -- wrapped silently in a
+      :class:`GeneratorStimulus` (finite ad-hoc data keeps its legacy
+      run-to-exhaustion semantics).
+    """
+    if signal is None:
+        return RampStimulus(0, 1)
+    if isinstance(signal, Stimulus):
+        return signal
+    if callable(signal) and not hasattr(signal, "__next__") and not hasattr(signal, "__iter__"):
+        probe = signal()
+        if isinstance(probe, Stimulus):
+            return probe
+        return GeneratorStimulus(signal)
+    if hasattr(signal, "__next__"):
+        warn_deprecated(
+            "a bare-Iterator source signal", "repro.runtime.sources.GeneratorStimulus"
+        )
+        return GeneratorStimulus(signal, auto_wrapped=True)
+    return GeneratorStimulus(iter(signal))
 
 
 @dataclass
@@ -41,7 +304,9 @@ class SourceDriver:
     name: str
     buffer: CircularBuffer
     period: Rat
-    values: Iterator[Any]
+    #: the value stream; any legacy spelling (iterator, list, factory,
+    #: ``None``) is normalised through :func:`as_stimulus` at construction
+    values: Any
     trace: TraceRecorder
     queue: EventQueue
     start_offset: Rat = Fraction(0)
@@ -51,6 +316,9 @@ class SourceDriver:
     on_change: Optional[Callable[[], None]] = None
     #: True once the periodic tick chain has been scheduled
     launched: bool = False
+
+    def __post_init__(self) -> None:
+        self.values = as_stimulus(self.values)
 
     def start(self) -> None:
         """Register the producer window and schedule the periodic ticks.
@@ -72,7 +340,7 @@ class SourceDriver:
     def _tick(self) -> None:
         queue = self.queue
         try:
-            value = next(self.values)
+            value = self.values.next()
         except StopIteration:
             return  # finite stimulus exhausted: stop producing
         trace = self.trace

@@ -187,9 +187,51 @@ class RuntimeTask:
         # Window bindings for the compiled kernel (see bind_windows).
         self._read_windows: List[tuple] = []
         self._write_windows: List[tuple] = []
+        #: the input values of the in-flight firing (None while idle); the
+        #: value-exact fast-forward key folds them in -- a busy task's
+        #: pending body runs on exactly these values after a jump
+        self.inflight_values: Optional[Dict[str, Any]] = None
+        self._function_names: Optional[frozenset] = None
 
     def producer_key(self) -> str:
         return self._key
+
+    def function_names(self) -> frozenset:
+        """Names of every registry function this task can invoke: the
+        statement body, the guard expression, and the synthetic black-box
+        fallback.  The value-exact fast-forward qualification checks the
+        jump declarations of exactly this set."""
+        if self._function_names is not None:
+            return self._function_names
+        names: set = set()
+
+        def walk(expression: ast.Expression) -> None:
+            if isinstance(expression, ast.FunctionExpr):
+                names.add(expression.name)
+                for argument in expression.arguments:
+                    if isinstance(argument, ast.InArgument):
+                        walk(argument.expression)
+            elif isinstance(expression, ast.UnaryOp):
+                walk(expression.operand)
+            elif isinstance(expression, ast.BinaryOp):
+                walk(expression.left)
+                walk(expression.right)
+
+        statement = self.task.statement
+        if isinstance(statement, ast.Assignment):
+            walk(statement.expression)
+        elif isinstance(statement, ast.FunctionCall):
+            names.add(statement.name)
+            for argument in statement.arguments:
+                if isinstance(argument, ast.InArgument):
+                    walk(argument.expression)
+        else:
+            # Synthetic / black-box tasks call one registered function.
+            names.add(self.task.function or self.name)
+        if self.task.guard is not None:
+            walk(self.task.guard)
+        self._function_names = frozenset(names)
+        return self._function_names
 
     def bind_windows(self) -> None:
         """Resolve this task's window objects once (compiled-kernel setup).
@@ -232,6 +274,7 @@ class RuntimeTask:
             data = buffer.consume(key, count)
             values[name] = data if count > 1 else data[0]
         self.busy = True
+        self.inflight_values = values
         return values
 
     def finish_firing(self, values: Dict[str, Any]) -> bool:
@@ -256,6 +299,7 @@ class RuntimeTask:
             buffer.produce(key, produced, count)
 
         self.busy = False
+        self.inflight_values = None
         self.completed_firings += 1
         self.phase_firings += 1
         if self.one_shot:
@@ -280,6 +324,7 @@ class RuntimeTask:
             data = buffer.consume_window(window, count)
             values[name] = data if count > 1 else data[0]
         self.busy = True
+        self.inflight_values = values
         return values
 
     def finish_firing_fast(self, values: Dict[str, Any]) -> bool:
@@ -302,6 +347,7 @@ class RuntimeTask:
             buffer.produce_window(window, produced, count)
 
         self.busy = False
+        self.inflight_values = None
         self.completed_firings += 1
         self.phase_firings += 1
         if self.one_shot:

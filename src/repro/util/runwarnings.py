@@ -1,0 +1,52 @@
+"""Structured run warnings with stable machine-readable codes.
+
+Fast-forward refusals and give-ups have always been plain strings on
+``RunResult.warnings`` / ``SweepReport.warnings``.  :class:`RunWarning`
+keeps that contract -- it *is* a ``str``, so substring assertions, report
+rendering and JSON serialisation are unchanged -- while carrying a stable
+``warning_code`` that callers can branch on without parsing free text.
+
+Codes currently emitted:
+
+``undeclared-source``
+    A source wraps a bare iterator that cannot be advanced through a
+    steady-state jump (auto mode fell back to naive execution).
+``undeclared-function``
+    A coordinated function declares no jump behaviour (``stateless``,
+    ``jump_invariant`` or ``get_state``); auto mode fell back to naive.
+``speed-migrating-policy`` / ``fraction-time-base`` / ``no-steady-state-key``
+    The engine-level refusals of :func:`repro.engine.steady_state.fast_forward_refusal`.
+``state-table-overflow``
+    The detector sampled ``max_states`` anchor states without a repeat.
+"""
+
+from __future__ import annotations
+
+
+class RunWarning(str):
+    """A warning message with a stable machine-readable ``warning_code``.
+
+    Subclasses ``str`` so every existing consumer keeps working; the code
+    travels alongside, including through pickling (the process sweep
+    backend ships metric rows by pickle).
+    """
+
+    warning_code: str
+
+    def __new__(cls, message: str, code: str = "") -> "RunWarning":
+        self = super().__new__(cls, message)
+        self.warning_code = code
+        return self
+
+    def __reduce__(self):
+        return (self.__class__, (str(self), self.warning_code))
+
+    def derive(self, message: str) -> "RunWarning":
+        """The same code on a different message (sweep hoisting prefixes
+        entries with their point index)."""
+        return self.__class__(message, self.warning_code)
+
+
+def warning_code(entry) -> str:
+    """The stable code of a warnings entry (``""`` for legacy strings)."""
+    return getattr(entry, "warning_code", "")

@@ -87,6 +87,35 @@ class TestModalAliases:
         )
 
 
+class TestBareIteratorSignals:
+    def test_as_stimulus_pins_bare_iterator_message(self):
+        from repro.runtime.sources import as_stimulus
+
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            as_stimulus(iter([1.0, 2.0]))
+        assert_single_deprecation(
+            recorded,
+            "a bare-Iterator source signal",
+            "repro.runtime.sources.GeneratorStimulus",
+        )
+
+    def test_source_driver_warns_once_per_bare_iterator_signal(self, quickstart_sized):
+        result, sizing = quickstart_sized
+        from repro.api import Program
+
+        with warnings.catch_warnings(record=True) as recorded:
+            warnings.simplefilter("always")
+            Program.from_app("quickstart").analyze().run(
+                Fraction(1, 100), signals={"samples": iter([1.0] * 100)}
+            )
+        assert_single_deprecation(
+            recorded,
+            "a bare-Iterator source signal",
+            "repro.runtime.sources.GeneratorStimulus",
+        )
+
+
 class TestPalDecoderAliases:
     def test_analyze_warns_with_replacement(self, pal_app):
         with warnings.catch_warnings(record=True) as recorded:

@@ -1,14 +1,19 @@
 """Steady-state fast-forward and the compiled dispatch kernel.
 
-The contract under test (see :mod:`repro.engine.steady_state`): with
-``fast_forward=True`` every timing-derived quantity -- trace records,
-completion counters, makespan, deadline misses, measured rates, busy
-accounting -- is *exactly* equal to a naive run, while whole periods of the
-steady-state regime are skipped in O(1).  Data values are replayed from the
-canonical period, so full value equality additionally requires constant
-stimuli and stateless actor functions.  The compiled kernel must be
-observationally invisible: bit-identical traces with ``kernel="on"`` and
-``"off"``.
+The contract under test (see :mod:`repro.engine.steady_state`) comes in two
+strengths.  With ``fast_forward=True`` (timing-exact mode) every
+timing-derived quantity -- trace records, completion counters, makespan,
+deadline misses, measured rates, busy accounting -- is *exactly* equal to a
+naive run, while whole periods of the steady-state regime are skipped in
+O(1); data values are replayed from the canonical period, so full value
+equality additionally requires constant stimuli and stateless actor
+functions.  With ``fast_forward="auto"`` (the default, value-exact mode) a
+program whose stimuli are declared value-periodic and whose functions
+declare jump-exact behaviour produces *bit-identical sink values* through a
+jump -- the detector folds every value state into its periodicity key --
+and everything else silently falls back to naive stepping.  The compiled
+kernel must be observationally invisible: bit-identical traces with
+``kernel="on"`` and ``"off"``.
 """
 
 import itertools
@@ -19,6 +24,7 @@ import pytest
 
 from repro.api import Program
 from repro.api.sweep import Sweep
+from repro.apps.producer_consumer import QUICKSTART_OIL_SOURCE, quickstart_wcets
 from repro.apps.rate_converter import fig2_task_graph
 from repro.dataflow import repetition_vector, self_timed_statespace
 from repro.engine.dispatcher import run_tasks
@@ -26,7 +32,10 @@ from repro.engine.policies import BoundedProcessors, SelfTimedUnbounded, StaticO
 from repro.engine.synthetic import fork_join_program, ring_program, tasks_from_sdf
 from repro.platform.model import Platform
 from repro.platform.policies import FixedPriorityPreemptive, ListScheduledPlatform
+from repro.runtime.functions import FunctionRegistry
+from repro.runtime.sources import ConstantStimulus, PeriodicStimulus
 from repro.runtime.trace import TraceRecorder
+from repro.util.runwarnings import warning_code
 
 
 def assert_traces_identical(a, b):
@@ -47,15 +56,27 @@ def assert_timing_identical(a, b):
 
 
 APPS = ["quickstart", "pal_decoder", "rate_converter", "modal_mute", "modal_two_mode"]
-#: apps whose actor functions are stateless, so even the *values* survive a
-#: jump under constant stimuli (pal_decoder / modal_two_mode carry oscillator
-#: and filter state outside the execution state -- values are periodic-stale)
-VALUE_EXACT_APPS = ["quickstart", "rate_converter", "modal_mute"]
+#: apps whose actor functions are stateless, so under legacy timing-exact
+#: mode even the *values* survive a jump with constant stimuli (pal_decoder /
+#: modal_two_mode carry oscillator and filter state outside the execution
+#: state -- legacy replay leaves their values periodic-stale)
+STATELESS_APPS = ["quickstart", "rate_converter", "modal_mute"]
+#: apps the value-exact detector can jump with bit-identical sink values:
+#: every stimulus declared value-periodic, every stateful function exposing
+#: get_state/set_state.  rate_converter is absent because its ``f`` emits an
+#: ever-growing value stream -- no value period exists, so ``"auto"`` falls
+#: back to naive stepping (silently; see TestValueExactAuto).
+VALUE_EXACT_APPS = ["quickstart", "pal_decoder", "modal_mute", "modal_two_mode"]
 
 
 def _constant_signals(app):
     names = list(Program.from_app(app).analyze().compilation.source_ports)
-    return {name: itertools.repeat(1.0) for name in names}
+    return {name: ConstantStimulus(1.0) for name in names}
+
+
+def assert_sink_values_identical(naive, ff):
+    for name in naive.simulation.sinks:
+        assert naive.simulation.sinks[name].consumed == ff.simulation.sinks[name].consumed, name
 
 
 # ---------------------------------------------------------------------------
@@ -289,7 +310,7 @@ class TestApiFastForward:
     def test_timing_and_metrics_exact_for_all_apps(self, app):
         duration = Fraction(1, 2)
         naive = Program.from_app(app).analyze().run(
-            duration, signals=_constant_signals(app)
+            duration, signals=_constant_signals(app), fast_forward=False
         )
         ff = Program.from_app(app).analyze().run(
             duration, signals=_constant_signals(app), fast_forward=True
@@ -303,11 +324,11 @@ class TestApiFastForward:
         assert metrics_naive == metrics_ff
         assert ff.warnings == []
 
-    @pytest.mark.parametrize("app", VALUE_EXACT_APPS)
+    @pytest.mark.parametrize("app", STATELESS_APPS)
     def test_stateless_apps_reproduce_values_too(self, app):
         duration = Fraction(1, 2)
         naive = Program.from_app(app).analyze().run(
-            duration, signals=_constant_signals(app)
+            duration, signals=_constant_signals(app), fast_forward=False
         )
         ff = Program.from_app(app).analyze().run(
             duration, signals=_constant_signals(app), fast_forward=True
@@ -322,7 +343,7 @@ class TestApiFastForward:
         # Counting stimuli make values periodic-stale after a jump, but every
         # timing-derived metric must still be exactly the naive one.
         duration = Fraction(1, 2)
-        naive = Program.from_app(app).analyze().run(duration)
+        naive = Program.from_app(app).analyze().run(duration, fast_forward=False)
         ff = Program.from_app(app).analyze().run(duration, fast_forward=True)
         metrics_naive, metrics_ff = naive.metrics(), ff.metrics()
         metrics_naive.pop("fast_forwarded")
@@ -415,6 +436,160 @@ class TestApiFastForward:
         )
         assert report.ok
         assert report.rows()[0]["fast_forwarded"] is True
+
+
+# ---------------------------------------------------------------------------
+# Value-exact fast-forward (fast_forward="auto", the default)
+# ---------------------------------------------------------------------------
+
+class TestValueExactAuto:
+    @pytest.mark.parametrize("app", VALUE_EXACT_APPS)
+    def test_auto_jump_is_value_exact_with_constant_stimuli(self, app):
+        duration = Fraction(1, 2)
+        naive = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app), fast_forward=False
+        )
+        ff = Program.from_app(app).analyze().run(
+            duration, signals=_constant_signals(app)  # "auto" is the default
+        )
+        steady = ff.simulation.engine.steady_state
+        assert ff.fast_forwarded and steady.value_exact and steady.jumps >= 1
+        assert ff.warnings == []
+        assert_traces_identical(naive.trace, ff.trace)
+        assert_sink_values_identical(naive, ff)
+
+    def test_pal_decoder_million_events_bit_identical(self):
+        # Acceptance horizon: >= 1e6 queue events through a value-exact jump.
+        # The declared RF stimulus is one exact period of the composite
+        # signal (repro.dsp.pal.periodic_composite_stimulus) and every
+        # filter/mixer/resampler exposes get_state, so the sink samples of
+        # the jumped run are bit-identical to naive.
+        duration = Fraction(21)
+        analysis = Program.from_app("pal_decoder").analyze()
+        ff = analysis.run(duration, trace="off")
+        steady = ff.simulation.engine.steady_state
+        assert ff.fast_forwarded and steady.value_exact and steady.jumps >= 1
+        assert ff.warnings == []
+        assert ff.simulation.engine.queue.processed >= 1_000_000
+        naive = analysis.run(duration, trace="off", fast_forward=False)
+        assert ff.simulation.engine.queue.processed == naive.simulation.engine.queue.processed
+        assert_sink_values_identical(naive, ff)
+
+    def test_modal_two_mode_million_events_bit_identical(self):
+        # Same acceptance horizon for the mode-switching app: the jump must
+        # preserve the mode-schedule position and the ring-buffer rotation
+        # of values resident across it.
+        duration = Fraction(63)
+        analysis = Program.from_app("modal_two_mode").analyze()
+        ff = analysis.run(duration, trace="off")
+        steady = ff.simulation.engine.steady_state
+        assert ff.fast_forwarded and steady.value_exact and steady.jumps >= 1
+        assert ff.warnings == []
+        assert ff.simulation.engine.queue.processed >= 1_000_000
+        naive = analysis.run(duration, trace="off", fast_forward=False)
+        assert ff.simulation.engine.queue.processed == naive.simulation.engine.queue.processed
+        assert_sink_values_identical(naive, ff)
+
+    def test_aperiodic_declared_stimulus_falls_back_silently(self):
+        # The quickstart default signal is a declared ramp: aperiodic, so
+        # auto cannot prove a value period -- it steps naively, with *no*
+        # warning (the user declared exactly what the stream is).
+        duration = Fraction(1, 2)
+        naive = Program.from_app("quickstart").analyze().run(
+            duration, fast_forward=False
+        )
+        auto = Program.from_app("quickstart").analyze().run(duration)
+        assert not auto.fast_forwarded
+        assert auto.warnings == []
+        assert_traces_identical(naive.trace, auto.trace)
+        assert_sink_values_identical(naive, auto)
+
+    def test_rate_converter_auto_matches_naive_without_value_period(self):
+        # rate_converter's ``f`` emits an ever-growing value stream: the
+        # detector arms (all declarations are in place) but never observes a
+        # repeat, and the run remains naive-identical.
+        duration = Fraction(1, 2)
+        naive = Program.from_app("rate_converter").analyze().run(
+            duration, signals=_constant_signals("rate_converter"), fast_forward=False
+        )
+        auto = Program.from_app("rate_converter").analyze().run(
+            duration, signals=_constant_signals("rate_converter")
+        )
+        steady = auto.simulation.engine.steady_state
+        assert steady is not None and steady.value_exact
+        assert not auto.fast_forwarded and auto.warnings == []
+        assert_traces_identical(naive.trace, auto.trace)
+        assert_sink_values_identical(naive, auto)
+
+
+class TestRunUntilSinkCountValueExact:
+    def test_sink_values_and_halt_instant_match_naive(self):
+        count = 30_000
+        ff_sim = Program.from_app("modal_two_mode").analyze().simulation(trace="off")
+        ff_sim.run_until_sink_count("dac", count, max_time=Fraction(60))
+        steady = ff_sim.engine.steady_state
+        assert steady is not None and steady.value_exact and steady.jumps >= 1
+        naive_sim = Program.from_app("modal_two_mode").analyze().simulation(
+            trace="off", fast_forward=False
+        )
+        naive_sim.run_until_sink_count("dac", count, max_time=Fraction(60))
+        # chunked stepping may overshoot the count -- but by the same amount
+        # in both runs, because the chunk grid is jump-invariant
+        assert ff_sim.sinks["dac"].consumed_count >= count
+        # bit-identical values AND the exact naive halt instant
+        assert ff_sim.sinks["dac"].consumed == naive_sim.sinks["dac"].consumed
+        assert ff_sim.queue.now == naive_sim.queue.now
+        assert ff_sim.queue.processed == naive_sim.queue.processed
+
+    def test_sink_target_cleared_after_call(self):
+        simulation = Program.from_app("modal_two_mode").analyze().simulation(trace="off")
+        simulation.run_until_sink_count("dac", 5_000, max_time=Fraction(30))
+        assert simulation.engine.steady_state.sink_target is None
+
+
+class TestAutoRefusalWarningCodes:
+    def test_bare_iterator_source_warns_with_stable_code(self):
+        with pytest.warns(DeprecationWarning):
+            run = Program.from_app("quickstart").analyze().run(
+                Fraction(1, 100), signals={"samples": iter(itertools.count(0.0))}
+            )
+        assert not run.fast_forwarded
+        codes = [warning_code(w) for w in run.warnings]
+        assert codes == ["undeclared-source"]
+        assert "bare iterator" in run.warnings[0]
+        assert "samples" in run.warnings[0]
+
+    def test_undeclared_function_warns_with_stable_code(self):
+        def undeclared_registry():
+            registry = FunctionRegistry()
+            registry.register("average2", lambda pair: sum(pair) / len(pair))
+            return registry
+
+        program = Program.from_source(
+            QUICKSTART_OIL_SOURCE,
+            name="undeclared-quickstart",
+            function_wcets=quickstart_wcets(),
+            registry=undeclared_registry,
+            signals=lambda: {"samples": PeriodicStimulus([1.0, 2.0])},
+        )
+        run = program.analyze().run(Fraction(1, 100))
+        assert not run.fast_forwarded
+        codes = [warning_code(w) for w in run.warnings]
+        assert codes == ["undeclared-function"]
+        assert "average2" in run.warnings[0]
+        # the free-text message is still an ordinary string
+        assert isinstance(run.warnings[0], str)
+
+    def test_sweep_hoists_warning_codes(self):
+        report = (
+            Sweep("quickstart", duration=Fraction(1, 100))
+            .add_axis("fast_forward", [True])
+            .add_axis("time_base", ["fraction"])
+            .run()
+        )
+        assert report.ok
+        assert report.warnings
+        assert all(warning_code(w) == "fraction-time-base" for w in report.warnings)
 
 
 # ---------------------------------------------------------------------------
