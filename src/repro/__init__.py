@@ -24,6 +24,8 @@ Sub-packages
 ``repro.service``   the sweep service: content-addressed result store,
                     resumable checkpoints, shardable grids, job spool and
                     the ``python -m repro sweep`` CLI
+``repro.rules``     pre-flight rule framework (structured violations with
+                    source spans) and the ``python -m repro check`` CLI
 ``repro.lang``      OIL frontend (lexer, parser, AST, semantics, printer)
 ``repro.graph``     task-graph extraction and circular buffers
 ``repro.dataflow``  SDF substrate and exact baselines
@@ -45,6 +47,7 @@ __version__ = "1.1.0"
 __all__ = [
     "api",
     "service",
+    "rules",
     "lang",
     "graph",
     "dataflow",
@@ -64,6 +67,8 @@ __all__ = [
 #: Facade classes re-exported lazily (PEP 562) so that ``import repro`` stays
 #: cheap -- the api package pulls the compiler stack only when first used.
 _API_EXPORTS = ("Program", "Sweep", "Analysis", "RunResult", "SweepReport")
+#: Rule-framework classes re-exported the same way.
+_RULES_EXPORTS = ("Rule", "Violation", "CheckModel", "CheckReport", "register_rule")
 
 
 def __getattr__(name):
@@ -71,4 +76,8 @@ def __getattr__(name):
         from repro import api
 
         return getattr(api, name)
+    if name in _RULES_EXPORTS:
+        from repro import rules
+
+        return getattr(rules, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,25 +1,36 @@
 """``python -m repro`` -- command-line entry point.
 
-Currently one command group: ``sweep`` (the sweep service; see
-:mod:`repro.service.cli`).  The group layer exists so later CLIs
-(``check``, ``bench``, ...) attach beside it rather than on top of it.
+Command groups: ``sweep`` (the sweep service; see :mod:`repro.service.cli`)
+and ``check`` (pre-flight rule checks; see :mod:`repro.rules.cli`).  The
+group layer exists so later CLIs (``bench``, ...) attach beside them rather
+than on top of them.
 """
 
 import sys
+
+_USAGE = (
+    "usage: python -m repro sweep <submit|status|run|resume|shard|run-shard|merge> ...\n"
+    "       python -m repro check <app-or-oil-file> [--json] [--select ...] ...\n"
+    "       python -m repro sweep --help\n"
+    "       python -m repro check --help"
+)
 
 
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print("usage: python -m repro sweep <submit|status|run|resume|shard|run-shard|merge> ...")
-        print("       python -m repro sweep --help")
+        print(_USAGE)
         return 0 if argv else 2
     group, rest = argv[0], argv[1:]
     if group == "sweep":
         from repro.service.cli import main as sweep_main
 
         return sweep_main(rest)
-    print(f"unknown command {group!r}; try: python -m repro sweep --help", file=sys.stderr)
+    if group == "check":
+        from repro.rules.cli import main as check_main
+
+        return check_main(rest)
+    print(f"unknown command {group!r}; try: python -m repro --help", file=sys.stderr)
     return 2
 
 

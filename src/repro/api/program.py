@@ -256,6 +256,11 @@ class Program:
         ``horizon=`` spelling as a keyword, like :meth:`Analysis.run`)."""
         return self.analyze().run(duration, **kwargs)
 
+    def check(self, **kwargs: Any) -> "CheckReport":
+        """Shortcut for ``self.analyze().check(...)`` -- the pre-flight rule
+        pass of :mod:`repro.rules` (see :meth:`Analysis.check`)."""
+        return self.analyze().check(**kwargs)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         rendered = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
         return f"Program({self.name!r}{', ' + rendered if rendered else ''})"
@@ -355,6 +360,28 @@ class Analysis:
     def sink_rates(self) -> Dict[str, Rat]:
         """Achievable rate (Hz) per declared sink."""
         return self._port_rates(self.compilation.sink_ports)
+
+    def check(
+        self,
+        *,
+        platform: Optional[Platform] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> "CheckReport":
+        """Run the pre-flight rules of :mod:`repro.rules` over this program.
+
+        Reuses this analysis' cached results (consistency, sizing, latency)
+        -- nothing is re-parsed or re-analysed.  ``platform`` checks
+        capacity/affinity against a concrete target (defaulting to the
+        program's configured platform); ``select`` / ``ignore`` filter rules
+        by category or rule id.  Returns a
+        :class:`~repro.rules.runner.CheckReport` whose ``ok`` is True when
+        no error-severity violation was found.
+        """
+        from repro.rules import CheckModel, check_model
+
+        model = CheckModel(self.program, platform=platform, analysis=self)
+        return check_model(model, select=select, ignore=ignore)
 
     def report(self) -> str:
         """The full human-readable analysis report."""

@@ -21,6 +21,13 @@ class SourceLocation:
     column: int
     filename: Optional[str] = None
 
+    def to_dict(self) -> dict:
+        """The JSON shape used by structured diagnostics (:mod:`repro.rules`)."""
+        data: dict = {"line": self.line, "column": self.column}
+        if self.filename:
+            data["filename"] = self.filename
+        return data
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         prefix = f"{self.filename}:" if self.filename else ""
         return f"{prefix}{self.line}:{self.column}"

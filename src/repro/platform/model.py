@@ -171,6 +171,13 @@ class Platform:
     def speeds(self) -> Tuple[Rat, ...]:
         return tuple(p.speed for p in self.processors)
 
+    def total_speed(self) -> Rat:
+        """Aggregate processing capacity: the sum of all speed factors.  A
+        program whose total utilisation exceeds it cannot be scheduled
+        without deadline misses (the ``platform.overutilised`` pre-flight
+        rule checks exactly this)."""
+        return sum((p.speed for p in self.processors), Fraction(0))
+
     def scaled_durations(self, durations: Iterable[RationalLike]) -> list:
         """Every ``duration / speed`` a firing on this platform can take --
         the extra entries the simulator's tick-base derivation must cover."""

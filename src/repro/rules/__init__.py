@@ -1,0 +1,60 @@
+"""Pre-flight rule framework: structured checks before expensive simulation.
+
+The analyze-then-simulate workflow of the paper meets production traffic
+here: ``repro.rules`` is a plugin registry of cheap structured checks over
+the parsed OIL program, its CTA analysis and (optionally) a target
+platform, so broken or risky programs are rejected with machine-readable
+violations *before* a simulation is paid for.
+
+The three-line usage, mirroring the api facade::
+
+    from repro.api import Program
+    report = Program.from_app("quickstart").check()
+    assert report.ok
+
+or, from the command line, ``python -m repro check quickstart --json``.
+
+Surface:
+
+* :class:`Rule` / :class:`Violation` / :func:`register_rule` -- write and
+  register new rules (see ``docs/rules.md``),
+* :class:`CheckModel` -- the lazy fact surface rules read (reuses the cached
+  :class:`~repro.api.program.Analysis`; never re-parses),
+* :func:`check_model` / :class:`CheckReport` -- the fault-isolated runner,
+* :func:`all_rules` / :func:`rules_for` -- registry access with
+  include/exclude filtering by category or rule id.
+
+The built-in rule set lives in :mod:`repro.rules.builtin`; every rule id is
+tabulated in ``docs/registry.md``.
+"""
+
+from repro.rules.base import INTERNAL_ERROR_RULE_ID, Rule, SEVERITIES, Violation
+from repro.rules.model import CheckModel, TaskLoad
+from repro.rules.registry import (
+    all_rule_classes,
+    all_rules,
+    categories,
+    load_builtin_rules,
+    register_rule,
+    rules_for,
+    unregister_rule,
+)
+from repro.rules.runner import CheckReport, check_model
+
+__all__ = [
+    "INTERNAL_ERROR_RULE_ID",
+    "SEVERITIES",
+    "CheckModel",
+    "CheckReport",
+    "Rule",
+    "TaskLoad",
+    "Violation",
+    "all_rule_classes",
+    "all_rules",
+    "categories",
+    "check_model",
+    "load_builtin_rules",
+    "register_rule",
+    "rules_for",
+    "unregister_rule",
+]

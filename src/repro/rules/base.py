@@ -1,0 +1,148 @@
+"""Core vocabulary of the pre-flight rule framework.
+
+A *rule* is a small class that inspects one :class:`~repro.rules.model.CheckModel`
+(the parsed OIL program, its CTA analysis and -- optionally -- a target
+platform) and returns a list of :class:`Violation` objects.  Rules never
+execute a simulation: production traffic needs cheap structured rejection
+*before* the expensive run, so every fact a rule reads is one the
+:class:`~repro.api.program.Analysis` layer already computes (or a pure
+function of the AST / platform data).
+
+Severity semantics
+------------------
+``error``
+    The program cannot run correctly as configured, or the analysis the
+    paper's guarantees rest on failed (inconsistent rates, unbounded
+    buffers, an over-utilised platform).  ``python -m repro check`` exits
+    nonzero when any error-severity violation is reported.
+``warning``
+    The program runs, but degraded or at risk: a fast-forward fallback
+    will trigger, a function will raise when first fired, a platform is
+    close to capacity.  Warnings do not affect the exit code unless
+    ``--strict`` is given.
+``info``
+    Advisory observations (default stimuli, zero response times).  Never
+    affects the exit code.
+
+Every violation carries the ``rule_id`` that produced it and, when the
+underlying fact can be tied to a point in the OIL text, a source span
+(:class:`~repro.lang.errors.SourceLocation`).  Violations serialize to
+JSON-friendly dicts (:meth:`Violation.to_dict`) and render as one-line
+human diagnostics (:meth:`Violation.render`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional, TYPE_CHECKING
+
+from repro.lang.errors import SourceLocation
+
+if TYPE_CHECKING:  # annotation only; the model imports the api facade
+    from repro.rules.model import CheckModel
+
+#: Valid severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: Reserved rule id under which the runner records a rule that raised
+#: (see :mod:`repro.rules.runner`); never register a rule with this id.
+INTERNAL_ERROR_RULE_ID = "internal-error"
+
+
+def severity_rank(severity: str) -> int:
+    """Sort key: most severe first (unknown severities sort last)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured finding of a pre-flight rule.
+
+    ``extra`` holds rule-specific, JSON-safe context (buffer names,
+    utilisation figures, offending mapping keys, ...) so machine consumers
+    can branch without parsing ``message``.
+    """
+
+    rule_id: str
+    category: str
+    severity: str
+    message: str
+    span: Optional[SourceLocation] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"violation severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON shape of the violation (stable keys, plain values)."""
+        return {
+            "rule_id": self.rule_id,
+            "category": self.category,
+            "severity": self.severity,
+            "message": self.message,
+            "span": None if self.span is None else self.span.to_dict(),
+            "extra": dict(self.extra),
+        }
+
+    def render(self) -> str:
+        """One human-readable diagnostic line with the source span."""
+        where = f" at {self.span}" if self.span is not None else ""
+        return f"{self.severity}[{self.rule_id}]{where}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+class Rule:
+    """Base class of all pre-flight rules.
+
+    Subclasses declare the class attributes and implement :meth:`check`::
+
+        @register_rule
+        class NoUnboundedBuffers(Rule):
+            rule_id = "buffers.unbounded"
+            category = "buffers"
+            severity = "error"
+            description = "buffer sizing must converge to finite capacities"
+
+            def check(self, model):
+                ...
+                return [self.violation("buffer b grows without bound")]
+
+    ``severity`` is the *default* severity of the rule's violations;
+    individual violations may override it (pass ``severity=`` to
+    :meth:`violation`), e.g. a capacity rule that errors above 100%% load
+    but only warns above 90%%.
+    """
+
+    rule_id: ClassVar[str] = ""
+    category: ClassVar[str] = ""
+    severity: ClassVar[str] = "error"
+    description: ClassVar[str] = ""
+
+    def check(self, model: "CheckModel") -> List[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self,
+        message: str,
+        *,
+        span: Optional[SourceLocation] = None,
+        severity: Optional[str] = None,
+        **extra: Any,
+    ) -> Violation:
+        """A :class:`Violation` pre-filled with this rule's identity."""
+        return Violation(
+            rule_id=self.rule_id,
+            category=self.category,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+            span=span,
+            extra=extra,
+        )

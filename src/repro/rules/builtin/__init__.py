@@ -1,0 +1,27 @@
+"""The built-in pre-flight rule set.
+
+Importing this package registers every built-in rule (each module's class
+definitions run through :func:`repro.rules.registry.register_rule`).  The
+modules group rules by the analysis surface their facts come from:
+
+``lang``      frontend: compile failures, semantic warnings
+``rates``     rate structure / consistency: inconsistent, infeasible, capped
+``buffers``   buffer sizing: provably unbounded buffers
+``latency``   latency constraints: unsatisfied bounds, zero slack
+``platform``  target platform: unknown affinities, utilisation vs capacity
+``runtime``   execution environment: undeclared stimuli/functions,
+              unregistered functions (the pre-run view of the
+              ``warning_code`` fallbacks of :mod:`repro.util.runwarnings`)
+
+Every rule id, with severity and meaning, is tabulated in
+``docs/registry.md`` (a test keeps that table in sync with this package).
+"""
+
+from repro.rules.builtin import (  # noqa: F401  (imports register the rules)
+    buffers,
+    lang,
+    latency,
+    platform,
+    rates,
+    runtime,
+)

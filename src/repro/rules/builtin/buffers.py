@@ -1,0 +1,36 @@
+"""Buffer rules: sizing must converge to finite capacities.
+
+:func:`repro.cta.buffer_sizing.size_buffers` raises
+:class:`~repro.cta.buffer_sizing.BufferSizingError` when no finite
+capacities satisfy the constraints -- a positive-delay cycle without a
+buffer connection, or non-convergence.  The :class:`CheckModel` captures
+that exception as ``sizing_error``; this rule turns it into a violation.
+When the model is already rate-inconsistent the sizing failure is a
+consequence, not news -- the ``rates.*`` rules own it and this rule stays
+silent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rules.base import Rule, Violation
+from repro.rules.model import CheckModel
+from repro.rules.registry import register_rule
+
+
+@register_rule
+class UnboundedBuffers(Rule):
+    rule_id = "buffers.unbounded"
+    category = "buffers"
+    severity = "error"
+    description = "buffer sizing must prove finite capacities sufficient"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        consistency = model.consistency
+        if consistency is None or not consistency.consistent:
+            return []
+        error = model.sizing_error
+        if error is None:
+            return []
+        return [self.violation(f"buffer sizing failed: {error}")]

@@ -1,0 +1,49 @@
+"""Frontend rules: the program must compile, and cleanly.
+
+These are the only rules that fire when compilation fails -- every other
+built-in rule returns ``[]`` on an uncompilable program and leaves the
+reporting to ``lang.compile-error``, so a syntax error yields exactly one
+violation instead of a cascade.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rules.base import Rule, Violation
+from repro.rules.model import CheckModel
+from repro.rules.registry import register_rule
+
+
+@register_rule
+class CompileError(Rule):
+    rule_id = "lang.compile-error"
+    category = "lang"
+    severity = "error"
+    description = "the OIL program must parse and pass semantic validation"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        error = model.compile_error
+        if error is None:
+            return []
+        span = getattr(error, "location", None)
+        # OilError.__str__ prefixes the location; the span already carries it
+        message = getattr(error, "message", None) or str(error)
+        return [self.violation(message, span=span, exception=type(error).__name__)]
+
+
+@register_rule
+class SemanticWarnings(Rule):
+    rule_id = "lang.semantic-warning"
+    category = "lang"
+    severity = "warning"
+    description = "surface the semantic analyser's warnings (suspicious reads, shadowing)"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        compilation = model.compilation
+        if compilation is None:
+            return []
+        return [
+            self.violation(diagnostic.message, span=diagnostic.location)
+            for diagnostic in compilation.analysis.diagnostics.warnings
+        ]

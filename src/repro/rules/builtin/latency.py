@@ -1,0 +1,84 @@
+"""Latency rules: the declared start-time bounds, verified pre-run.
+
+Both rules read the cached latency checks
+(:meth:`repro.api.program.Analysis.latency`, which verifies every
+``start x n ms after/before y`` declaration against the consistency
+offsets).  ``latency.unsatisfied`` errors on violated bounds.
+``latency.zero-slack`` is deliberately *info*: the offsets are longest-path
+solutions, so constraints that were encoded into the model are routinely
+exactly tight -- zero slack is normal for them, but worth surfacing as the
+deadline-risk heuristic: any additional delay (a slower processor, a larger
+WCET) lands directly on the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.rules.base import Rule, Violation
+from repro.rules.model import CheckModel
+from repro.rules.registry import register_rule
+from repro.util.rational import Rat
+
+
+def _slack(check) -> Optional[Rat]:
+    """Distance to the bound (>= 0 for satisfied checks)."""
+    diff = check.actual_difference
+    if diff is None:
+        return None
+    if check.constraint.kind == "after":
+        return diff - check.constraint.bound
+    return check.constraint.bound + diff
+
+
+@register_rule
+class UnsatisfiedLatency(Rule):
+    rule_id = "latency.unsatisfied"
+    category = "latency"
+    severity = "error"
+    description = "every declared start-time bound must hold at the analysed offsets"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        checks = model.latency_checks
+        if checks is None:
+            return []
+        return [
+            self.violation(
+                check.message,
+                span=model.latency_span(check.constraint),
+                kind=check.constraint.kind,
+                bound_seconds=float(check.constraint.bound),
+            )
+            for check in checks
+            if not check.satisfied
+        ]
+
+
+@register_rule
+class ZeroSlack(Rule):
+    rule_id = "latency.zero-slack"
+    category = "latency"
+    severity = "info"
+    description = (
+        "flag satisfied latency constraints with zero slack (any added "
+        "delay lands on the bound)"
+    )
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        checks = model.latency_checks
+        if checks is None:
+            return []
+        out: List[Violation] = []
+        for check in checks:
+            if not check.satisfied:
+                continue
+            slack = _slack(check)
+            if slack == 0:
+                out.append(
+                    self.violation(
+                        f"latency constraint is exactly tight: {check.message}",
+                        span=model.latency_span(check.constraint),
+                        kind=check.constraint.kind,
+                    )
+                )
+        return out

@@ -1,0 +1,161 @@
+"""Platform rules: does the program fit the hardware it is aimed at?
+
+These rules run only when the check targets a concrete platform (the
+program's configured :class:`~repro.platform.model.Platform`, or one passed
+via ``check(platform=...)`` / ``python -m repro check --processors N``);
+with no platform, or the unbounded virtual one, the questions are moot and
+the rules return nothing.
+
+The utilisation facts come straight from the consistency result
+(:attr:`CheckModel.task_loads`: actual/maximal port rate per task).  A
+guarded task's load is an upper bound -- its body executes conditionally --
+so capacity overruns attributable only to guarded load degrade from error
+to warning.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.platform.model import Platform
+from repro.rules.base import Rule, Violation
+from repro.rules.model import CheckModel
+from repro.rules.registry import register_rule
+
+
+def _concrete_platform(model: CheckModel) -> Optional[Platform]:
+    platform = model.platform
+    if platform is None or platform.is_unbounded:
+        return None
+    return platform
+
+
+@register_rule
+class UnknownAffinity(Rule):
+    rule_id = "platform.unknown-affinity"
+    category = "platform"
+    severity = "error"
+    description = "affinity mappings must reference tasks that exist in the program"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        platform = _concrete_platform(model)
+        if platform is None or not platform.mapping or model.compilation is None:
+            return []
+        known = model.task_names()
+        out: List[Violation] = []
+        for key in sorted(platform.mapping):
+            # mapping keys are bare task names or producer keys "instance:task"
+            bare = key.rsplit(":", 1)[-1]
+            if key in known or bare in known:
+                continue
+            out.append(
+                self.violation(
+                    f"platform {platform.name!r} maps unknown task {key!r} to "
+                    f"processor {platform.mapping[key]!r}; known tasks: {sorted(known)}",
+                    mapping_key=key,
+                    processor=platform.mapping[key],
+                )
+            )
+        return out
+
+
+@register_rule
+class OverUtilised(Rule):
+    rule_id = "platform.overutilised"
+    category = "platform"
+    severity = "error"
+    description = "total task utilisation must not exceed the platform's aggregate speed"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        platform = _concrete_platform(model)
+        loads = model.task_loads
+        if platform is None or not loads:
+            return []
+        capacity = platform.total_speed()
+        total = sum((entry.load for entry in loads), Fraction(0))
+        if total <= capacity:
+            return []
+        unguarded = sum(
+            (entry.load for entry in loads if not entry.guarded), Fraction(0)
+        )
+        # guarded tasks execute conditionally; an overrun they alone cause
+        # may never materialise at run time
+        severity = "error" if unguarded > capacity else "warning"
+        message = (
+            f"total utilisation {float(total):.3g} exceeds the aggregate capacity "
+            f"{float(capacity):.3g} of platform {platform.name!r} "
+            f"({len(platform)} processor(s))"
+        )
+        if severity == "warning":
+            message += "; the overrun is attributable to conditionally-executed (guarded) tasks"
+        return [
+            self.violation(
+                message,
+                severity=severity,
+                total_utilisation=float(total),
+                unguarded_utilisation=float(unguarded),
+                capacity=float(capacity),
+            )
+        ]
+
+
+@register_rule
+class NearCapacity(Rule):
+    rule_id = "platform.near-capacity"
+    category = "platform"
+    severity = "warning"
+    description = "warn when total utilisation exceeds 90% of the platform's capacity"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        platform = _concrete_platform(model)
+        loads = model.task_loads
+        if platform is None or not loads:
+            return []
+        capacity = platform.total_speed()
+        total = sum((entry.load for entry in loads), Fraction(0))
+        # above 100% platform.overutilised reports; this rule owns (90%, 100%]
+        if total <= capacity * Fraction(9, 10) or total > capacity:
+            return []
+        return [
+            self.violation(
+                f"total utilisation {float(total):.3g} is within 10% of the "
+                f"aggregate capacity {float(capacity):.3g} of platform "
+                f"{platform.name!r}; transient overload risk",
+                total_utilisation=float(total),
+                capacity=float(capacity),
+            )
+        ]
+
+
+@register_rule
+class TaskOverload(Rule):
+    rule_id = "platform.task-overload"
+    category = "platform"
+    severity = "error"
+    description = "no single task may need more than the fastest processor provides"
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        platform = _concrete_platform(model)
+        loads = model.task_loads
+        if platform is None or not loads:
+            return []
+        fastest = max(platform.speeds)
+        out: List[Violation] = []
+        for entry in loads:
+            if entry.load <= fastest:
+                continue
+            out.append(
+                self.violation(
+                    f"task {entry.name!r} needs utilisation {float(entry.load):.3g} "
+                    f"but the fastest processor of platform {platform.name!r} has "
+                    f"speed {float(fastest):.3g}; it cannot keep up even when "
+                    f"scheduled alone",
+                    severity="error" if not entry.guarded else "warning",
+                    span=model.task_span(entry.name),
+                    task=entry.name,
+                    utilisation=float(entry.load),
+                    fastest_speed=float(fastest),
+                )
+            )
+        return out

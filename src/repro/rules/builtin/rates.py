@@ -1,0 +1,92 @@
+"""Rate rules: the paper's consistency analysis, surfaced as a gate.
+
+All three rules read the cached :class:`~repro.cta.consistency.ConsistencyResult`
+(Sec. V-A): ``rates.inconsistent`` reports the multiplicative/fixed-rate
+conflicts of the rate structure with source spans recovered from the
+source/sink declarations the conflicting ports belong to;
+``rates.infeasible-cycle`` and ``rates.rate-cap`` report the delay-cycle and
+maximum-rate violations of the scale search.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rules.base import Rule, Violation
+from repro.rules.model import CheckModel
+from repro.rules.registry import register_rule
+
+
+def _conflict_span(model: CheckModel, ports):
+    for port in ports:
+        span = model.port_span(port)
+        if span is not None:
+            return span
+    return None
+
+
+@register_rule
+class InconsistentRates(Rule):
+    rule_id = "rates.inconsistent"
+    category = "rates"
+    severity = "error"
+    description = (
+        "transfer-rate ratios must be consistent around cycles and all "
+        "fixed source/sink rates must agree"
+    )
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        consistency = model.consistency
+        if consistency is None:
+            return []
+        return [
+            self.violation(
+                str(conflict),
+                span=_conflict_span(model, conflict.ports),
+                conflict_kind=conflict.kind,
+                ports=[str(port) for port in conflict.ports],
+            )
+            for conflict in consistency.rate_structure.conflicts
+        ]
+
+
+@register_rule
+class InfeasibleCycle(Rule):
+    rule_id = "rates.infeasible-cycle"
+    category = "rates"
+    severity = "error"
+    description = (
+        "no connection cycle may delay data by a positive amount at the "
+        "required rates (data would arrive too late)"
+    )
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        consistency = model.consistency
+        if consistency is None:
+            return []
+        return [
+            self.violation(violation.message)
+            for violation in consistency.violations
+            if violation.kind == "cycle"
+        ]
+
+
+@register_rule
+class RateCapExceeded(Rule):
+    rule_id = "rates.rate-cap"
+    category = "rates"
+    severity = "error"
+    description = (
+        "the rate a source/sink pins must not exceed the maximum rate of "
+        "any component on its path"
+    )
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        consistency = model.consistency
+        if consistency is None:
+            return []
+        return [
+            self.violation(violation.message)
+            for violation in consistency.violations
+            if violation.kind == "cap"
+        ]

@@ -1,0 +1,363 @@
+"""The fact surface pre-flight rules check against.
+
+A :class:`CheckModel` wraps one :class:`~repro.api.program.Program` (plus an
+optional target :class:`~repro.platform.model.Platform`) and exposes every
+fact the built-in rules need, computed lazily and exactly once:
+
+* the cached :class:`~repro.api.program.Analysis` (consistency, buffer
+  sizing, latency checks) -- rules **reuse** these results, they never
+  re-parse or re-analyse,
+* compile failures captured as data (``compile_error``) instead of
+  exceptions, so one broken program yields one structured violation rather
+  than a crashed pass,
+* the buffer-sizing failure, if any, captured the same way
+  (:class:`~repro.cta.buffer_sizing.BufferSizingError` -> ``sizing_error``),
+* the program's configured signals and function registry (built once from
+  the program's factories, *without* consuming any user iterator),
+* derived task facts: per-task utilisation (``load = actual rate / maximal
+  rate`` straight from the consistency result), bare task names for affinity
+  validation,
+* a span index mapping analysis-level objects (port references, latency
+  constraints, functions, source/sink names) back to source locations of the
+  OIL text.
+
+Everything here is read-only with respect to the wrapped program; building a
+:class:`CheckModel` for an already-analysed program costs nothing beyond the
+facts a rule actually asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cta.buffer_sizing import BufferSizingError, BufferSizingResult
+from repro.cta.consistency import ConsistencyResult
+from repro.cta.latency import LatencyCheck, LatencyConstraint
+from repro.cta.model import PortRef
+from repro.lang import ast
+from repro.lang.errors import OilError, SourceLocation
+from repro.platform.model import Platform
+from repro.util.rational import Rat
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class TaskLoad:
+    """Utilisation of one task at the analysed rates.
+
+    ``load`` is the fraction of a reference-speed processor the task keeps
+    busy: ``actual port rate / maximal port rate``, maximised over the
+    task's rate-capped ports.  ``guarded`` marks tasks whose body executes
+    conditionally (if/switch guards) -- their load is an upper bound.
+    """
+
+    name: str
+    path: str
+    load: Rat
+    guarded: bool
+
+
+class CheckModel:
+    """Lazy fact surface over one program (see module docstring)."""
+
+    def __init__(
+        self,
+        program,
+        *,
+        platform: Optional[Platform] = None,
+        analysis=None,
+    ) -> None:
+        self.program = program
+        #: the platform rules check capacity/affinity against (explicit
+        #: argument, falling back to the program's configured platform)
+        self.platform: Optional[Platform] = (
+            platform if platform is not None else program.platform
+        )
+        self._analysis = analysis
+        self._compile_error: Any = _UNSET
+        self._sizing: Any = _UNSET
+        self._sizing_error: Optional[BufferSizingError] = None
+        self._signals: Any = _UNSET
+        self._registry: Any = _UNSET
+        self._port_spans: Optional[Dict[Tuple[str, ...], SourceLocation]] = None
+        self._task_loads: Optional[List[TaskLoad]] = None
+
+    # ----------------------------------------------------------- compilation
+    @property
+    def compile_error(self) -> Optional[Exception]:
+        """The frontend/compiler failure, or None when the program compiles.
+
+        Accessing any analysis fact first resolves compilation; rules can
+        therefore simply return ``[]`` when ``analysis`` is None and leave
+        reporting the failure to the ``lang.compile-error`` rule.
+        """
+        self.analysis  # resolve
+        return None if self._compile_error is _UNSET else self._compile_error
+
+    @property
+    def analysis(self):
+        """The program's cached :class:`~repro.api.program.Analysis`, or
+        None when compilation fails (see :attr:`compile_error`)."""
+        if self._analysis is None and self._compile_error is _UNSET:
+            try:
+                self._analysis = self.program.analyze()
+            except (OilError, ValueError) as exc:
+                self._compile_error = exc
+        return self._analysis
+
+    @property
+    def compilation(self):
+        analysis = self.analysis
+        return None if analysis is None else analysis.compilation
+
+    # -------------------------------------------------------------- analyses
+    @property
+    def consistency(self) -> Optional[ConsistencyResult]:
+        analysis = self.analysis
+        return None if analysis is None else analysis.consistency
+
+    @property
+    def sizing(self) -> Optional[BufferSizingResult]:
+        """The buffer-sizing result, or None when sizing fails (the failure
+        is captured in :attr:`sizing_error`) or the program does not compile."""
+        if self._sizing is _UNSET:
+            analysis = self.analysis
+            if analysis is None:
+                self._sizing = None
+            else:
+                try:
+                    self._sizing = analysis.sizing
+                except BufferSizingError as exc:
+                    self._sizing = None
+                    self._sizing_error = exc
+        return self._sizing
+
+    @property
+    def sizing_error(self) -> Optional[BufferSizingError]:
+        self.sizing  # resolve
+        return self._sizing_error
+
+    @property
+    def latency_checks(self) -> Optional[List[LatencyCheck]]:
+        """The verified latency constraints, or None when sizing failed (the
+        offsets the checks need do not exist then)."""
+        if self.sizing is None:
+            return None
+        return self.analysis.latency
+
+    # --------------------------------------------------- execution environment
+    @property
+    def signals(self) -> Dict[str, Any]:
+        """One instance of the program's configured source signals.
+
+        Built from the program's stimulus factory exactly once and only
+        inspected structurally -- rules must never draw from these (a bare
+        iterator would lose values the real run needs).
+        """
+        if self._signals is _UNSET:
+            self._signals = dict(self.program.make_signals())
+        return self._signals
+
+    @property
+    def registry(self):
+        """One instance of the program's function registry."""
+        if self._registry is _UNSET:
+            self._registry = self.program.make_registry()
+        return self._registry
+
+    # ------------------------------------------------------------- AST facts
+    def _ast_modules(self) -> List[ast.Module]:
+        compilation = self.compilation
+        if compilation is None:
+            return []
+        program = compilation.program
+        modules = list(program.modules)
+        if program.main is not None and all(program.main is not m for m in modules):
+            modules.append(program.main)
+        return modules
+
+    def parallel_modules(self) -> List[ast.ParallelModule]:
+        return [m for m in self._ast_modules() if isinstance(m, ast.ParallelModule)]
+
+    def sequential_modules(self) -> List[ast.SequentialModule]:
+        return [m for m in self._ast_modules() if isinstance(m, ast.SequentialModule)]
+
+    def source_decls(self) -> List[ast.SourceDecl]:
+        return [decl for module in self.parallel_modules() for decl in module.sources]
+
+    def sink_decls(self) -> List[ast.SinkDecl]:
+        return [decl for module in self.parallel_modules() for decl in module.sinks]
+
+    def decl_location(self, name: str) -> Optional[SourceLocation]:
+        """Source location of the source/sink declaration called *name*."""
+        for decl in self.source_decls() + self.sink_decls():
+            if decl.name == name:
+                return decl.location
+        return None
+
+    @property
+    def used_functions(self) -> Dict[str, Optional[SourceLocation]]:
+        """Coordinated function names referenced by the sequential modules,
+        each with the location of its first reference."""
+        uses: Dict[str, Optional[SourceLocation]] = {}
+        for module in self.sequential_modules():
+            for name, location in _function_uses(module):
+                uses.setdefault(name, location)
+        return uses
+
+    def task_names(self) -> Set[str]:
+        """Bare task names across all extracted task graphs -- the key
+        universe of partitioned affinity mappings."""
+        compilation = self.compilation
+        if compilation is None:
+            return set()
+        names: Set[str] = set()
+        for graph in compilation.task_graphs.values():
+            names.update(graph.tasks)
+        for box in self.program.black_boxes:
+            names.add(box.name)
+        return names
+
+    def task_span(self, task_name: str) -> Optional[SourceLocation]:
+        """Location of the statement a task was extracted from."""
+        compilation = self.compilation
+        if compilation is None:
+            return None
+        for graph in compilation.task_graphs.values():
+            task = graph.tasks.get(task_name)
+            if task is not None and task.statement is not None:
+                return task.statement.location
+        return None
+
+    # ------------------------------------------------------------ span index
+    def _port_span_index(self) -> Dict[Tuple[str, ...], SourceLocation]:
+        """Component-path -> declaration location for source/sink components
+        (the ports that pin rates, hence the ports rate conflicts name)."""
+        if self._port_spans is None:
+            spans: Dict[Tuple[str, ...], SourceLocation] = {}
+            compilation = self.compilation
+            if compilation is not None:
+                for name, ref in list(compilation.source_ports.items()) + list(
+                    compilation.sink_ports.items()
+                ):
+                    location = self.decl_location(name)
+                    if location is not None:
+                        spans[ref.component] = location
+            self._port_spans = spans
+        return self._port_spans
+
+    def port_span(self, ref: PortRef) -> Optional[SourceLocation]:
+        """Best-effort source span for an analysis-level port reference."""
+        return self._port_span_index().get(ref.component)
+
+    def endpoint_name(self, ref: PortRef) -> Optional[str]:
+        """The declared source/sink name a port reference belongs to."""
+        compilation = self.compilation
+        if compilation is None:
+            return None
+        for name, port in compilation.source_ports.items():
+            if port.component == ref.component:
+                return name
+        for name, port in compilation.sink_ports.items():
+            if port.component == ref.component:
+                return name
+        return None
+
+    def latency_span(self, constraint: LatencyConstraint) -> Optional[SourceLocation]:
+        """Location of the ``start ... after/before ...`` declaration that
+        produced *constraint*."""
+        subject = self.endpoint_name(constraint.subject)
+        reference = self.endpoint_name(constraint.reference)
+        if subject is None or reference is None:
+            return None
+        for module in self.parallel_modules():
+            for decl in module.latency_constraints:
+                if (
+                    decl.subject == subject
+                    and decl.reference == reference
+                    and decl.relation == constraint.kind
+                ):
+                    return decl.location
+        return None
+
+    # ------------------------------------------------------------ task loads
+    @property
+    def task_loads(self) -> List[TaskLoad]:
+        """Per-task utilisation at the analysed rates (empty when the model
+        is inconsistent -- there are no meaningful rates then).
+
+        A task component's rate-capped ports were constructed with
+        ``max_rate = tokens / firing_duration``, so the ratio of the actual
+        port rate to ``max_rate`` is exactly ``firing_rate *
+        firing_duration`` -- the busy fraction of a reference-speed
+        processor.  Tasks with zero firing duration carry no load.
+        """
+        if self._task_loads is None:
+            loads: List[TaskLoad] = []
+            compilation = self.compilation
+            consistency = self.consistency
+            if compilation is not None and consistency is not None and consistency.consistent:
+                for component in compilation.model.walk():
+                    if component.kind != "task":
+                        continue
+                    load: Optional[Rat] = None
+                    for port_name, port in component.ports.items():
+                        if port.max_rate is None:
+                            continue
+                        rate = consistency.port_rates.get(
+                            PortRef(component.path(), port_name)
+                        )
+                        if rate is None:
+                            continue
+                        utilisation = rate / port.max_rate
+                        if load is None or utilisation > load:
+                            load = utilisation
+                    if load is None:
+                        continue
+                    loads.append(
+                        TaskLoad(
+                            name=str(component.metadata.get("task", component.name)),
+                            path="/".join(component.path()),
+                            load=load,
+                            guarded=bool(component.metadata.get("guarded")),
+                        )
+                    )
+            self._task_loads = loads
+        return self._task_loads
+
+
+def _expr_functions(
+    expression: ast.Expression,
+) -> Iterator[Tuple[str, Optional[SourceLocation]]]:
+    if isinstance(expression, ast.FunctionExpr):
+        yield expression.name, expression.location
+        for argument in expression.arguments:
+            if isinstance(argument, ast.InArgument):
+                yield from _expr_functions(argument.expression)
+    elif isinstance(expression, ast.BinaryOp):
+        yield from _expr_functions(expression.left)
+        yield from _expr_functions(expression.right)
+    elif isinstance(expression, ast.UnaryOp):
+        yield from _expr_functions(expression.operand)
+
+
+def _function_uses(
+    module: ast.SequentialModule,
+) -> Iterator[Tuple[str, Optional[SourceLocation]]]:
+    for statement in ast.walk_statements(module.body):
+        if isinstance(statement, ast.FunctionCall):
+            yield statement.name, statement.location
+            for argument in statement.arguments:
+                if isinstance(argument, ast.InArgument):
+                    yield from _expr_functions(argument.expression)
+        elif isinstance(statement, ast.Assignment):
+            yield from _expr_functions(statement.expression)
+        elif isinstance(statement, ast.IfStatement):
+            yield from _expr_functions(statement.condition)
+        elif isinstance(statement, ast.SwitchStatement):
+            yield from _expr_functions(statement.selector)
+        elif isinstance(statement, ast.LoopStatement):
+            yield from _expr_functions(statement.condition)

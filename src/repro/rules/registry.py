@@ -1,0 +1,121 @@
+"""The rule registry: decorator registration and include/exclude filtering.
+
+Rules register themselves by decorating the class::
+
+    from repro.rules import Rule, register_rule
+
+    @register_rule
+    class MyRule(Rule):
+        rule_id = "category.my-rule"
+        category = "category"
+        severity = "warning"
+        ...
+
+Registration validates the declared identity (non-empty unique ``rule_id``,
+non-empty ``category``, a known severity) so a malformed rule fails at import
+time, not in the middle of a check pass.  The built-in rule set lives in
+:mod:`repro.rules.builtin`; importing that package (done lazily by
+:func:`load_builtin_rules`) is what populates the registry, so ``import
+repro`` stays cheap.
+
+Filter semantics (``--select`` / ``--ignore`` on the CLI, ``select=`` /
+``ignore=`` on the API): a token matches a rule when it equals the rule's
+``rule_id``, equals its ``category``, or is a dotted prefix of the rule id
+(``"rates"`` matches ``rates.inconsistent``).  Tokens that match nothing
+raise -- a typo in a filter silently checking everything (or nothing) is
+exactly the failure mode a pre-flight gate must not have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.rules.base import INTERNAL_ERROR_RULE_ID, Rule, SEVERITIES
+
+#: rule_id -> rule class, in registration order (dicts preserve it)
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *cls* to the registry (validates its identity)."""
+    if not (isinstance(cls, type) and issubclass(cls, Rule)):
+        raise TypeError(f"@register_rule expects a Rule subclass, got {cls!r}")
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} declares no rule_id")
+    if not cls.category:
+        raise ValueError(f"rule {cls.rule_id!r} declares no category")
+    if cls.rule_id == INTERNAL_ERROR_RULE_ID:
+        raise ValueError(f"rule id {INTERNAL_ERROR_RULE_ID!r} is reserved for the runner")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {cls.rule_id!r}: severity must be one of {SEVERITIES}, "
+            f"got {cls.severity!r}"
+        )
+    existing = _RULES.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id!r} "
+            f"({existing.__module__}.{existing.__name__} vs {cls.__module__}.{cls.__name__})"
+        )
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def unregister_rule(rule_id: str) -> None:
+    """Remove a rule from the registry (tests registering throwaway rules)."""
+    _RULES.pop(rule_id, None)
+
+
+def load_builtin_rules() -> None:
+    """Import the built-in rule set (idempotent; registration is a side
+    effect of the module imports)."""
+    import repro.rules.builtin  # noqa: F401
+
+
+def all_rule_classes() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by rule id (built-ins loaded)."""
+    load_builtin_rules()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def all_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, sorted by rule id."""
+    return [cls() for cls in all_rule_classes()]
+
+
+def categories() -> List[str]:
+    """The distinct categories of the registered rules, sorted."""
+    return sorted({cls.category for cls in all_rule_classes()})
+
+
+def _matches(rule: Rule, token: str) -> bool:
+    return (
+        token == rule.rule_id
+        or token == rule.category
+        or rule.rule_id.startswith(token + ".")
+    )
+
+
+def rules_for(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """The enabled rule instances after include/exclude filtering.
+
+    ``select`` keeps only rules matched by at least one token; ``ignore``
+    then removes rules matched by any of its tokens.  Every token must match
+    at least one registered rule, otherwise :class:`ValueError` is raised.
+    """
+    rules = all_rules()
+    for token in list(select or []) + list(ignore or []):
+        if not any(_matches(rule, token) for rule in rules):
+            known = categories() + [rule.rule_id for rule in rules]
+            raise ValueError(
+                f"filter token {token!r} matches no registered rule; "
+                f"known categories and ids: {known}"
+            )
+    if select:
+        rules = [rule for rule in rules if any(_matches(rule, token) for token in select)]
+    if ignore:
+        rules = [rule for rule in rules if not any(_matches(rule, token) for token in ignore)]
+    return rules

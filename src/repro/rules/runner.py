@@ -1,0 +1,122 @@
+"""The rule runner and its report: fault-isolated, structured, sortable.
+
+The never-crash invariant: one rule raising must not kill the pass.  The
+runner wraps every ``rule.check`` in a handler that converts the exception
+into a warning-severity violation under the reserved ``internal-error`` rule
+id (carrying the failing rule's id and the exception in ``extra``) and
+continues with the remaining rules.  A pre-flight gate that dies on its own
+bug is worse than no gate; a pass that silently swallows a rule crash is
+worse still -- hence recorded, visible, non-fatal (``--strict`` promotes it
+to a failure like any other warning).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.rules.base import (
+    INTERNAL_ERROR_RULE_ID,
+    Rule,
+    Violation,
+    severity_rank,
+)
+from repro.rules.model import CheckModel
+from repro.rules.registry import rules_for
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one pre-flight pass over one program."""
+
+    target: str
+    violations: List[Violation] = field(default_factory=list)
+    rules_checked: int = 0
+
+    # -------------------------------------------------------------- queries
+    def by_severity(self, severity: str) -> List[Violation]:
+        return [v for v in self.violations if v.severity == severity]
+
+    @property
+    def errors(self) -> List[Violation]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> List[Violation]:
+        return self.by_severity("warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity violation was reported."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.severity] = out.get(violation.severity, 0) + 1
+        return out
+
+    # ------------------------------------------------------------ rendering
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "rules_checked": self.rules_checked,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        if not self.violations:
+            return f"{self.target}: ok ({self.rules_checked} rules, no violations)"
+        lines = [f"{self.target}:"]
+        lines += [f"  {violation.render()}" for violation in self.violations]
+        summary = ", ".join(f"{n} {sev}(s)" for sev, n in sorted(self.counts().items()))
+        lines.append(f"  -> {summary} ({self.rules_checked} rules checked)")
+        return "\n".join(lines)
+
+
+def _sort_key(violation: Violation):
+    line = violation.span.line if violation.span is not None else 1 << 30
+    return (severity_rank(violation.severity), violation.rule_id, line, violation.message)
+
+
+def check_model(
+    model: CheckModel,
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> CheckReport:
+    """Run the enabled rules over *model* and return the sorted report.
+
+    ``rules`` bypasses the registry entirely (tests, embedding); otherwise
+    the rule set is ``rules_for(select, ignore)``.  A rule that raises is
+    recorded as an ``internal-error`` violation and the pass continues.
+    """
+    enabled = list(rules) if rules is not None else rules_for(select, ignore)
+    violations: List[Violation] = []
+    for rule in enabled:
+        try:
+            violations.extend(rule.check(model) or [])
+        except Exception as exc:
+            violations.append(
+                Violation(
+                    rule_id=INTERNAL_ERROR_RULE_ID,
+                    category=rule.category or "internal",
+                    severity="warning",
+                    message=f"rule {rule.rule_id!r} crashed: {exc!r} (remaining rules ran)",
+                    extra={"failed_rule": rule.rule_id, "exception": repr(exc)},
+                )
+            )
+    violations.sort(key=_sort_key)
+    return CheckReport(
+        target=model.program.name,
+        violations=violations,
+        rules_checked=len(enabled),
+    )

@@ -6,21 +6,45 @@ keeps that contract -- it *is* a ``str``, so substring assertions, report
 rendering and JSON serialisation are unchanged -- while carrying a stable
 ``warning_code`` that callers can branch on without parsing free text.
 
-Codes currently emitted:
-
-``undeclared-source``
-    A source wraps a bare iterator that cannot be advanced through a
-    steady-state jump (auto mode fell back to naive execution).
-``undeclared-function``
-    A coordinated function declares no jump behaviour (``stateless``,
-    ``jump_invariant`` or ``get_state``); auto mode fell back to naive.
-``speed-migrating-policy`` / ``fraction-time-base`` / ``no-steady-state-key``
-    The engine-level refusals of :func:`repro.engine.steady_state.fast_forward_refusal`.
-``state-table-overflow``
-    The detector sampled ``max_states`` anchor states without a repeat.
+The codes currently emitted are registered in :data:`WARNING_CODES` (the
+canonical in-source registry) and documented, cross-linked with the
+pre-flight rule ids that surface them before a run, in ``docs/registry.md``
+-- a test keeps code, registry and table in sync.
 """
 
 from __future__ import annotations
+
+from typing import Dict
+
+#: Every stable warning code, with a one-line meaning.  This dict is the
+#: single in-source registry: a code emitted anywhere in the package must
+#: have an entry here and a row in ``docs/registry.md`` (test-enforced).
+WARNING_CODES: Dict[str, str] = {
+    "undeclared-source": (
+        "a source wraps a bare iterator that cannot be advanced through a "
+        "steady-state jump; auto mode fell back to naive execution"
+    ),
+    "undeclared-function": (
+        "a coordinated function declares no jump behaviour (stateless, "
+        "jump_invariant or get_state); auto mode fell back to naive"
+    ),
+    "speed-migrating-policy": (
+        "the policy can resume a preempted firing at a different speed; "
+        "engine-level fast-forward refusal"
+    ),
+    "fraction-time-base": (
+        "the run executes on the fraction time base, which the steady-state "
+        "detector does not support; engine-level fast-forward refusal"
+    ),
+    "no-steady-state-key": (
+        "the configuration exposes no periodicity key (e.g. no anchor task); "
+        "engine-level fast-forward refusal"
+    ),
+    "state-table-overflow": (
+        "the detector sampled max_states anchor states without finding a "
+        "repeat and gave up"
+    ),
+}
 
 
 class RunWarning(str):

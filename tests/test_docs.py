@@ -1,0 +1,173 @@
+"""The docs stay true.
+
+Two enforcement mechanisms:
+
+* **Registry sync** -- ``docs/registry.md`` is the one documented table of
+  every stable ``rule_id`` and ``warning_code``.  The in-source registries
+  are the ``rule_id = "..."`` declarations under ``src/repro/rules/builtin``
+  (parsed from source, so a fence-registered throwaway rule cannot leak in)
+  and :data:`repro.util.runwarnings.WARNING_CODES`.  Adding a code or rule
+  without documenting it -- or documenting one that does not exist -- fails
+  here.
+* **Fence execution** -- every ```` ```python ```` fence in ``docs/*.md``
+  and ``README.md`` is executed (cumulatively per file, so later fences may
+  build on earlier ones).  A fence preceded by an ``<!-- doc-exec: skip -->``
+  marker line is rendered but not executed (used for deliberately partial
+  snippets, e.g. the ``@register_rule`` sketch that would pollute the global
+  registry).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Set, Tuple
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+BUILTIN = REPO / "src" / "repro" / "rules" / "builtin"
+SKIP_MARKER = "<!-- doc-exec: skip -->"
+
+DOC_FILES = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+
+
+# --------------------------------------------------------------------------
+# Registry sync
+# --------------------------------------------------------------------------
+def builtin_rule_ids_from_source() -> Set[str]:
+    """Every ``rule_id = "..."`` declared in the built-in rule modules."""
+    ids: Set[str] = set()
+    for path in sorted(BUILTIN.glob("*.py")):
+        for node in ast.walk(ast.parse(path.read_text(encoding="utf-8"))):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "rule_id"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    ids.add(stmt.value.value)
+    return ids
+
+
+#: First-column backticked tokens of the registry.md tables.
+TABLE_TOKEN = re.compile(r"^\|\s*`([a-z0-9.-]+)`", re.MULTILINE)
+
+
+def documented_tokens() -> Set[str]:
+    return set(TABLE_TOKEN.findall((DOCS / "registry.md").read_text(encoding="utf-8")))
+
+
+class TestRegistryDocumentation:
+    def test_tables_match_source(self):
+        from repro.rules import INTERNAL_ERROR_RULE_ID
+        from repro.util.runwarnings import WARNING_CODES
+
+        expected = builtin_rule_ids_from_source() | {INTERNAL_ERROR_RULE_ID}
+        expected |= set(WARNING_CODES)
+        documented = documented_tokens()
+        undocumented = expected - documented
+        stale = documented - expected
+        assert not undocumented, (
+            f"exists in source but missing from docs/registry.md: {sorted(undocumented)}"
+        )
+        assert not stale, (
+            f"documented in docs/registry.md but absent from source: {sorted(stale)}"
+        )
+
+    def test_source_declarations_match_live_registry(self):
+        """The parsed declarations are the registry (guards the parser)."""
+        from repro.rules import all_rule_classes
+
+        live = {
+            cls.rule_id
+            for cls in all_rule_classes()
+            # ignore throwaway rules another test may have registered
+            if not cls.rule_id.startswith("local.")
+        }
+        assert live == builtin_rule_ids_from_source()
+
+    def test_every_warning_code_construction_is_registered(self):
+        """Any ``RunWarning(msg, "code")`` / ``code="..."`` call site in the
+        package uses a code registered in WARNING_CODES."""
+        from repro.util.runwarnings import WARNING_CODES
+
+        used: Set[str] = set()
+        for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+            if path.name == "runwarnings.py":
+                continue
+            for node in ast.walk(ast.parse(path.read_text(encoding="utf-8"))):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                    continue
+                if node.func.id != "RunWarning":
+                    continue
+                if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+                    used.add(node.args[1].value)
+                for keyword in node.keywords:
+                    if keyword.arg == "code" and isinstance(keyword.value, ast.Constant):
+                        used.add(keyword.value.value)
+        used.discard("")
+        unregistered = used - set(WARNING_CODES)
+        assert not unregistered, (
+            f"RunWarning codes constructed but not in WARNING_CODES: {sorted(unregistered)}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Fence execution
+# --------------------------------------------------------------------------
+def python_fences(path: Path) -> List[Tuple[int, str]]:
+    """``(first_line, code)`` for every executable python fence in *path*."""
+    fences: List[Tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    skip_next = False
+    index = 0
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == SKIP_MARKER:
+            skip_next = True
+        elif stripped.startswith("```python"):
+            start = index + 1
+            end = start
+            while end < len(lines) and lines[end].strip() != "```":
+                end += 1
+            assert end < len(lines), f"{path.name}: unterminated fence at line {index + 1}"
+            if not skip_next:
+                fences.append((start + 1, "\n".join(lines[start:end])))
+            skip_next = False
+            index = end
+        index += 1
+    return fences
+
+
+class TestDocFencesExecute:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_fences_execute(self, path, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # fences must not depend on / write to the cwd
+        fences = python_fences(path)
+        namespace = {"__name__": f"docfence_{path.stem.replace('-', '_')}"}
+        for first_line, code in fences:
+            padded = "\n" * (first_line - 1) + code  # real line numbers in tracebacks
+            exec(compile(padded, str(path), "exec"), namespace)
+
+    def test_docs_exist_and_have_executable_fences(self):
+        assert (DOCS / "rules.md").exists()
+        assert (DOCS / "fast-forward.md").exists()
+        assert (DOCS / "registry.md").exists()
+        assert (REPO / "README.md").exists()
+        assert python_fences(DOCS / "rules.md"), "rules.md lost its executable examples"
+        assert python_fences(DOCS / "fast-forward.md")
+
+    def test_skip_marker_is_honoured(self):
+        skipped = DOCS / "rules.md"
+        text = skipped.read_text(encoding="utf-8")
+        assert SKIP_MARKER in text  # the @register_rule sketch stays non-executed
+        executed = [code for _, code in python_fences(skipped)]
+        assert not any("@register_rule" in code for code in executed)
