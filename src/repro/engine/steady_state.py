@@ -79,9 +79,39 @@ either mode.  Data values come in two flavours:
   their period, which the key repeat guarantees).  Declared function
   state needs no touching at all: the fold guarantees the live state *is*
   the canonical state on both sides of the jump.  Value-exact keys are
-  sha256-digested (buffer contents would make exact tuples large), and the
-  caller grants a larger ``max_states`` budget because value periods are
-  multiples of timing periods.
+  folded down to a single :func:`~repro.util.digests.value_digest` (buffer
+  contents would make exact tuples large), and the caller grants a larger
+  ``max_states`` budget because value periods are multiples of timing
+  periods.
+
+Incremental key maintenance
+---------------------------
+Sampling happens at *every* anchor completion during the transient, so the
+key must not re-walk the world each time (the rebuild-from-scratch fold
+made the sampling phase ~7x slower than naive simulation on the PAL
+decoder).  Instead, mutation sites push deltas into per-component digests
+and :meth:`SteadyState.state_key` only combines what changed since the
+previous sample:
+
+* buffers maintain a per-slot :func:`~repro.util.digests.value_digest` on
+  write (:meth:`~repro.graph.circular_buffer.CircularBuffer.enable_value_digests`,
+  armed by the detector); the rotation anchoring that keeps the fold
+  shift-invariant is applied at sample time via the producer-floor offset,
+  and a per-buffer ``mutation_version`` lets untouched buffers reuse their
+  combined layout+value entry verbatim,
+* stimuli expose :meth:`~repro.runtime.sources.Stimulus.state_token` (for
+  closed-form stimuli the integer index *is* the token) and stateful
+  functions may declare ``FunctionSpec.state_version``, a monotone change
+  counter that gates a cached state digest -- unchanged state is never
+  re-serialised,
+* the pending-event fold first settles the queue's lazy cancelled-prune
+  debt (:meth:`~repro.runtime.events.EventQueue.prune_cancelled`) so only
+  live events are sorted, in both key modes.
+
+:meth:`SteadyState.state_key_slow` recomputes the identical key from
+scratch -- same digest functions, none of the incremental caches -- and is
+the oracle the tests cross-check after randomized operation sequences: the
+incremental key must be *equal*, not merely collision-safe.
 
 Refusals
 --------
@@ -100,12 +130,12 @@ checked by the callers (:mod:`repro.engine.dispatcher`,
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dataflow.statespace import canonical_state_key
+from repro.util.digests import value_digest
 from repro.util.runwarnings import RunWarning
 
 if TYPE_CHECKING:  # annotations only
@@ -114,6 +144,13 @@ if TYPE_CHECKING:  # annotations only
     from repro.runtime.functions import FunctionSpec
     from repro.runtime.sources import SinkDriver, SourceDriver
     from repro.runtime.tasks import RuntimeTask
+
+
+#: A jump that replays more than this many draws through an O(k)
+#: ``Stimulus.advance`` (generator-backed streams) emits a structured
+#: ``generator-advance`` warning: the jump still happens, but its cost is
+#: linear in the skipped horizon, which defeats the point of fast-forward.
+GENERATOR_ADVANCE_THRESHOLD = 10_000
 
 
 def fast_forward_refusal(policy, timebase) -> Optional[str]:
@@ -226,6 +263,21 @@ class SteadyState:
         self.done = self.anchor is None
         self._seen: Dict[tuple, _Snapshot] = {}
         self._buffers = self._collect_buffers()
+        # Incremental-key caches (see module doc).  Per buffer: the
+        # (mutation_version, key item) computed at the previous sample --
+        # valid until the buffer's windows or contents change.  Per stateful
+        # function: the (state_version, digest) of its last serialised
+        # state.  A steady-state jump deliberately bypasses both versions:
+        # it preserves the key by construction (shift-invariant layouts,
+        # ring rotation matching the anchor move), so the caches stay valid
+        # across it.
+        self._buffer_key_cache: List[Optional[Tuple[int, tuple]]] = [None] * len(
+            self._buffers
+        )
+        self._function_digest_cache: Dict[str, Tuple[int, int]] = {}
+        if value_exact:
+            for buffer in self._buffers:
+                buffer.enable_value_digests()
         #: producer keys of one-shot (initialisation) tasks: their windows,
         #: once retired (``active=False``), are frozen forever and must be
         #: ignored by the periodicity key and the jump -- a window pinned at
@@ -276,12 +328,40 @@ class SteadyState:
         return tuple(bases)
 
     def state_key(self) -> tuple:
-        """The canonical, shift-invariant execution state (see module doc)."""
+        """The canonical, shift-invariant execution state (see module doc).
+
+        Incrementally maintained: combines the digests pushed by mutation
+        sites since the previous sample (per-slot buffer digests, stimulus
+        tokens, version-gated function-state digests), so the per-sample
+        cost is O(changed-since-last-sample), not O(system-size)."""
+        return self._state_key(incremental=True)
+
+    def state_key_slow(self) -> tuple:
+        """From-scratch oracle for :meth:`state_key`.
+
+        Recomputes every component digest directly from the live structures
+        -- the same digest functions, none of the incrementally maintained
+        slot digests or version caches -- and never mutates anything (the
+        cancelled events are filtered, not pruned).  Tests cross-check
+        ``state_key() == state_key_slow()`` after randomized operation
+        sequences: equality, not mere collision-freedom, is the contract,
+        so any write path that bypasses the digest maintenance shows up as
+        a key mismatch."""
+        return self._state_key(incremental=False)
+
+    def _state_key(self, incremental: bool) -> tuple:
         queue = self.queue
         engine = self.engine
         now = queue.now
+        value_exact = self.value_exact
         buffer_items = []
-        for buffer in self._buffers:
+        for index, buffer in enumerate(self._buffers):
+            version = buffer.mutation_version
+            if incremental:
+                cached = self._buffer_key_cache[index]
+                if cached is not None and cached[0] == version:
+                    buffer_items.append(cached[1])
+                    continue
             base = None
             windows = []
             for kind, table in ((0, buffer._producers), (1, buffer._consumers)):
@@ -298,28 +378,44 @@ class SteadyState:
                     for kind, w in windows
                 )
             )
-            if self.value_exact:
+            if value_exact:
                 # Stored values, rotation-anchored at the producer floor so
                 # the fold is shift-invariant like the window layout: token
                 # index i lives in slot i % capacity, and the floor advances
                 # with the windows, so two period-equivalent states read the
-                # same sequence regardless of absolute position.
-                storage = buffer._storage
+                # same sequence regardless of absolute position.  The values
+                # themselves were digested at write time; here only the
+                # integer digest ring is rotated and hashed.
                 capacity = buffer.capacity
                 anchor = buffer._producer_floor() if buffer._producers else base
-                values = tuple(
-                    repr(storage[(anchor + k) % capacity]) for k in range(capacity)
-                )
-                buffer_items.append((buffer.name, layout, values))
+                rotation = anchor % capacity
+                if incremental:
+                    digests = buffer._slot_digests
+                else:
+                    digests = [value_digest(value) for value in buffer._storage]
+                folded = hash(tuple(digests[rotation:] + digests[:rotation]))
+                item = (buffer.name, layout, folded)
             else:
-                buffer_items.append((buffer.name, layout))
+                item = (buffer.name, layout)
+            if incremental:
+                self._buffer_key_cache[index] = (version, item)
+            buffer_items.append(item)
         # Pending events in execution order; the rank keeps same-instant ties
-        # in sequence order (their execution order) through the sort.
-        live = sorted(
-            (event.time, event.sequence, event.label)
-            for event in queue._heap
-            if not event.cancelled
-        )
+        # in sequence order (their execution order) through the sort.  The
+        # incremental path settles the queue's lazy cancelled-prune debt
+        # once, so only live events are sorted -- preemptive policies would
+        # otherwise drag every dead entry through this sort forever.
+        if incremental:
+            queue.prune_cancelled()
+            live = sorted(
+                (event.time, event.sequence, event.label) for event in queue._heap
+            )
+        else:
+            live = sorted(
+                (event.time, event.sequence, event.label)
+                for event in queue._heap
+                if not event.cancelled
+            )
         pendings = [
             (time - now, rank, label) for rank, (time, _, label) in enumerate(live)
         ]
@@ -360,25 +456,39 @@ class SteadyState:
         policy_key = self.engine.policy.steady_state_key()
         extra = self.extra_state() if self.extra_state is not None else ()
         full = key + (ready, policy_key, extra)
-        if not self.value_exact:
+        if not value_exact:
             return full
         # Value-exact mode additionally folds every mutable value state in
-        # the system; the fat tuple is digested so the state table stays
-        # small even with large buffer contents and long value periods.
+        # the system; the fat tuple is collapsed to a single digest so the
+        # state table stays small even with large buffer contents and long
+        # value periods.  Every component is already an integer digest or a
+        # small token, so the final fold is one C-level tuple hash (with
+        # value_digest's repr fallback if a stimulus token is unhashable)
+        # instead of repr + sha256 of the whole structure, which used to
+        # dominate the per-sample cost.
         stimulus_states = tuple(
-            repr(source.values.state()) for source in self.sources
+            source.values.state_token() for source in self.sources
         )
-        function_states = tuple(
-            (name, repr(spec.get_state()))
-            for name, spec in self._stateful_functions
-        )
+        function_states = []
+        for name, spec in self._stateful_functions:
+            if incremental and spec.state_version is not None:
+                version = spec.state_version()
+                cached = self._function_digest_cache.get(name)
+                if cached is not None and cached[0] == version:
+                    function_states.append((name, cached[1]))
+                    continue
+                digest = value_digest(spec.get_state())
+                self._function_digest_cache[name] = (version, digest)
+            else:
+                digest = value_digest(spec.get_state())
+            function_states.append((name, digest))
         inflight = tuple(
-            (index, repr(task.inflight_values))
+            (index, value_digest(task.inflight_values))
             for index, task in enumerate(engine.tasks)
             if task.busy and task.inflight_values is not None
         )
-        fat = full + (stimulus_states, function_states, inflight)
-        return (hashlib.sha256(repr(fat).encode()).digest(),)
+        fat = full + (stimulus_states, tuple(function_states), inflight)
+        return (value_digest(fat),)
 
     def _snapshot(self) -> _Snapshot:
         engine = self.engine
@@ -537,10 +647,12 @@ class SteadyState:
                     # move), so rotating the whole ring forward by `move`
                     # realigns every live token (and touches only slots that
                     # are either rewritten before the next read or outside
-                    # the readable window).
-                    rotation = move % capacity
-                    if rotation:
-                        storage[:] = storage[-rotation:] + storage[:-rotation]
+                    # the readable window).  The slot digests rotate with
+                    # the storage, which together with the equally moved
+                    # producer floor keeps the rotation-anchored fold -- and
+                    # therefore the detector's cached per-buffer entry --
+                    # invariant across the jump.
+                    buffer.rotate_storage(move)
                 else:
                     # Value-stale mode: indices below the producer floor have
                     # been written -- unless the buffer is oversized and
@@ -578,7 +690,22 @@ class SteadyState:
                 # periodic stimuli that qualify for value-exact mode this is
                 # an O(1) index move -- and a provable no-op modulo the
                 # stimulus period, since the key repeat folded its state.
-                source.values.advance(periods * (d_produced + d_dropped))
+                stimulus = source.values
+                draws = periods * (d_produced + d_dropped)
+                if (
+                    draws > GENERATOR_ADVANCE_THRESHOLD
+                    and getattr(stimulus, "advance_linear", True)
+                ):
+                    self.warnings.append(
+                        RunWarning(
+                            f"fast-forward jump replayed {draws} draws of source "
+                            f"{source.name!r}'s {type(stimulus).__name__} one by "
+                            "one (its advance() is O(k)); declare a closed-form "
+                            "stimulus for O(1) jumps",
+                            "generator-advance",
+                        )
+                    )
+                stimulus.advance(draws)
         for sink, (d_consumed, d_misses, stored_before) in zip(self.sinks, sink_deltas):
             sink.consumed_count += periods * d_consumed
             sink.misses += periods * d_misses

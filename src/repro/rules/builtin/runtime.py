@@ -5,15 +5,19 @@ runtime only reports mid-flight:
 
 * the structured ``warning_code`` fallbacks of value-exact fast-forward
   (``undeclared-source`` / ``undeclared-function`` -- see
-  :mod:`repro.util.runwarnings` and ``docs/fast-forward.md``), and
+  :mod:`repro.util.runwarnings` and ``docs/fast-forward.md``),
+* generator-backed stimuli whose ``advance()`` replays draws one by one
+  (the runtime's ``generator-advance`` warning: jumps work but cost O(k)
+  in the skipped horizon), and
 * functions that will raise ``KeyError`` at their first firing because no
   implementation is registered.
 
 They inspect the program's configured signals and registry structurally --
 no iterator is drawn from, no function is called -- so a check pass never
-perturbs the run that follows it.  All three degradations are warnings, not
-errors: the program still runs correctly (naively stepped, or -- for a bare
-OIL file checked without a registry -- correctly once one is supplied).
+perturbs the run that follows it.  All these degradations are warnings or
+notes, not errors: the program still runs correctly (naively stepped, or --
+for a bare OIL file checked without a registry -- correctly once one is
+supplied).
 """
 
 from __future__ import annotations
@@ -56,6 +60,39 @@ class BareIteratorSignal(Rule):
                         warning_code="undeclared-source",
                     )
                 )
+        return out
+
+
+@register_rule
+class GeneratorSource(Rule):
+    rule_id = "runtime.generator-source"
+    category = "runtime"
+    severity = "info"
+    description = (
+        "note generator-backed stimuli whose advance() replays draws one by "
+        "one, precluding O(1) steady-state jumps"
+    )
+
+    def check(self, model: CheckModel) -> List[Violation]:
+        out: List[Violation] = []
+        for decl in model.source_decls():
+            signal = model.signals.get(decl.name)
+            if not isinstance(signal, Stimulus):
+                continue  # bare iterators / factories belong to undeclared-source
+            if not signal.advance_linear:
+                continue  # closed-form advance: O(1) jumps
+            out.append(
+                self.violation(
+                    f"source {decl.name!r} is driven by a generator-backed "
+                    f"stimulus ({type(signal).__name__}) whose advance() replays "
+                    f"draws one by one; steady-state jumps work but cost time "
+                    f"linear in the skipped horizon -- declare a closed-form "
+                    f"stimulus (advance_linear = False) for O(1) jumps",
+                    span=decl.location,
+                    source=decl.name,
+                    warning_code="generator-advance",
+                )
+            )
         return out
 
 

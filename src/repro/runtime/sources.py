@@ -76,6 +76,12 @@ class Stimulus:
     #: space folded into the fast-forward periodicity key)
     value_periodic: bool = False
 
+    #: True when ``advance(k)`` costs O(k) (the default replay below).
+    #: Closed-form stimuli override ``advance`` with an O(1) index move and
+    #: set this False; the steady-state fast-forwarder warns
+    #: (``generator-advance``) when a jump replays a large linear advance.
+    advance_linear: bool = True
+
     def next(self) -> Any:
         """Draw the next sample.  Raises :class:`StopIteration` when a
         finite stream is exhausted (the driver then stops producing)."""
@@ -96,6 +102,18 @@ class Stimulus:
         """Reset the stream to a position captured by :meth:`state`."""
         raise NotImplementedError
 
+    def state_token(self) -> Any:
+        """A cheap hashable token that changes whenever :meth:`state` does.
+
+        The steady-state detector folds this token into its periodicity key
+        directly -- no serialisation, no ``repr`` -- at every anchor
+        sample, so it must be O(1) to read.  For the closed-form stimuli
+        the integer position *is* the token (the default below); subclasses
+        whose ``state()`` is expensive should override this with a monotone
+        version counter instead.
+        """
+        return self.state()
+
     def fresh(self) -> "Stimulus":
         """An independent, rewound copy for a new run.  Stimuli that cannot
         rewind (bare-iterator adapters) return themselves -- the legacy
@@ -107,6 +125,7 @@ class ConstantStimulus(Stimulus):
     """The same value on every draw (``itertools.repeat`` declared)."""
 
     value_periodic = True
+    advance_linear = False
 
     def __init__(self, value: Any) -> None:
         self.value = value
@@ -132,6 +151,7 @@ class PeriodicStimulus(Stimulus):
     declared): draw ``n`` is ``values[n % len(values)]``."""
 
     value_periodic = True
+    advance_linear = False
 
     def __init__(self, values: Iterable[Any], *, index: int = 0) -> None:
         self.values = list(values)
@@ -174,6 +194,7 @@ class RampStimulus(Stimulus):
     """
 
     value_periodic = False
+    advance_linear = False
 
     def __init__(self, start: Any = 0, step: Any = 1) -> None:
         self.start = start

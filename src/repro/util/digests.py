@@ -1,0 +1,38 @@
+"""Value digests for the incremental steady-state key.
+
+The value-exact fast-forward detector (:mod:`repro.engine.steady_state`)
+folds every mutable data value in the system into its periodicity key.
+Rebuilding that fold from scratch at every anchor completion is what made
+the sampling phase ~7x slower than naive simulation; instead, mutation
+sites (buffer writes, function state changes) maintain small integer
+digests incrementally, and the detector only combines them.
+
+:func:`value_digest` is the one digest function both sides use -- the
+write-time maintenance in :class:`~repro.graph.circular_buffer.CircularBuffer`
+and the from-scratch oracle ``state_key_slow()`` -- so the incremental key
+can be cross-checked for *equality* against the oracle, not merely for
+collision-freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def value_digest(value: Any) -> int:
+    """A cheap integer digest of one data value.
+
+    Hashable values (floats, ints, tuples of floats -- everything the
+    packaged apps stream) digest through the C-level ``hash`` directly;
+    unhashable ones (lists, dicts, arrays) fall back to hashing their
+    ``repr``.  The digest is a pure function of the value, which is what
+    makes write-time maintenance equal to from-scratch recomputation.
+
+    Digests are compared only within one process (the detector's state
+    table is in-memory), so ``PYTHONHASHSEED`` sensitivity of string
+    hashes is irrelevant here.
+    """
+    try:
+        return hash(value)
+    except TypeError:
+        return hash(repr(value))

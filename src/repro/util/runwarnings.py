@@ -44,6 +44,11 @@ WARNING_CODES: Dict[str, str] = {
         "the detector sampled max_states anchor states without finding a "
         "repeat and gave up"
     ),
+    "generator-advance": (
+        "a steady-state jump replayed a large number of draws through a "
+        "generator-backed stimulus whose advance() is O(k); the jump "
+        "happened but cost time linear in the skipped horizon"
+    ),
 }
 
 
